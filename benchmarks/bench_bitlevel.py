@@ -1,0 +1,78 @@
+"""E12 — the word→bit-level design transformation (§8, ref [3]).
+
+Claims reproduced: partitioning word processors into bit processors
+changes the implementation, not the answer — the bit-level arrays
+compute identical results, and their size is expressible directly in
+§8's bit-comparator unit, feeding the E8 area arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.arrays import compare_all_pairs
+from repro.bitlevel import (
+    bit_array_stats,
+    bit_level_compare_all_pairs,
+    bit_level_three_way_compare,
+)
+from repro.perf import PAPER_CONSERVATIVE, estimate_array_area
+from repro.workloads import overlapping_pair
+
+
+def test_bit_level_equivalence(benchmark, experiment_report):
+    """E12: identical T matrices from word- and bit-level arrays."""
+    width = 6
+    a, b = overlapping_pair(6, 6, 3, arity=2, universe=60, seed=120)
+    word = compare_all_pairs(a.tuples, b.tuples)
+    bit = benchmark(
+        lambda: bit_level_compare_all_pairs(a.tuples, b.tuples, width=width)
+    )
+    assert bit.t_matrix == word.t_matrix
+    stats = bit_array_stats(word.run.rows, word.run.cols, width)
+    experiment_report("E12 word→bit transformation (§8, ref [3])", [
+        ("T matrices identical", "yes",
+         "yes" if bit.t_matrix == word.t_matrix else "NO"),
+        ("word array", f"{word.run.rows}×{word.run.cols}",
+         f"{word.run.rows}×{word.run.cols}"),
+        ("bit array", f"{word.run.rows}×{word.run.cols * width}",
+         f"{bit.run.rows}×{bit.run.cols}"),
+        ("bit comparators", str(stats.bit_cells),
+         str(bit.run.cells)),
+        ("extra pulses (additive, (w-1)·m)",
+         f"+{(width - 1) * word.run.cols}",
+         f"+{bit.run.pulses - word.run.pulses}"),
+    ])
+
+
+def test_bit_comparator_area_feeds_section8(benchmark, experiment_report):
+    """E12b: bit-cell counts → chips, closing the loop with E8."""
+    width = 32
+    rows, cols = 63, 8  # the default machine device
+    estimate = benchmark(
+        lambda: estimate_array_area(rows, cols, PAPER_CONSERVATIVE, width)
+    )
+    experiment_report("E12b device area on §8 technology", [
+        ("word processors", f"{rows}×{cols}", f"{rows * cols}"),
+        ("bit comparators", f"{rows * cols * width:,}",
+         f"{estimate.bit_comparators:,}"),
+        ("chips (1000 comparators/chip)",
+         f"{-(-rows * cols * width // 1000)}", str(estimate.chips)),
+        ("silicon", "-", f"{estimate.silicon_mm2:.0f} mm²"),
+    ])
+
+
+def test_magnitude_comparator_chain(benchmark, experiment_report):
+    """E12c: MSB-first bit-serial magnitude comparison (for θ-joins)."""
+    correct = 0
+    total = 0
+    for x in range(0, 64, 7):
+        for y in range(0, 64, 5):
+            total += 1
+            if bit_level_three_way_compare(x, y, width=6) == (x > y) - (x < y):
+                correct += 1
+    benchmark(lambda: bit_level_three_way_compare(45, 23, width=6))
+    experiment_report("E12c bit-serial magnitude comparator", [
+        ("three-way results correct", f"{total}/{total}",
+         f"{correct}/{total}"),
+        ("pulses per comparison", "width = 6", "6"),
+    ])
+    assert correct == total

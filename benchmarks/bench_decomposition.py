@@ -1,0 +1,63 @@
+"""E10 — §8's problem decomposition on fixed-size devices.
+
+Claims reproduced: a problem whose T matrix exceeds the device is
+partitioned into device-sized sub-problems; the combined answer is
+identical; the overhead (extra fill/drain per block) is measurable and
+shrinks as the device grows.
+"""
+
+from __future__ import annotations
+
+from repro.arrays import (
+    ArrayCapacity,
+    blocked_intersection,
+    blocked_join,
+    systolic_intersection,
+)
+from repro.relational import algebra
+from repro.workloads import join_pair, overlapping_pair
+
+
+def test_blocked_intersection_overhead(benchmark, experiment_report):
+    """E10: same answer, block_runs × fill/drain overhead."""
+    a, b = overlapping_pair(24, 24, 8, arity=2, seed=80)
+    unblocked = systolic_intersection(a, b)
+    rows = []
+    for max_rows in (7, 15, 31, 63):
+        capacity = ArrayCapacity(max_rows=max_rows, max_cols=2)
+        result, report = blocked_intersection(a, b, capacity)
+        assert result == algebra.intersection(a, b)
+        rows.append((
+            f"device rows = {max_rows:>2}",
+            "identical result",
+            f"{report.block_runs:>3} runs, {report.total_pulses:>5} pulses",
+        ))
+    rows.append((
+        "unbounded device", "baseline",
+        f"  1 run,  {unblocked.run.pulses:>5} pulses",
+    ))
+    capacity = ArrayCapacity(max_rows=15, max_cols=2)
+    benchmark(lambda: blocked_intersection(a, b, capacity))
+    experiment_report(
+        "E10 §8 decomposition: intersect 24×24 on bounded devices", rows
+    )
+
+
+def test_blocked_join_overhead(benchmark, experiment_report):
+    """E10b: join decomposition across tuple blocks."""
+    a, b = join_pair(20, 16, 8, seed=81)
+    expected = algebra.join(a, b, [("key", "key")])
+    rows = []
+    for max_rows in (5, 11, 39):
+        capacity = ArrayCapacity(max_rows=max_rows, max_cols=1)
+        result, report = blocked_join(a, b, [("key", "key")], capacity)
+        assert result == expected
+        rows.append((
+            f"device rows = {max_rows:>2}",
+            f"|C| = {len(expected)}",
+            f"{report.block_runs:>2} runs, |C| = {len(result)}",
+        ))
+    benchmark(lambda: blocked_join(
+        a, b, [("key", "key")], ArrayCapacity(max_rows=11, max_cols=1)
+    ))
+    experiment_report("E10b §8 decomposition: join 20×16", rows)

@@ -1,0 +1,49 @@
+"""E7 — the division array of Fig 7-2 on the Fig 7-1 example and beyond.
+
+Claims reproduced: the dividend/divisor array pair computes relational
+division; the paper's worked example yields quotient {i}; the pulse
+count is linear in |A| + P + |B| (one pass of the pair stream).
+"""
+
+from __future__ import annotations
+
+from repro.arrays import systolic_divide
+from repro.relational import algebra
+from repro.workloads import division_example, division_workload
+
+
+def test_fig_71_example(benchmark, experiment_report):
+    """E7: the paper's division example."""
+    a, b, expected = division_example()
+    result = benchmark(lambda: systolic_divide(a, b))
+    assert result.relation == expected
+    experiment_report("E7  Fig 7-1/7-2 division example", [
+        ("dividend pairs |A|", "8", str(len(a))),
+        ("distinct A1 values", "3 (i,j,k)", str(len(result.distinct_x))),
+        ("divisor |B|", "4 (a,b,c,d)", str(len(b))),
+        ("quotient", "{i}",
+         "{" + ",".join(str(v[0]) for v in result.relation.decoded()) + "}"),
+        ("quotient bits", "T,F,F",
+         ",".join("T" if q else "F" for q in result.quotient_bits)),
+    ])
+
+
+def test_division_scales_linearly(benchmark, experiment_report):
+    """E7b: pulses grow with |A| + P + |B|, not |A|·|B|."""
+    rows = []
+    for n_groups, divisor_size in ((4, 3), (8, 3), (16, 3), (8, 6)):
+        a, b, expected = division_workload(
+            n_groups, divisor_size, n_groups // 2, seed=n_groups
+        )
+        result = systolic_divide(a, b)
+        assert result.relation == algebra.divide(a, b)
+        assert len(result.relation) == expected
+        formula = len(a) + len(result.distinct_x) + divisor_size + 1
+        rows.append((
+            f"groups={n_groups:>2} divisor={divisor_size}",
+            f"|A|+P+|B|+1 = {formula}",
+            f"{result.run.pulses} pulses, |C|={len(result.relation)}",
+        ))
+    a, b, _ = division_workload(8, 4, 4, seed=70)
+    benchmark(lambda: systolic_divide(a, b))
+    experiment_report("E7b division pulse counts (single stream pass)", rows)

@@ -1,0 +1,53 @@
+"""E15 — the pattern-match chip (§8, ref [3]).
+
+The one systolic design the paper reports as *fabricated and working*:
+"The pattern-match chip can be viewed as a scaled-down version of the
+comparison array in Section 3."  Reproduced here at full size: exact
+and wildcard matching over streaming text, all alignments (including
+overlapping ones), one text character consumed per pulse.
+"""
+
+from __future__ import annotations
+
+from repro.patterns import match_pattern
+from repro.perf import PAPER_CONSERVATIVE
+
+
+def test_pattern_chip(benchmark, experiment_report):
+    """E15: streaming match with wildcards, one char per pulse."""
+    text = "the rain in spain falls mainly on the plain" * 4
+    pattern = "?ain"
+    result = benchmark(lambda: match_pattern(text, pattern))
+
+    reference = [
+        i for i in range(len(text) - len(pattern) + 1)
+        if all(p == "?" or text[i + k] == p for k, p in enumerate(pattern))
+    ]
+    assert result.matches == reference
+
+    seconds = PAPER_CONSERVATIVE.pulses_to_seconds(result.run.pulses)
+    experiment_report("E15 §8 pattern-match chip (scaled-down comparison array)", [
+        ("text length", str(len(text)), str(len(text))),
+        ("pattern", "'?ain' (wildcard)", "'?ain'"),
+        ("matches found", str(len(reference)), str(len(result.matches))),
+        ("cells (m + m-1 latches)", "7", str(result.run.cells)),
+        ("pulses (≈ one char/pulse)", f"n + 2(m-1) = {len(text) + 6}",
+         str(result.run.pulses)),
+        ("§8 NMOS wall clock", "-", f"{seconds * 1e6:.1f} µs"),
+    ])
+
+
+def test_pattern_chip_throughput_scales(benchmark, experiment_report):
+    """E15b: pulses grow linearly with text length (streaming)."""
+    rows = []
+    for scale in (1, 4, 16):
+        text = "abracadabra" * scale
+        result = match_pattern(text, "abra")
+        assert result.matches[:2] == [0, 7]
+        rows.append((
+            f"text = {len(text):>4} chars",
+            f"n + 2(m-1) = {len(text) + 6}",
+            f"{result.run.pulses} pulses, {len(result.matches)} matches",
+        ))
+    benchmark(lambda: match_pattern("abracadabra" * 8, "abra"))
+    experiment_report("E15b pattern-chip streaming throughput", rows)

@@ -1,0 +1,136 @@
+"""E8 + E9 — the §8 performance predictions and the disk comparison.
+
+Every number §8 quotes, regenerated from the technology model:
+
+* 1000 bit-comparators per chip; 10⁶ parallel comparisons;
+* 1.5 × 10¹¹ bit comparisons to intersect two 10⁴-tuple relations of
+  1500-bit tuples;
+* ≈50 ms conservative (350 ns, 1000 chips) and ≈10 ms aggressive
+  (200 ns, 3000 chips);
+* the array keeps up with a 3600-rpm disk delivering 500 KB per
+  17 ms revolution — intersecting two ~2 MB relations in comparable
+  time.
+"""
+
+from __future__ import annotations
+
+from repro.perf import (
+    PAPER_AGGRESSIVE,
+    PAPER_CONSERVATIVE,
+    PAPER_DISK,
+    PAPER_WORKLOAD,
+    intersect_vs_read_report,
+    intersection_bit_comparisons,
+    largest_intersectable_relation_bytes,
+    paper_aggressive_prediction,
+    paper_conservative_prediction,
+)
+
+
+def test_section8_intersection_predictions(benchmark, experiment_report):
+    """E8: the headline 50 ms / 10 ms predictions."""
+    conservative = benchmark(paper_conservative_prediction)
+    aggressive = paper_aggressive_prediction()
+    experiment_report("E8  §8 intersection-time predictions", [
+        ("bit-comparator area", "240µ × 150µ",
+         f"{PAPER_CONSERVATIVE.bit_comparator_area_um2:.0f} µm²"),
+        ("comparators per chip", "about 1000",
+         str(PAPER_CONSERVATIVE.comparators_per_chip)),
+        ("parallel comparisons", "10^6",
+         f"{PAPER_CONSERVATIVE.parallel_comparisons:.0e}"),
+        ("bits multiplexed per pin", "about 10",
+         str(PAPER_CONSERVATIVE.bits_per_pin_multiplex)),
+        ("bit comparisons (10^4 × 10^4 × 1500)", "1.5 × 10^11",
+         f"{intersection_bit_comparisons(PAPER_WORKLOAD):.1e}"),
+        ("conservative time (350 ns, 1000 chips)", "about 50 ms",
+         f"{conservative * 1e3:.1f} ms"),
+        ("aggressive time (200 ns, 3000 chips)", "about 10 ms",
+         f"{aggressive * 1e3:.1f} ms"),
+    ])
+    assert 0.045 <= conservative <= 0.055
+    assert abs(aggressive - 0.010) < 1e-9
+
+
+def test_section8_disk_rate_comparison(benchmark, experiment_report):
+    """E9: "the processing speed ... can keep up with the data rate"."""
+    report = benchmark(lambda: intersect_vs_read_report(PAPER_CONSERVATIVE))
+    aggressive = intersect_vs_read_report(PAPER_AGGRESSIVE)
+    window = PAPER_DISK.read_seconds(2_000_000)
+    largest = largest_intersectable_relation_bytes(PAPER_CONSERVATIVE, window)
+    experiment_report("E9  §8 array vs moving-head disk", [
+        ("disk revolution", "about 17 ms",
+         f"{report['revolution_seconds'] * 1e3:.1f} ms"),
+        ("cylinder rate", "500,000 B / 17 ms",
+         f"{PAPER_DISK.cylinder_bytes:,} B / rev"),
+        ("read one 2 MB relation", "4 revolutions",
+         f"{report['read_seconds'] * 1e3:.1f} ms"),
+        ("intersect two 2 MB relations (cons.)", "comparable",
+         f"{report['intersect_seconds'] * 1e3:.1f} ms"),
+        ("intersect two 2 MB relations (aggr.)", "faster",
+         f"{aggressive['intersect_seconds'] * 1e3:.1f} ms"),
+        ("largest relation within read window", "about 2 MB",
+         f"{largest / 1e6:.2f} MB"),
+    ])
+    assert report["intersect_seconds"] <= report["read_seconds"]
+    assert largest >= 2_000_000
+
+
+def test_section8_sensitivity_grid(benchmark, experiment_report):
+    """E8b: the two §8 data points embedded in a technology grid.
+
+    The paper quotes (350 ns, 1000 chips) → ~50 ms and (200 ns, 3000
+    chips) → ~10 ms; the model interpolates the whole plane.
+    """
+    from repro.perf import TechnologyModel, intersection_time_seconds
+
+    rows = []
+    for comparison_ns in (350.0, 200.0):
+        for chips in (1000, 3000):
+            model = TechnologyModel(
+                comparison_time_ns=comparison_ns, chips=chips
+            )
+            milliseconds = intersection_time_seconds(model) * 1e3
+            marker = ""
+            if (comparison_ns, chips) == (350.0, 1000):
+                marker = "  <- paper 'about 50ms'"
+            if (comparison_ns, chips) == (200.0, 3000):
+                marker = "  <- paper 'about 10ms'"
+            rows.append((
+                f"{comparison_ns:.0f} ns, {chips} chips",
+                "-" if not marker else marker.strip(" <-"),
+                f"{milliseconds:.1f} ms",
+            ))
+    benchmark(lambda: intersection_time_seconds(
+        TechnologyModel(comparison_time_ns=200.0, chips=3000)
+    ))
+    experiment_report("E8b §8 sensitivity grid (10^4-tuple intersection)",
+                      rows)
+
+
+def test_section8_floorplan(benchmark, experiment_report):
+    """E8c: area vs pin limits for the machine's device complement."""
+    from repro.perf import ChipPackage, PAPER_CONSERVATIVE, plan_system
+
+    package = ChipPackage(PAPER_CONSERVATIVE)
+    plans = benchmark(lambda: plan_system(
+        [("intersect", 63, 8), ("join", 63, 2), ("divide", 16, 6)],
+        package, element_bits=8,
+    ))
+    rows = []
+    for name, plan in plans.items():
+        binding = (
+            "area" if plan.area_limited else
+            "pins" if plan.pin_limited else "fits one chip"
+        )
+        rows.append((
+            f"{name} array ({plan.rows}×{plan.cols} @ 8b)",
+            f"{plan.bit_comparators} comparators",
+            f"{plan.chips} chips ({binding})",
+        ))
+    rows.append((
+        "package", "about 1000 comparators, ~10 bits/pin",
+        f"{package.comparators} comparators, "
+        f"{package.bits_per_pin} bits/pin",
+    ))
+    experiment_report("E8c §8 floorplan: the Fig 9-1 device complement",
+                      rows)

@@ -1,0 +1,56 @@
+"""E18 — skewed workloads: §6.2's degenerate-output warning, measured.
+
+"The size of the join, |C|, might be as large as the product |A||B|.
+(This happens in the degenerate case where all tuples in A match all
+tuples in B in the specified columns.)  However, for most applications
+the number of TRUE t_ij's in T is far less than this product."
+
+Zipf-distributed join keys interpolate between those regimes: light
+skew behaves like "most applications", heavy skew approaches the
+degenerate bound — while the array's *pulse count* stays O(n), because
+the t_ij's all emerge from the edge in the same schedule regardless of
+how many are TRUE.
+"""
+
+from __future__ import annotations
+
+from repro.arrays import systolic_join, systolic_remove_duplicates
+from repro.relational import algebra
+from repro.workloads import skewed_join_pair, zipf_relation
+
+
+def test_join_output_vs_skew(benchmark, experiment_report):
+    """E18: output size explodes with skew; pulses don't."""
+    n = 24
+    rows = []
+    for skew in (4.0, 2.0, 1.3):
+        a, b = skewed_join_pair(n, n, skew=skew, seed=int(skew * 10))
+        result = systolic_join(a, b, [("key", "key")])
+        assert result.relation == algebra.join(a, b, [("key", "key")])
+        rows.append((
+            f"zipf skew = {skew}",
+            f"|C| <= |A||B| = {n * n}",
+            f"|C| = {len(result.relation):>3}, {result.run.pulses} pulses",
+        ))
+    a, b = skewed_join_pair(n, n, skew=1.3, seed=13)
+    benchmark(lambda: systolic_join(a, b, [("key", "key")]))
+    experiment_report("E18 §6.2 join output vs key skew (n = 24 each side)",
+                      rows)
+
+
+def test_dedup_under_skew(benchmark, experiment_report):
+    """E18b: heavy skew = many duplicates; the §5 array absorbs them."""
+    rows = []
+    for skew in (3.0, 1.5, 1.2):
+        multi = zipf_relation(20, arity=2, skew=skew, universe=8,
+                              seed=int(skew * 100))
+        result = systolic_remove_duplicates(multi)
+        assert result.relation == algebra.remove_duplicates(multi)
+        rows.append((
+            f"zipf skew = {skew}",
+            "fewer distinct as skew grows",
+            f"{len(result.relation)} distinct of {len(multi)}",
+        ))
+    multi = zipf_relation(20, arity=2, skew=2.0, universe=8, seed=55)
+    benchmark(lambda: systolic_remove_duplicates(multi))
+    experiment_report("E18b §5 dedup under value skew", rows)

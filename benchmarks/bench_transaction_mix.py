@@ -1,0 +1,88 @@
+"""E19 — a transaction mix on the §9 machine.
+
+"To process all of the operations required in a single transaction or
+a **set of transactions**, an integrated system containing several
+systolic arrays is needed."  This study submits a seeded mix of
+transactions at staggered arrival times and measures how the machine's
+device complement absorbs the load — the capacity-planning question
+§9's architecture raises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang import parse
+from repro.machine import SystolicDatabaseMachine
+from repro.machine.plan import DEVICE_COMPARISON, DEVICE_DIVISION, DEVICE_JOIN
+from repro.workloads import join_pair, overlapping_pair
+
+#: The mix: intersections dominate, with joins and dedups sprinkled in.
+_TEMPLATES = [
+    "intersect(A{i}, B{i})",
+    "difference(A{i}, B{i})",
+    "join(JA{i}, JB{i}, key == key)",
+    "dedup(A{i})",
+]
+
+
+def _run_mix(
+    transactions: int, comparison_devices: int, mean_gap_ms: float, seed: int
+):
+    machine = SystolicDatabaseMachine(
+        memories=16,
+        devices=(
+            (DEVICE_COMPARISON, comparison_devices),
+            (DEVICE_JOIN, 1),
+            (DEVICE_DIVISION, 1),
+        ),
+    )
+    rng = np.random.default_rng(seed)
+    plans = []
+    for index in range(transactions):
+        a, b = overlapping_pair(60, 50, 20, arity=2, seed=seed + index)
+        ja, jb = join_pair(40, 36, 12, seed=seed + 100 + index)
+        machine.preload(f"A{index}", a)
+        machine.preload(f"B{index}", b)
+        machine.preload(f"JA{index}", ja)
+        machine.preload(f"JB{index}", jb)
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        plans.append(parse(template.format(i=index)))
+    gaps = rng.exponential(mean_gap_ms / 1e3, size=transactions)
+    arrivals = [float(sum(gaps[:index])) for index in range(transactions)]
+    results, report = machine.run_many(plans, arrivals=arrivals)
+    assert all(relation is not None for relation in results)
+    latencies = []
+    for plan, arrival in zip(plans, arrivals):
+        finish = max(
+            step.end for step in report.steps
+            if step.label == plan.describe() and step.start >= arrival
+        )
+        latencies.append(finish - arrival)
+    return report, latencies
+
+
+def test_transaction_mix(benchmark, experiment_report):
+    """E19: mean latency and makespan vs device complement."""
+    rows = []
+    baseline_latency = None
+    for devices in (1, 2, 4):
+        report, latencies = _run_mix(
+            transactions=8, comparison_devices=devices,
+            mean_gap_ms=0.05, seed=190,
+        )
+        mean_latency = sum(latencies) / len(latencies)
+        if baseline_latency is None:
+            baseline_latency = mean_latency
+        rows.append((
+            f"{devices} comparison device(s)",
+            "latency falls with devices",
+            f"makespan {report.makespan * 1e3:6.2f} ms, "
+            f"mean latency {mean_latency * 1e3:6.2f} ms",
+        ))
+    benchmark(lambda: _run_mix(8, 2, 0.05, 190))
+    experiment_report(
+        "E19 §9 transaction mix (8 transactions, staggered arrivals)", rows
+    )
+    _, latencies = _run_mix(8, 4, 0.05, 190)
+    assert sum(latencies) / len(latencies) <= baseline_latency

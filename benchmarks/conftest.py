@@ -1,0 +1,35 @@
+"""Shared reporting helpers for the experiment benchmarks.
+
+Each ``bench_*.py`` module regenerates one row of the DESIGN.md
+experiment index (E1–E14): it measures the paper's quantity on the
+simulated hardware and prints a paper-value vs measured-value table.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables
+live; EXPERIMENTS.md records the same numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured table for one experiment."""
+    label_w = max(len(r[0]) for r in rows)
+    paper_w = max(len("paper"), max(len(r[1]) for r in rows))
+    measured_w = max(len("measured"), max(len(r[2]) for r in rows))
+    line = "=" * (label_w + paper_w + measured_w + 8)
+    print()
+    print(line)
+    print(title)
+    print(line)
+    print(f"{'':<{label_w}}  | {'paper':>{paper_w}} | {'measured':>{measured_w}}")
+    print(f"{'-' * label_w}--+-{'-' * paper_w}-+-{'-' * measured_w}")
+    for label, paper, measured in rows:
+        print(f"{label:<{label_w}}  | {paper:>{paper_w}} | {measured:>{measured_w}}")
+    print(line)
+
+
+@pytest.fixture
+def experiment_report():
+    """Fixture form of :func:`report` for use inside benchmarks."""
+    return report

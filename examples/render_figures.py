@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Print the paper's figures, drawn from the live simulated hardware.
+
+Every schematic below is rendered from an actually-constructed network
+(the same objects the simulator drives), so diagram and implementation
+cannot disagree.
+
+Run:  python examples/render_figures.py
+"""
+
+from repro.arrays.comparison_array import build_comparison_array
+from repro.arrays.division import build_division_array
+from repro.arrays.intersection import build_intersection_array
+from repro.arrays.join import build_join_array
+from repro.figures import (
+    division_schematic,
+    grid_schematic,
+    machine_schematic,
+    network_summary,
+)
+from repro.machine import SystolicDatabaseMachine
+from repro.workloads import division_example, three_by_three_pair
+
+
+def banner(text: str) -> None:
+    print()
+    print(f"--- {text} " + "-" * max(0, 60 - len(text)))
+
+
+def main() -> None:
+    a, b = three_by_three_pair()
+
+    banner("Fig 3-3: two-dimensional comparison array (3x3 relations)")
+    network, schedule, layout = build_comparison_array(a.tuples, b.tuples)
+    print(grid_schematic(layout))
+    print()
+    print(network_summary(network))
+
+    banner("Fig 4-1: intersection array (comparison + accumulation column)")
+    network, schedule, layout = build_intersection_array(a, b)
+    print(grid_schematic(layout))
+    print()
+    print(network_summary(network))
+
+    banner("Fig 6-1: join array (single join column)")
+    network, schedule, layout = build_join_array(
+        [(row[0],) for row in a.tuples], [(row[0],) for row in b.tuples],
+        ops=["=="],
+    )
+    print(grid_schematic(layout))
+
+    banner("Fig 7-2: division array (the Fig 7-1 example)")
+    dividend, divisor, _ = division_example()
+    groups = dividend.schema[0].domain
+    values = dividend.schema[1].domain
+    distinct_x, seen = [], set()
+    for x, _y in dividend.tuples:
+        if x not in seen:
+            seen.add(x)
+            distinct_x.append(groups.decode(x))
+    network, schedule, layout = build_division_array(
+        list(dividend.tuples), [groups.encode(x) for x in distinct_x],
+        [row[0] for row in divisor.tuples],
+    )
+    print(division_schematic(
+        distinct_x, [values.decode(v[0]) for v in divisor.tuples]
+    ))
+    print()
+    print(network_summary(network))
+
+    banner("Fig 9-1: the integrated systolic database machine")
+    print(machine_schematic(SystolicDatabaseMachine()))
+
+
+if __name__ == "__main__":
+    main()

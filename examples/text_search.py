@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Streaming text search on the §8 pattern-match chip.
+
+The one systolic design the paper reports as already fabricated and
+working: "The pattern-match chip can be viewed as a scaled-down version
+of the comparison array in Section 3."  Text characters stream through
+at one per pulse; match results trail at half speed, accumulating one
+comparison per pattern cell; `?` is the wildcard.
+
+Run:  python examples/text_search.py
+"""
+
+from repro.patterns import match_pattern
+from repro.perf import PAPER_CONSERVATIVE
+
+
+TEXT = (
+    "the systolic array rhythmically pumps data in and out, "
+    "the way the heart pumps blood, so that a regular flow of data "
+    "is kept up in the network"
+)
+
+
+def show(pattern: str) -> None:
+    result = match_pattern(TEXT, pattern)
+    print(f"pattern {pattern!r}: {len(result.matches)} matches "
+          f"({result.run.pulses} pulses on {result.run.cells} cells)")
+    for position in result.matches:
+        window = TEXT[max(0, position - 10):position + len(pattern) + 10]
+        print(f"  @{position:>3}  ...{window}...")
+    print()
+
+
+def main() -> None:
+    print(f"text: {len(TEXT)} characters\n")
+    show("pumps")
+    show("the ")
+    show("d?ta")      # wildcard: matches 'data'
+    show("?????ically")
+
+    result = match_pattern(TEXT, "data")
+    seconds = PAPER_CONSERVATIVE.pulses_to_seconds(result.run.pulses)
+    rate = len(TEXT) / seconds / 1e6
+    print(f"§8 NMOS model: {result.run.pulses} pulses × 350 ns = "
+          f"{seconds * 1e6:.1f} µs -> {rate:.0f} MB/s of text scanned")
+
+
+if __name__ == "__main__":
+    main()

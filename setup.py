@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on offline machines that lack the
+``wheel`` package (PEP 660 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

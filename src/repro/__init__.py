@@ -1,0 +1,84 @@
+"""repro — Systolic (VLSI) Arrays for Relational Database Operations.
+
+A cycle-level, from-scratch reproduction of Kung & Lehman (CMU-CS-80-114,
+SIGMOD 1980).  The public API re-exports the pieces most users need:
+
+* the relational data model (:mod:`repro.relational`),
+* the systolic operator arrays (:mod:`repro.arrays`),
+* the §8 technology/performance model (:mod:`repro.perf`),
+* the Fig 9-1 integrated database machine (:mod:`repro.machine`).
+
+Quick start::
+
+    from repro import Domain, Relation, Schema, systolic_intersection
+
+    names = Domain("name")
+    schema = Schema.of(("first", names), ("last", names))
+    a = Relation.from_values(schema, [("ada", "lovelace"), ("alan", "turing")])
+    b = Relation.from_values(schema, [("alan", "turing")])
+    print(systolic_intersection(a, b).relation.decoded())
+"""
+
+from repro.arrays import (
+    ArrayCapacity,
+    blocked_intersection,
+    blocked_join,
+    compare_all_pairs,
+    compare_tuples,
+    hex_compare_all_pairs,
+    systolic_difference,
+    systolic_divide,
+    systolic_dynamic_theta_join,
+    systolic_intersection,
+    systolic_join,
+    systolic_projection,
+    systolic_remove_duplicates,
+    systolic_theta_join,
+    systolic_union,
+)
+from repro.arrays.division import systolic_divide_general
+from repro.errors import ReproError
+from repro.lang import execute_plan, optimize, parse, query
+from repro.patterns import match_pattern
+from repro.relational import (
+    Column,
+    Domain,
+    IntegerDomain,
+    MultiRelation,
+    Relation,
+    Schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrayCapacity",
+    "Column",
+    "Domain",
+    "IntegerDomain",
+    "MultiRelation",
+    "Relation",
+    "ReproError",
+    "Schema",
+    "__version__",
+    "blocked_intersection",
+    "blocked_join",
+    "compare_all_pairs",
+    "compare_tuples",
+    "execute_plan",
+    "hex_compare_all_pairs",
+    "match_pattern",
+    "optimize",
+    "parse",
+    "query",
+    "systolic_difference",
+    "systolic_divide",
+    "systolic_divide_general",
+    "systolic_dynamic_theta_join",
+    "systolic_intersection",
+    "systolic_join",
+    "systolic_projection",
+    "systolic_remove_duplicates",
+    "systolic_theta_join",
+    "systolic_union",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: run algebra queries over CSV relations.
+
+Examples::
+
+    python -m repro query "join(EMP, DEPT, dept == dept)" \\
+        --relation EMP=employees.csv --relation DEPT=departments.csv
+
+    python -m repro query "intersect(A, B)" -r A=a.csv -r B=b.csv \\
+        --engine software --out result.csv
+
+    python -m repro machine "project(join(E, D, dept == dept), name)" \\
+        -r E=employees.csv -r D=departments.csv
+
+``query`` evaluates on the pulse-level systolic arrays (default) or the
+software reference engine; ``machine`` runs the plan on the Fig 9-1
+integrated database machine and prints the scheduled timeline.
+
+Columns with the same name across files share a domain, so they are
+join/union-compatible automatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.lang import execute_plan, optimize, parse
+from repro.relational.csv_io import DomainRegistry, dump_csv, load_csv
+from repro.relational.relation import Relation
+
+
+def _load_relations(specs: list[str]) -> dict[str, Relation]:
+    registry: DomainRegistry = {}
+    catalog: dict[str, Relation] = {}
+    for spec in specs:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ReproError(
+                f"--relation expects NAME=path.csv, got {spec!r}"
+            )
+        catalog[name] = load_csv(path, registry=registry)
+    return catalog
+
+
+def _emit(relation: Relation, out: str | None) -> None:
+    if out:
+        dump_csv(relation, out)
+        print(f"{len(relation)} tuples written to {out}")
+    else:
+        print(relation.pretty(max_rows=50))
+        print(f"({len(relation)} tuples)")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    catalog = _load_relations(args.relation)
+    plan = parse(args.expression)
+    if args.optimize:
+        plan = optimize(plan)
+    result = execute_plan(plan, catalog, engine=args.engine)
+    _emit(result, args.out)
+    return 0
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    from repro.machine import MachineDisk, SystolicDatabaseMachine
+
+    catalog = _load_relations(args.relation)
+    machine = SystolicDatabaseMachine(
+        disk=MachineDisk(logic_per_track=args.logic_per_track)
+    )
+    for name, relation in catalog.items():
+        machine.store(name, relation)
+    plan = parse(args.expression)
+    if args.optimize:
+        plan = optimize(plan)
+    result, report = machine.run(plan)
+    _emit(result, args.out)
+    print()
+    print(report.timeline())
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.selftest import run_selftest
+
+    report = run_selftest(seed=args.seed, size=args.size)
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from repro.shell import SystolicShell
+
+    SystolicShell().cmdloop()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Systolic-array relational queries over CSV files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("expression", help="relational-algebra expression")
+        p.add_argument(
+            "--relation", "-r", action="append", default=[],
+            metavar="NAME=FILE", help="bind a relation name to a CSV file",
+        )
+        p.add_argument("--out", "-o", help="write the result to a CSV file")
+        p.add_argument(
+            "--optimize", action="store_true",
+            help="apply algebraic rewrites (selection pushdown, dedup "
+                 "elimination, subplan sharing) before execution",
+        )
+
+    query = sub.add_parser("query", help="evaluate on an execution engine")
+    common(query)
+    query.add_argument(
+        "--engine", choices=("systolic", "software"), default="systolic",
+        help="pulse-level arrays (default) or the software reference",
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    machine = sub.add_parser(
+        "machine", help="run on the Fig 9-1 integrated database machine"
+    )
+    common(machine)
+    machine.add_argument(
+        "--logic-per-track", action="store_true",
+        help="give the disk §9's logic-per-track selection capability",
+    )
+    machine.set_defaults(handler=_cmd_machine)
+
+    selftest = sub.add_parser(
+        "selftest",
+        help="verify every array against the reference algebra",
+    )
+    selftest.add_argument("--seed", type=int, default=0)
+    selftest.add_argument(
+        "--size", type=int, default=8,
+        help="relation cardinality used by the sweep (default 8)",
+    )
+    selftest.set_defaults(handler=_cmd_selftest)
+
+    shell = sub.add_parser(
+        "shell", help="interactive session with the database machine"
+    )
+    shell.set_defaults(handler=_cmd_shell)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

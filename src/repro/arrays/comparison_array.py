@@ -1,0 +1,120 @@
+"""The two-dimensional comparison array of Fig 3-3.
+
+Vertically concatenated linear comparison arrays, pipelining all
+``n_A × n_B`` tuple comparisons: relation A streams down, relation B
+streams up, and the boolean matrix ``T`` of §3.3 emerges from the right
+edge — entry ``t_ij`` from the meeting row of pair (i, j) on its
+schedule-determined exit pulse.
+
+This array is the paper's "main hardware" (§4.3): intersection,
+difference, remove-duplicates, union, and projection all reuse it,
+varying only the initial-``t`` injections and what happens to the
+output.  This module runs the array bare and returns ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arrays.base import (
+    ArrayRun,
+    TInit,
+    build_counter_stream_grid,
+    cmp_name,
+    run_array,
+)
+from repro.arrays.schedule import CounterStreamSchedule
+from repro.errors import SimulationError
+from repro.systolic.metrics import ActivityMeter
+from repro.systolic.trace import TraceRecorder
+from repro.systolic.wiring import Network
+
+__all__ = ["ComparisonMatrixResult", "build_comparison_array", "compare_all_pairs"]
+
+
+@dataclass
+class ComparisonMatrixResult:
+    """The matrix ``T`` of §3.3, plus operational detail."""
+
+    t_matrix: list[list[bool]]
+    schedule: CounterStreamSchedule
+    run: ArrayRun
+
+    def pairs_where_true(self) -> list[tuple[int, int]]:
+        """All (i, j) with ``t_ij`` TRUE, row-major."""
+        return [
+            (i, j)
+            for i, row in enumerate(self.t_matrix)
+            for j, value in enumerate(row)
+            if value
+        ]
+
+
+def build_comparison_array(
+    a_tuples: Sequence[Sequence[int]],
+    b_tuples: Sequence[Sequence[int]],
+    t_init: TInit = lambda i, j: True,
+    tagged: bool = False,
+) -> tuple[Network, CounterStreamSchedule, dict[str, tuple[int, int]]]:
+    """Assemble the bare Fig 3-3 array with right-edge taps per row."""
+    if not a_tuples or not b_tuples:
+        raise SimulationError("the comparison array needs non-empty relations")
+    schedule = CounterStreamSchedule(
+        n_a=len(a_tuples), n_b=len(b_tuples), arity=len(a_tuples[0])
+    )
+    network, layout = build_counter_stream_grid(
+        a_tuples, b_tuples, schedule, t_init=t_init, tagged=tagged
+    )
+    for row in range(schedule.rows):
+        network.tap(f"t_row[{row}]", cmp_name(row, schedule.arity - 1), "t_out")
+    return network, schedule, layout
+
+
+def compare_all_pairs(
+    a_tuples: Sequence[Sequence[int]],
+    b_tuples: Sequence[Sequence[int]],
+    t_init: TInit = lambda i, j: True,
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> ComparisonMatrixResult:
+    """Run the 2-D array and collect the full boolean matrix ``T``.
+
+    Collection uses the hardware discipline: each right-edge arrival is
+    decoded to its (i, j) purely from (row, pulse) via the schedule.
+    """
+    network, schedule, _ = build_comparison_array(
+        a_tuples, b_tuples, t_init=t_init, tagged=tagged
+    )
+    pulses = schedule.comparison_pulses
+    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
+
+    t_matrix = [[False] * schedule.n_b for _ in range(schedule.n_a)]
+    seen: set[tuple[int, int]] = set()
+    for row in range(schedule.rows):
+        for pulse, token in simulator.collector(f"t_row[{row}]"):
+            i, j = schedule.pair_from_exit(row, pulse)
+            if (i, j) in seen:
+                raise SimulationError(f"pair ({i}, {j}) exited twice")
+            seen.add((i, j))
+            if tagged and token.tag is not None and token.tag != ("t", i, j):
+                raise SimulationError(
+                    f"arrival decoded as pair ({i}, {j}) but carries tag "
+                    f"{token.tag!r}"
+                )
+            t_matrix[i][j] = bool(token.value)
+    expected = schedule.n_a * schedule.n_b
+    if len(seen) != expected:
+        raise SimulationError(
+            f"only {len(seen)} of {expected} pair results exited the array"
+        )
+    cells = schedule.rows * schedule.arity
+    return ComparisonMatrixResult(
+        t_matrix=t_matrix,
+        schedule=schedule,
+        run=ArrayRun(
+            pulses=pulses, rows=schedule.rows, cols=schedule.arity,
+            cells=cells, meter=meter, trace=trace,
+        ),
+    )

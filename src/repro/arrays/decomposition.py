@@ -1,0 +1,351 @@
+"""Problem decomposition for fixed-size arrays (§8).
+
+"It is also possible to use the array to solve problems that will not
+fit entirely on it.  This calls for the technique of decomposing
+problems ... in the intersection problem, consider the matrix, T, of
+results.  For a large problem, one can simply partition this matrix
+into sub-problems small enough to fit on the array; each of these
+sub-problems would generate a piece of the matrix."
+
+:class:`ArrayCapacity` describes the physical device (processor rows ×
+columns).  The blocked operators below partition both the tuple
+dimension (the T matrix, as quoted) and, when tuples are wider than the
+device, the element dimension — ANDing partial comparison results
+across column blocks.  Partial results between block runs are "stored
+outside the systolic arrays before they are finally combined" (§9); the
+combination (ORing T-rows, unioning match sets) is that outside step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.arrays.comparison_array import compare_all_pairs
+from repro.arrays.division import build_division_array
+from repro.arrays.join import build_join_array, _collect_matches
+from repro.arrays.base import run_array
+from repro.errors import CapacityError, SimulationError
+from repro.relational.algebra import equi_join_layout, theta_join_layout
+from repro.relational.relation import MultiRelation, Relation
+from repro.relational.schema import ColumnRef
+
+__all__ = [
+    "ArrayCapacity",
+    "BlockedReport",
+    "blocked_pair_matrix",
+    "blocked_intersection",
+    "blocked_difference",
+    "blocked_remove_duplicates",
+    "blocked_union",
+    "blocked_join",
+    "blocked_divide",
+]
+
+
+@dataclass(frozen=True)
+class ArrayCapacity:
+    """The physical size of a systolic device: processor rows × columns."""
+
+    max_rows: int
+    max_cols: int
+
+    def __post_init__(self) -> None:
+        if self.max_rows < 1 or self.max_cols < 1:
+            raise CapacityError(
+                f"capacity must be positive, got {self.max_rows}×{self.max_cols}"
+            )
+
+    @property
+    def tuple_block(self) -> int:
+        """Max tuples per counter-streaming block: rows = 2·block − 1."""
+        return (self.max_rows + 1) // 2
+
+
+@dataclass
+class BlockedReport:
+    """Accounting for a blocked execution."""
+
+    block_runs: int = 0
+    total_pulses: int = 0
+    a_blocks: int = 0
+    b_blocks: int = 0
+    column_blocks: int = 0
+
+    def add_run(self, pulses: int) -> None:
+        """Record one sub-problem executed on the device."""
+        self.block_runs += 1
+        self.total_pulses += pulses
+
+
+def _block_ranges(n: int, size: int) -> list[range]:
+    return [range(lo, min(lo + size, n)) for lo in range(0, n, size)]
+
+
+def blocked_pair_matrix(
+    a_tuples: Sequence[Sequence[int]],
+    b_tuples: Sequence[Sequence[int]],
+    capacity: ArrayCapacity,
+    t_init: Callable[[int, int], bool] = lambda i, j: True,
+) -> tuple[list[list[bool]], BlockedReport]:
+    """The full T matrix, computed block by block on a bounded device.
+
+    Tuple blocks bound the rows; when tuple arity exceeds the device
+    width, element columns are blocked too and partial equality results
+    are ANDed outside the array.  The ``t_init`` mask (global indices)
+    is applied on the first column block only — ANDing propagates it.
+    """
+    n_a, n_b = len(a_tuples), len(b_tuples)
+    arity = len(a_tuples[0]) if a_tuples else 0
+    report = BlockedReport()
+    if not n_a or not n_b:
+        return [[False] * n_b for _ in range(n_a)], report
+
+    size = capacity.tuple_block
+    col_ranges = _block_ranges(arity, capacity.max_cols)
+    a_ranges = _block_ranges(n_a, size)
+    b_ranges = _block_ranges(n_b, size)
+    report.a_blocks = len(a_ranges)
+    report.b_blocks = len(b_ranges)
+    report.column_blocks = len(col_ranges)
+
+    matrix = [[False] * n_b for _ in range(n_a)]
+    for a_range in a_ranges:
+        for b_range in b_ranges:
+            block: Optional[list[list[bool]]] = None
+            for block_index, col_range in enumerate(col_ranges):
+                sub_a = [
+                    tuple(a_tuples[i][k] for k in col_range) for i in a_range
+                ]
+                sub_b = [
+                    tuple(b_tuples[j][k] for k in col_range) for j in b_range
+                ]
+                if block_index == 0:
+                    def init(bi: int, bj: int) -> bool:
+                        return t_init(a_range[bi], b_range[bj])
+                else:
+                    def init(bi: int, bj: int) -> bool:
+                        return True
+                result = compare_all_pairs(sub_a, sub_b, t_init=init)
+                report.add_run(result.run.pulses)
+                if block is None:
+                    block = result.t_matrix
+                else:
+                    block = [
+                        [x and y for x, y in zip(row_x, row_y)]
+                        for row_x, row_y in zip(block, result.t_matrix)
+                    ]
+            assert block is not None
+            for bi, i in enumerate(a_range):
+                for bj, j in enumerate(b_range):
+                    matrix[i][j] = block[bi][bj]
+    return matrix, report
+
+
+def _membership_from_matrix(matrix: list[list[bool]]) -> list[bool]:
+    return [any(row) for row in matrix]
+
+
+def blocked_intersection(
+    a: Relation, b: Relation, capacity: ArrayCapacity
+) -> tuple[Relation, BlockedReport]:
+    """``A ∩ B`` on a device too small for the whole problem."""
+    a.schema.require_union_compatible(b.schema)
+    if not a or not b:
+        return Relation(a.schema), BlockedReport()
+    matrix, report = blocked_pair_matrix(a.tuples, b.tuples, capacity)
+    t_vector = _membership_from_matrix(matrix)
+    members = (row for row, keep in zip(a.tuples, t_vector) if keep)
+    return Relation(a.schema, members), report
+
+
+def blocked_difference(
+    a: Relation, b: Relation, capacity: ArrayCapacity
+) -> tuple[Relation, BlockedReport]:
+    """``A − B`` blocked: keep the FALSE rows of T (§4.3)."""
+    a.schema.require_union_compatible(b.schema)
+    if not a:
+        return Relation(a.schema), BlockedReport()
+    if not b:
+        return Relation(a.schema, a.tuples), BlockedReport()
+    matrix, report = blocked_pair_matrix(a.tuples, b.tuples, capacity)
+    t_vector = _membership_from_matrix(matrix)
+    members = (row for row, member in zip(a.tuples, t_vector) if not member)
+    return Relation(a.schema, members), report
+
+
+def blocked_remove_duplicates(
+    a: MultiRelation, capacity: ArrayCapacity
+) -> tuple[Relation, BlockedReport]:
+    """Remove-duplicates blocked: triangular mask via global t_init (§5)."""
+    if not a:
+        return Relation(a.schema), BlockedReport()
+    matrix, report = blocked_pair_matrix(
+        a.tuples, a.tuples, capacity, t_init=lambda i, j: j < i
+    )
+    drop = _membership_from_matrix(matrix)
+    kept = (row for row, dropped in zip(a.tuples, drop) if not dropped)
+    return Relation(a.schema, kept), report
+
+
+def blocked_union(
+    a: Relation, b: Relation, capacity: ArrayCapacity
+) -> tuple[Relation, BlockedReport]:
+    """``A ∪ B`` = blocked remove-duplicates of the concatenation (§5)."""
+    a.schema.require_union_compatible(b.schema)
+    return blocked_remove_duplicates(a.to_multi().concat(b), capacity)
+
+
+def blocked_join(
+    a: Relation,
+    b: Relation,
+    on: Sequence[tuple[ColumnRef, ColumnRef]],
+    capacity: ArrayCapacity,
+    ops: Optional[Sequence[str]] = None,
+) -> tuple[Relation, BlockedReport]:
+    """(θ-)join blocked over tuple blocks and join-column blocks.
+
+    A pair matches overall iff it matches in every column block, so the
+    per-block match sets are intersected outside the array.
+    """
+    if ops is None:
+        a_pos, b_pos, schema, b_keep = equi_join_layout(a, b, on)
+        ops = ["=="] * len(on)
+    else:
+        a_pos, b_pos, schema, b_keep = theta_join_layout(a, b, on, ops)
+    report = BlockedReport()
+    if not a or not b:
+        return Relation(schema), report
+
+    a_columns = [tuple(row[p] for p in a_pos) for row in a.tuples]
+    b_columns = [tuple(row[p] for p in b_pos) for row in b.tuples]
+    size = capacity.tuple_block
+    col_ranges = _block_ranges(len(on), capacity.max_cols)
+    a_ranges = _block_ranges(len(a_columns), size)
+    b_ranges = _block_ranges(len(b_columns), size)
+    report.a_blocks = len(a_ranges)
+    report.b_blocks = len(b_ranges)
+    report.column_blocks = len(col_ranges)
+
+    all_matches: list[tuple[int, int]] = []
+    for a_range in a_ranges:
+        for b_range in b_ranges:
+            block_matches: Optional[set[tuple[int, int]]] = None
+            for col_range in col_ranges:
+                sub_a = [
+                    tuple(a_columns[i][k] for k in col_range) for i in a_range
+                ]
+                sub_b = [
+                    tuple(b_columns[j][k] for k in col_range) for j in b_range
+                ]
+                sub_ops = [ops[k] for k in col_range]
+                network, schedule, _ = build_join_array(sub_a, sub_b, sub_ops)
+                simulator = run_array(network, pulses=schedule.comparison_pulses)
+                report.add_run(schedule.comparison_pulses)
+                found = {
+                    (a_range[bi], b_range[bj])
+                    for bi, bj in _collect_matches(simulator, schedule, False)
+                }
+                block_matches = (
+                    found if block_matches is None else block_matches & found
+                )
+            assert block_matches is not None
+            all_matches.extend(sorted(block_matches))
+
+    all_matches.sort()
+    rows = [
+        a.tuples[i] + tuple(b.tuples[j][p] for p in b_keep)
+        for i, j in all_matches
+    ]
+    return Relation(schema, rows), report
+
+
+def blocked_divide(
+    a: Relation,
+    b: Relation,
+    capacity: ArrayCapacity,
+    a_value: ColumnRef = 1,
+    a_group: ColumnRef | None = None,
+    b_value: ColumnRef = 0,
+) -> tuple[Relation, BlockedReport]:
+    """``A ÷ B`` on a bounded device (§7 array + §8 decomposition).
+
+    The dividend array's row count equals the number of *distinct* A₁
+    values, so those are blocked to the device height.  A divisor wider
+    than the device is blocked along the divisor row: ``x`` covers all
+    of B iff it covers every divisor block, so per-block quotient bits
+    are ANDed outside the array.  Every block streams the full pair
+    list (the dividend is not partitionable — any pair may feed any
+    row).
+    """
+    value_pos = a.schema.resolve(a_value)
+    if a_group is None:
+        if len(a.schema) != 2:
+            raise SimulationError(
+                "a_group may only be omitted for a binary dividend relation"
+            )
+        group_pos = 1 - value_pos
+    else:
+        group_pos = a.schema.resolve(a_group)
+        if group_pos == value_pos:
+            raise SimulationError("a_group and a_value must be different columns")
+    divisor_pos = b.schema.resolve(b_value)
+    if a.schema[value_pos].domain != b.schema[divisor_pos].domain:
+        raise SimulationError("division columns are on different domains")
+    quotient_schema = a.schema.project([group_pos])
+    report = BlockedReport()
+
+    pairs = [(row[group_pos], row[value_pos]) for row in a.tuples]
+    distinct_x: list[int] = []
+    seen: set[int] = set()
+    for x, _ in pairs:
+        if x not in seen:
+            seen.add(x)
+            distinct_x.append(x)
+    divisor: list[int] = []
+    seen_divisor: set[int] = set()
+    for row in b.tuples:
+        value = row[divisor_pos]
+        if value not in seen_divisor:
+            seen_divisor.add(value)
+            divisor.append(value)
+
+    if not pairs:
+        return Relation(quotient_schema), report
+    if not divisor:
+        return Relation(quotient_schema, ((x,) for x in distinct_x)), report
+
+    # The divisor rows sit beside the two dividend columns.
+    divisor_cols = capacity.max_cols - 2
+    if divisor_cols < 1:
+        raise CapacityError(
+            f"the division array needs at least 3 processor columns, "
+            f"device has {capacity.max_cols}"
+        )
+    x_ranges = _block_ranges(len(distinct_x), capacity.max_rows)
+    divisor_ranges = _block_ranges(len(divisor), divisor_cols)
+    report.a_blocks = len(x_ranges)
+    report.b_blocks = len(divisor_ranges)
+
+    quotient_bits = [True] * len(distinct_x)
+    for x_range in x_ranges:
+        sub_x = [distinct_x[r] for r in x_range]
+        for divisor_range in divisor_ranges:
+            sub_divisor = [divisor[s] for s in divisor_range]
+            network, schedule, _ = build_division_array(
+                pairs, sub_x, sub_divisor
+            )
+            simulator = run_array(network, pulses=schedule.total_pulses)
+            report.add_run(schedule.total_pulses)
+            for local_row, global_row in enumerate(x_range):
+                records = simulator.collector(f"and_row[{local_row}]").records
+                if len(records) != 1:
+                    raise SimulationError(
+                        f"divisor row {local_row} produced {len(records)} "
+                        f"quotient bits, expected exactly 1"
+                    )
+                _, token = records[0]
+                quotient_bits[global_row] &= bool(token.value)
+
+    members = ((x,) for x, keep in zip(distinct_x, quotient_bits) if keep)
+    return Relation(quotient_schema, members), report

@@ -1,0 +1,353 @@
+"""The division array of §7 (Fig 7-2): dividend array + divisor array.
+
+Restricted case, as in the paper: dividend A is (projected to) a binary
+relation with columns (A₁, A₂); divisor B is unary.  The **dividend
+array** has two processor columns and one row per *distinct* A₁ value
+(identified, as §7 notes, by the remove-duplicates array — we call the
+software-equivalent first-occurrence scan).  Pairs ``(x, y) ∈ A``
+stream in from the bottom, ``x`` up the left column and ``y`` one step
+behind up the right column.  A left processor matching its stored
+element ships TRUE right, arriving exactly with the ``y``, which the
+right processor then gates out toward the divisor array — or replaces
+by an explicit null.
+
+Each **divisor array** row is preloaded with all of B's elements; the
+gated ``y`` stream flows along it, each processor latching a sticky
+"seen my element" flag.  After the dividend has passed, an AND token
+sweeps each row one pulse behind the last ``y``; a TRUE at the right
+edge certifies that row's ``x`` is paired with *every* divisor element
+— i.e. belongs to the quotient ``C₁``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arrays.base import ArrayRun, run_array
+from repro.errors import SimulationError
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnRef
+from repro.systolic.cells import DividendGateCell, DividendMatchCell, DivisorCell
+from repro.systolic.metrics import ActivityMeter
+from repro.systolic.streams import PeriodicFeeder, ScheduleFeeder
+from repro.systolic.trace import TraceRecorder
+from repro.systolic.values import Token
+from repro.systolic.wiring import Network
+
+__all__ = [
+    "DivisionSchedule",
+    "DivisionResult",
+    "build_division_array",
+    "systolic_divide",
+    "systolic_divide_general",
+]
+
+
+@dataclass(frozen=True)
+class DivisionSchedule:
+    """Timing of the division array.
+
+    ``n_pairs`` dividend pairs stream through ``p_rows`` dividend rows;
+    each divisor row holds ``n_divisor`` processors.
+    """
+
+    n_pairs: int
+    p_rows: int
+    n_divisor: int
+
+    def __post_init__(self) -> None:
+        if min(self.n_pairs, self.p_rows, self.n_divisor) < 1:
+            raise SimulationError(
+                "the division array needs non-empty dividend and divisor"
+            )
+
+    def x_entry_pulse(self, q: int) -> int:
+        """Pulse at which pair q's ``x`` enters the bottom left processor."""
+        return q
+
+    def y_entry_pulse(self, q: int) -> int:
+        """Pulse at which pair q's ``y`` enters (one step behind its x)."""
+        return q + 1
+
+    def gate_pulse(self, q: int, row: int) -> int:
+        """Pulse at which pair q is gated at dividend row ``row``."""
+        return q + 1 + (self.p_rows - 1 - row)
+
+    def and_inject_pulse(self, row: int) -> int:
+        """Earliest pulse the AND sweep may enter divisor row ``row``.
+
+        One pulse behind the last gated ``y`` at the row's first
+        processor, so the sweep trails the dividend through every cell.
+        """
+        return self.n_pairs + 2 + (self.p_rows - 1 - row)
+
+    def result_pulse(self, row: int) -> int:
+        """Pulse at which row ``row``'s quotient bit leaves the right edge."""
+        return self.and_inject_pulse(row) + self.n_divisor - 1
+
+    def row_from_result(self, row: int, pulse: int) -> int:
+        """Sanity-check a result arrival; returns the row."""
+        if pulse != self.result_pulse(row):
+            raise SimulationError(
+                f"divisor row {row} produced its quotient bit on pulse "
+                f"{pulse}, expected {self.result_pulse(row)}"
+            )
+        return row
+
+    @property
+    def total_pulses(self) -> int:
+        """Pulses until the topmost row's quotient bit has exited."""
+        return self.result_pulse(0) + 1
+
+
+@dataclass
+class DivisionResult:
+    """Outcome of a division-array run."""
+
+    relation: Relation
+    #: distinct A₁ values, in first-appearance (= dividend row) order
+    distinct_x: list[int]
+    #: quotient_bits[r] — TRUE iff distinct_x[r] belongs to the quotient
+    quotient_bits: list[bool]
+    run: ArrayRun
+
+
+def build_division_array(
+    pairs: Sequence[tuple[int, int]],
+    distinct_x: Sequence[int],
+    divisor: Sequence[int],
+    tagged: bool = False,
+) -> tuple[Network, DivisionSchedule, dict[str, tuple[int, int]]]:
+    """Assemble Fig 7-2 for encoded ``(x, y)`` pairs and divisor values."""
+    schedule = DivisionSchedule(
+        n_pairs=len(pairs), p_rows=len(distinct_x), n_divisor=len(divisor)
+    )
+    network = Network("division-array")
+    layout: dict[str, tuple[int, int]] = {}
+    p_rows = schedule.p_rows
+
+    for row, stored in enumerate(distinct_x):
+        match_cell = network.add(DividendMatchCell(f"dm[{row}]", stored))
+        gate_cell = network.add(DividendGateCell(f"dg[{row}]"))
+        layout[match_cell.name] = (row, 0)
+        layout[gate_cell.name] = (row, 1)
+        network.connect(f"dm[{row}]", "t_out", f"dg[{row}]", "t_in")
+    for row in range(p_rows - 1, 0, -1):
+        network.connect(f"dm[{row}]", "x_out", f"dm[{row - 1}]", "x_in")
+        network.connect(f"dg[{row}]", "y_out", f"dg[{row - 1}]", "y_in")
+
+    for row in range(p_rows):
+        for s, stored in enumerate(divisor):
+            cell = network.add(DivisorCell(f"dv[{row},{s}]", stored))
+            layout[cell.name] = (row, 2 + s)
+        network.connect(f"dg[{row}]", "y_pass", f"dv[{row},0]", "y_in")
+        for s in range(len(divisor) - 1):
+            network.connect(f"dv[{row},{s}]", "y_out", f"dv[{row},{s + 1}]", "y_in")
+            network.connect(f"dv[{row},{s}]", "and_out", f"dv[{row},{s + 1}]", "and_in")
+        network.feed(
+            f"dv[{row},0]", "and_in",
+            ScheduleFeeder({
+                schedule.and_inject_pulse(row): Token(
+                    True, ("and", row) if tagged else None
+                )
+            }),
+        )
+        network.tap(f"and_row[{row}]", f"dv[{row},{len(divisor) - 1}]", "and_out")
+
+    x_stream = [
+        Token(x, ("pair", q) if tagged else None) for q, (x, _) in enumerate(pairs)
+    ]
+    y_stream = [
+        Token(y, ("pair", q) if tagged else None) for q, (_, y) in enumerate(pairs)
+    ]
+    network.feed(f"dm[{p_rows - 1}]", "x_in",
+                 PeriodicFeeder(x_stream, start=0, period=1))
+    network.feed(f"dg[{p_rows - 1}]", "y_in",
+                 PeriodicFeeder(y_stream, start=1, period=1))
+    return network, schedule, layout
+
+
+def systolic_divide(
+    a: Relation,
+    b: Relation,
+    a_value: ColumnRef = 1,
+    a_group: ColumnRef | None = None,
+    b_value: ColumnRef = 0,
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> DivisionResult:
+    """``A ÷ B`` on the division array (§7).
+
+    Column conventions follow :func:`repro.relational.algebra.divide`:
+    ``a_group`` is the kept column A₁ (default: the other column of a
+    binary A), ``a_value`` the matched column A₂, ``b_value`` the
+    divisor column B₁.  An empty divisor makes every distinct A₁ value
+    qualify vacuously; an empty dividend yields an empty quotient —
+    both short-circuit without running the array.
+    """
+    value_pos = a.schema.resolve(a_value)
+    if a_group is None:
+        if len(a.schema) != 2:
+            raise SimulationError(
+                "a_group may only be omitted for a binary dividend relation"
+            )
+        group_pos = 1 - value_pos
+    else:
+        group_pos = a.schema.resolve(a_group)
+        if group_pos == value_pos:
+            raise SimulationError("a_group and a_value must be different columns")
+    divisor_pos = b.schema.resolve(b_value)
+    if a.schema[value_pos].domain != b.schema[divisor_pos].domain:
+        raise SimulationError(
+            f"division columns are on different domains "
+            f"({a.schema[value_pos].domain.name!r} vs "
+            f"{b.schema[divisor_pos].domain.name!r})"
+        )
+    quotient_schema = a.schema.project([group_pos])
+
+    pairs = [(row[group_pos], row[value_pos]) for row in a.tuples]
+    distinct_x: list[int] = []
+    seen: set[int] = set()
+    for x, _ in pairs:
+        if x not in seen:
+            seen.add(x)
+            distinct_x.append(x)
+    divisor: list[int] = []
+    seen_divisor: set[int] = set()
+    for row in b.tuples:
+        value = row[divisor_pos]
+        if value not in seen_divisor:
+            seen_divisor.add(value)
+            divisor.append(value)
+
+    empty_run = ArrayRun(pulses=0, rows=0, cols=0, cells=0)
+    if not pairs:
+        return DivisionResult(Relation(quotient_schema), [], [], empty_run)
+    if not divisor:
+        members = [(x,) for x in distinct_x]
+        return DivisionResult(
+            Relation(quotient_schema, members),
+            distinct_x, [True] * len(distinct_x), empty_run,
+        )
+
+    network, schedule, _ = build_division_array(
+        pairs, distinct_x, divisor, tagged=tagged
+    )
+    simulator = run_array(
+        network, pulses=schedule.total_pulses, meter=meter, trace=trace
+    )
+    quotient_bits: list[bool] = []
+    for row in range(schedule.p_rows):
+        collector = simulator.collector(f"and_row[{row}]")
+        records = collector.records
+        if len(records) != 1:
+            raise SimulationError(
+                f"divisor row {row} produced {len(records)} quotient bits, "
+                f"expected exactly 1"
+            )
+        pulse, token = records[0]
+        schedule.row_from_result(row, pulse)
+        quotient_bits.append(bool(token.value))
+
+    members = [(x,) for x, keep in zip(distinct_x, quotient_bits) if keep]
+    run = ArrayRun(
+        pulses=schedule.total_pulses,
+        rows=schedule.p_rows,
+        cols=2 + schedule.n_divisor,
+        cells=schedule.p_rows * (2 + schedule.n_divisor),
+        meter=meter, trace=trace,
+    )
+    return DivisionResult(Relation(quotient_schema, members), distinct_x,
+                          quotient_bits, run)
+
+
+def systolic_divide_general(
+    a: Relation,
+    b: Relation,
+    a_group: Sequence[ColumnRef],
+    a_value: Sequence[ColumnRef],
+    b_value: Sequence[ColumnRef] | None = None,
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> DivisionResult:
+    """§7's general case on the array, via composite-domain encoding.
+
+    §2.3 makes every column combination itself a domain ("each member
+    of the domain is uniquely and reversably encoded into an integer"),
+    so multi-column groups and values reduce to the restricted
+    binary ÷ unary shape: encode each combination to one code —
+    consistently across dividend and divisor — run the Fig 7-2 array,
+    and decode the quotient back to its columns.
+    """
+    if not a_group or not a_value:
+        raise SimulationError(
+            "division needs non-empty group and value column lists"
+        )
+    group_pos = a.schema.resolve_many(list(a_group))
+    value_pos = a.schema.resolve_many(list(a_value))
+    if set(group_pos) & set(value_pos):
+        raise SimulationError("group and value column lists must be disjoint")
+    if b_value is None:
+        b_value = list(range(len(b.schema)))
+    divisor_pos = b.schema.resolve_many(list(b_value))
+    if len(divisor_pos) != len(value_pos):
+        raise SimulationError(
+            f"value/divisor column counts differ: {len(value_pos)} vs "
+            f"{len(divisor_pos)}"
+        )
+    for pa, pb in zip(value_pos, divisor_pos):
+        if a.schema[pa].domain != b.schema[pb].domain:
+            raise SimulationError(
+                f"division columns {pa}/{pb} are on different domains"
+            )
+
+    # Composite dictionaries (§2.3): combination tuple -> dense code.
+    group_codes: dict[tuple[int, ...], int] = {}
+    group_combos: list[tuple[int, ...]] = []
+    value_codes: dict[tuple[int, ...], int] = {}
+
+    def encode(codes: dict, combo: tuple[int, ...], keep: Optional[list] = None) -> int:
+        code = codes.get(combo)
+        if code is None:
+            code = len(codes)
+            codes[combo] = code
+            if keep is not None:
+                keep.append(combo)
+        return code
+
+    from repro.relational.domain import Domain
+    from repro.relational.schema import Column, Schema
+
+    pairs_schema = Schema.of(
+        ("g", Domain("division-group-composite")),
+        ("v", Domain("division-value-composite")),
+    )
+    encoded_pairs = []
+    for row in a.tuples:
+        g = encode(group_codes, tuple(row[p] for p in group_pos), group_combos)
+        v = encode(value_codes, tuple(row[p] for p in value_pos))
+        encoded_pairs.append((g, v))
+    encoded_a = Relation(pairs_schema, encoded_pairs)
+
+    divisor_schema = Schema.of(("v", Domain("division-value-composite")))
+    encoded_b = Relation(
+        divisor_schema,
+        ((encode(value_codes, tuple(row[p] for p in divisor_pos)),)
+         for row in b.tuples),
+    )
+
+    inner = systolic_divide(
+        encoded_a, encoded_b, a_value=1, a_group=0, b_value=0,
+        tagged=tagged, meter=meter, trace=trace,
+    )
+    quotient_schema = a.schema.project(list(a_group))
+    members = (group_combos[code] for (code,) in inner.relation.tuples)
+    return DivisionResult(
+        relation=Relation(quotient_schema, members),
+        distinct_x=inner.distinct_x,
+        quotient_bits=inner.quotient_bits,
+        run=inner.run,
+    )

@@ -1,0 +1,164 @@
+"""The remove-duplicates array of §5, and the operations built on it.
+
+The hardware is the intersection array unchanged; only the input data
+and initial-``t`` schedule differ: the multi-relation A is fed into
+*both* sides of the array (A is union-compatible with itself), and the
+initial ``t_ij`` is forced FALSE on the main diagonal and upper
+triangle (``j ≥ i``), so the accumulated ``t_i = OR_{j<i} t_ij`` is
+TRUE exactly when an *earlier* tuple equals ``a_i``.  Tuples with TRUE
+``t_i`` are dropped — "the opposite of the intersection operation" (§5).
+
+On top of remove-duplicates:
+
+* **union** — ``A ∪ B = remove-duplicates(A + B)`` over the
+  concatenation of two union-compatible relations;
+* **projection** — drop columns while retrieving tuples (forming the
+  multi-relation ``A_f``), then remove duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.arrays.base import (
+    ArrayRun,
+    attach_accumulation_column,
+    build_counter_stream_grid,
+    build_fixed_relation_grid,
+    run_array,
+)
+from repro.arrays.schedule import CounterStreamSchedule, FixedRelationSchedule
+from repro.errors import SimulationError
+from repro.relational.algebra import project_multi
+from repro.relational.relation import MultiRelation, Relation
+from repro.relational.schema import ColumnRef
+from repro.systolic.metrics import ActivityMeter
+from repro.systolic.trace import TraceRecorder
+from repro.systolic.wiring import Network
+
+__all__ = [
+    "DedupResult",
+    "build_remove_duplicates_array",
+    "systolic_remove_duplicates",
+    "systolic_union",
+    "systolic_projection",
+]
+
+
+@dataclass
+class DedupResult:
+    """Outcome of a remove-duplicates run."""
+
+    relation: Relation
+    #: drop_vector[i] is the accumulated t_i: TRUE means a_i was removed.
+    drop_vector: list[bool]
+    run: ArrayRun
+
+
+def build_remove_duplicates_array(
+    a: MultiRelation,
+    variant: str = "counter",
+    tagged: bool = False,
+) -> tuple[Network, CounterStreamSchedule | FixedRelationSchedule, dict[str, tuple[int, int]]]:
+    """Assemble the §5 array: A against itself with triangular masking."""
+    if not a:
+        raise SimulationError(
+            "the remove-duplicates array needs a non-empty multi-relation"
+        )
+
+    def masked(i: int, j: int) -> bool:
+        return j < i
+
+    if variant == "counter":
+        schedule: CounterStreamSchedule | FixedRelationSchedule = (
+            CounterStreamSchedule(n_a=len(a), n_b=len(a), arity=a.arity)
+        )
+        network, layout = build_counter_stream_grid(
+            a.tuples, a.tuples, schedule, t_init=masked, tagged=tagged,
+            name="remove-duplicates-array",
+        )
+    elif variant == "fixed":
+        schedule = FixedRelationSchedule(n_a=len(a), n_b=len(a), arity=a.arity)
+        network, layout = build_fixed_relation_grid(
+            a.tuples, a.tuples, schedule, t_init=masked, tagged=tagged,
+            name="remove-duplicates-array-fixed",
+        )
+    else:
+        raise SimulationError(f"unknown variant {variant!r}; use 'counter' or 'fixed'")
+    attach_accumulation_column(network, schedule, layout, tagged=tagged)
+    return network, schedule, layout
+
+
+def systolic_remove_duplicates(
+    a: MultiRelation,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> DedupResult:
+    """Collapse a multi-relation to a relation on the §5 array."""
+    if not a:
+        return DedupResult(
+            Relation(a.schema), [], ArrayRun(pulses=0, rows=0, cols=0, cells=0)
+        )
+    network, schedule, _ = build_remove_duplicates_array(
+        a, variant=variant, tagged=tagged
+    )
+    pulses = schedule.total_pulses
+    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
+    collector = simulator.collector("t_i")
+
+    drop: list[Optional[bool]] = [None] * len(a)
+    for pulse, token in collector:
+        i = schedule.tuple_from_accumulator_exit(pulse)
+        if drop[i] is not None:
+            raise SimulationError(f"tuple {i} exited the accumulator twice")
+        drop[i] = bool(token.value)
+    missing = [i for i, value in enumerate(drop) if value is None]
+    if missing:
+        raise SimulationError(
+            f"tuples {missing[:8]} never exited the accumulation array"
+        )
+    kept = (row for row, dropped in zip(a.tuples, drop) if not dropped)
+    run = ArrayRun(
+        pulses=pulses, rows=schedule.rows, cols=schedule.arity + 1,
+        cells=schedule.rows * (schedule.arity + 1), meter=meter, trace=trace,
+    )
+    return DedupResult(Relation(a.schema, kept), [bool(v) for v in drop], run)
+
+
+def systolic_union(
+    a: Relation,
+    b: Relation,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> DedupResult:
+    """``A ∪ B`` = remove-duplicates over the concatenation A + B (§5)."""
+    a.schema.require_union_compatible(b.schema)
+    concatenation = a.to_multi().concat(b)
+    return systolic_remove_duplicates(
+        concatenation, variant=variant, tagged=tagged, meter=meter, trace=trace
+    )
+
+
+def systolic_projection(
+    a: Relation | MultiRelation,
+    columns: Sequence[ColumnRef],
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> DedupResult:
+    """Projection over ``columns`` (§5).
+
+    The column drop happens "during the time when the original tuples
+    are retrieved from storage" — i.e. before feeding — producing the
+    multi-relation ``A_f``, which the array then deduplicates.
+    """
+    reduced = project_multi(a, columns)
+    return systolic_remove_duplicates(
+        reduced, variant=variant, tagged=tagged, meter=meter, trace=trace
+    )

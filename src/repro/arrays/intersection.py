@@ -1,0 +1,285 @@
+"""The intersection array of §4 (Fig 4-1) — and, inverted, difference.
+
+Comparison array on the left, accumulation array on the right.  The
+accumulators fold each row of ``T`` into ``t_i = OR_j t_ij`` (equation
+4.1); a tuple ``a_i`` belongs to ``A ∩ B`` iff ``t_i`` is TRUE and to
+``A − B`` iff ``t_i`` is FALSE (§4.3 — "alternatively, we could just
+put an inverter on the output line of the accumulation array").
+
+Both the counter-streaming design of the figures and the §8
+fixed-relation variant are provided; they produce identical answers and
+differ only in geometry, pulse counts, and utilization (experiment
+E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arrays.base import (
+    ArrayRun,
+    attach_accumulation_column,
+    build_counter_stream_grid,
+    build_fixed_relation_grid,
+    run_array,
+)
+from repro.arrays.schedule import CounterStreamSchedule, FixedRelationSchedule
+from repro.errors import SimulationError
+from repro.relational.relation import Relation
+from repro.systolic.metrics import ActivityMeter
+from repro.systolic.trace import TraceRecorder
+from repro.systolic.wiring import Network
+
+__all__ = [
+    "MembershipResult",
+    "build_intersection_array",
+    "systolic_membership_vector",
+    "systolic_intersection",
+    "systolic_difference",
+    "systolic_semijoin",
+    "systolic_antijoin",
+]
+
+
+@dataclass
+class MembershipResult:
+    """The accumulated vector ``t`` and the relation it selects."""
+
+    relation: Relation
+    t_vector: list[bool]
+    run: ArrayRun
+
+
+def build_intersection_array(
+    a: Relation,
+    b: Relation,
+    variant: str = "counter",
+    tagged: bool = False,
+) -> tuple[Network, CounterStreamSchedule | FixedRelationSchedule, dict[str, tuple[int, int]]]:
+    """Assemble Fig 4-1: comparison grid + accumulation column.
+
+    ``variant`` selects ``"counter"`` (both relations moving, the
+    figures' design) or ``"fixed"`` (B preloaded, §8).
+    """
+    a.schema.require_union_compatible(b.schema)
+    if not a or not b:
+        raise SimulationError(
+            "the intersection array needs non-empty operands; empty cases "
+            "short-circuit in systolic_intersection"
+        )
+    if variant == "counter":
+        schedule: CounterStreamSchedule | FixedRelationSchedule = (
+            CounterStreamSchedule(n_a=len(a), n_b=len(b), arity=a.arity)
+        )
+        network, layout = build_counter_stream_grid(
+            a.tuples, b.tuples, schedule,
+            t_init=lambda i, j: True, tagged=tagged,
+            name="intersection-array",
+        )
+    elif variant == "fixed":
+        schedule = FixedRelationSchedule(n_a=len(a), n_b=len(b), arity=a.arity)
+        network, layout = build_fixed_relation_grid(
+            a.tuples, b.tuples, schedule,
+            t_init=lambda i, j: True, tagged=tagged,
+            name="intersection-array-fixed",
+        )
+    else:
+        raise SimulationError(f"unknown variant {variant!r}; use 'counter' or 'fixed'")
+    attach_accumulation_column(network, schedule, layout, tagged=tagged)
+    return network, schedule, layout
+
+
+def systolic_membership_vector(
+    a: Relation,
+    b: Relation,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> tuple[list[bool], ArrayRun]:
+    """Run the array and read off ``t_i = OR_j (a_i == b_j)`` for all i.
+
+    The vector is decoded from bottom-of-column arrival pulses alone,
+    exactly as hardware would.
+    """
+    network, schedule, _ = build_intersection_array(
+        a, b, variant=variant, tagged=tagged
+    )
+    pulses = schedule.total_pulses
+    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
+    collector = simulator.collector("t_i")
+
+    t_vector: list[Optional[bool]] = [None] * len(a)
+    for pulse, token in collector:
+        i = schedule.tuple_from_accumulator_exit(pulse)
+        if t_vector[i] is not None:
+            raise SimulationError(f"tuple {i} exited the accumulator twice")
+        if tagged and token.tag is not None and token.tag != ("acc", i):
+            raise SimulationError(
+                f"arrival decoded as tuple {i} but carries tag {token.tag!r}"
+            )
+        t_vector[i] = bool(token.value)
+    missing = [i for i, value in enumerate(t_vector) if value is None]
+    if missing:
+        raise SimulationError(
+            f"tuples {missing[:8]} never exited the accumulation array"
+        )
+    cells = schedule.rows * (schedule.arity + 1)  # + accumulation column
+    run = ArrayRun(
+        pulses=pulses, rows=schedule.rows, cols=schedule.arity + 1,
+        cells=cells, meter=meter, trace=trace,
+    )
+    return [bool(v) for v in t_vector], run
+
+
+def _empty_run() -> ArrayRun:
+    return ArrayRun(pulses=0, rows=0, cols=0, cells=0)
+
+
+def systolic_intersection(
+    a: Relation,
+    b: Relation,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> MembershipResult:
+    """``A ∩ B`` on the intersection array (keep tuples with TRUE t_i)."""
+    a.schema.require_union_compatible(b.schema)
+    if not a or not b:
+        return MembershipResult(Relation(a.schema), [], _empty_run())
+    t_vector, run = systolic_membership_vector(
+        a, b, variant=variant, tagged=tagged, meter=meter, trace=trace
+    )
+    members = (row for row, keep in zip(a.tuples, t_vector) if keep)
+    return MembershipResult(Relation(a.schema, members), t_vector, run)
+
+
+def systolic_difference(
+    a: Relation,
+    b: Relation,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> MembershipResult:
+    """``A − B``: same array, keep tuples with FALSE t_i (§4.3)."""
+    a.schema.require_union_compatible(b.schema)
+    if not a:
+        return MembershipResult(Relation(a.schema), [], _empty_run())
+    if not b:
+        return MembershipResult(
+            Relation(a.schema, a.tuples), [False] * len(a), _empty_run()
+        )
+    t_vector, run = systolic_membership_vector(
+        a, b, variant=variant, tagged=tagged, meter=meter, trace=trace
+    )
+    members = (row for row, member in zip(a.tuples, t_vector) if not member)
+    return MembershipResult(Relation(a.schema, members), t_vector, run)
+
+
+def _semijoin_membership(
+    a: Relation,
+    b: Relation,
+    on,
+    variant: str,
+    tagged: bool,
+    meter,
+    trace,
+) -> tuple[list[bool], ArrayRun]:
+    """Membership bits of A's join-column tuples among B's (§4 hardware)."""
+    from repro.arrays.base import (
+        attach_accumulation_column,
+        build_counter_stream_grid,
+        build_fixed_relation_grid,
+    )
+    from repro.relational.algebra import equi_join_layout
+
+    a_positions, b_positions, _, _ = equi_join_layout(a, b, on)
+    a_keys = [tuple(row[p] for p in a_positions) for row in a.tuples]
+    b_keys = [tuple(row[p] for p in b_positions) for row in b.tuples]
+    if variant == "counter":
+        schedule: CounterStreamSchedule | FixedRelationSchedule = (
+            CounterStreamSchedule(len(a_keys), len(b_keys), len(on))
+        )
+        network, _ = build_counter_stream_grid(
+            a_keys, b_keys, schedule, t_init=lambda i, j: True,
+            tagged=tagged, name="semijoin-array",
+        )
+    elif variant == "fixed":
+        schedule = FixedRelationSchedule(len(a_keys), len(b_keys), len(on))
+        network, _ = build_fixed_relation_grid(
+            a_keys, b_keys, schedule, t_init=lambda i, j: True,
+            tagged=tagged, name="semijoin-array-fixed",
+        )
+    else:
+        raise SimulationError(
+            f"unknown variant {variant!r}; use 'counter' or 'fixed'"
+        )
+    attach_accumulation_column(network, schedule, tagged=tagged)
+    simulator = run_array(
+        network, pulses=schedule.total_pulses, meter=meter, trace=trace
+    )
+    bits: list[Optional[bool]] = [None] * len(a_keys)
+    for pulse, token in simulator.collector("t_i"):
+        bits[schedule.tuple_from_accumulator_exit(pulse)] = bool(token.value)
+    missing = [i for i, bit in enumerate(bits) if bit is None]
+    if missing:
+        raise SimulationError(
+            f"tuples {missing[:8]} never exited the accumulation array"
+        )
+    run = ArrayRun(
+        pulses=schedule.total_pulses, rows=schedule.rows,
+        cols=schedule.arity + 1,
+        cells=schedule.rows * (schedule.arity + 1), meter=meter, trace=trace,
+    )
+    return [bool(bit) for bit in bits], run
+
+
+def systolic_semijoin(
+    a: Relation,
+    b: Relation,
+    on,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> MembershipResult:
+    """``A ⋉ B``: the §4 membership hardware fed with join columns only.
+
+    Keeps the A tuples whose join-column combination matches some B
+    tuple — the intersection array where "tuple" means "key".
+    """
+    from repro.relational.algebra import equi_join_layout
+
+    equi_join_layout(a, b, on)  # validates columns and domains
+    if not a or not b:
+        return MembershipResult(Relation(a.schema), [], _empty_run())
+    bits, run = _semijoin_membership(a, b, on, variant, tagged, meter, trace)
+    members = (row for row, keep in zip(a.tuples, bits) if keep)
+    return MembershipResult(Relation(a.schema, members), bits, run)
+
+
+def systolic_antijoin(
+    a: Relation,
+    b: Relation,
+    on,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> MembershipResult:
+    """``A ▷ B``: the same bits, kept where FALSE (§4.3's inverter)."""
+    from repro.relational.algebra import equi_join_layout
+
+    equi_join_layout(a, b, on)
+    if not a:
+        return MembershipResult(Relation(a.schema), [], _empty_run())
+    if not b:
+        return MembershipResult(
+            Relation(a.schema, a.tuples), [False] * len(a), _empty_run()
+        )
+    bits, run = _semijoin_membership(a, b, on, variant, tagged, meter, trace)
+    members = (row for row, member in zip(a.tuples, bits) if not member)
+    return MembershipResult(Relation(a.schema, members), bits, run)

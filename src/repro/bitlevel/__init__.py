@@ -1,0 +1,39 @@
+"""Bit-level designs: §8's word→bit partition.
+
+MSB-first bit encodings, the bit-magnitude comparator cell, and
+bit-level versions of the comparison arrays whose results are provably
+identical to the word-level originals.
+"""
+
+from repro.bitlevel.arrays import (
+    BitArrayStats,
+    bit_array_stats,
+    bit_level_compare_all_pairs,
+    bit_level_compare_tuples,
+    bit_level_intersection,
+    bit_level_three_way_compare,
+)
+from repro.bitlevel.bits import (
+    bits_to_word,
+    expand_tuple,
+    required_width,
+    word_to_bits,
+)
+from repro.bitlevel.cells import EQ, GT, LT, BitMagnitudeCell
+
+__all__ = [
+    "BitArrayStats",
+    "BitMagnitudeCell",
+    "EQ",
+    "GT",
+    "LT",
+    "bit_array_stats",
+    "bit_level_compare_all_pairs",
+    "bit_level_compare_tuples",
+    "bit_level_intersection",
+    "bit_level_three_way_compare",
+    "bits_to_word",
+    "expand_tuple",
+    "required_width",
+    "word_to_bits",
+]

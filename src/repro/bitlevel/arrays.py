@@ -1,0 +1,179 @@
+"""Bit-level operator arrays and the word→bit design transformation (§8).
+
+Equality-based arrays transform mechanically: replace each word column
+by ``width`` bit columns and feed the MSB-first expansion of every
+tuple (:func:`~repro.bitlevel.bits.expand_tuple`).  The resulting array
+computes the identical ``T`` matrix — verified against the word-level
+arrays in the tests — while its area is expressible directly in §8's
+bit-comparator unit.
+
+Magnitude comparison uses a chain of
+:class:`~repro.bitlevel.cells.BitMagnitudeCell`\\ s: the three-way state
+ripples through the bit positions MSB-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arrays.comparison_array import ComparisonMatrixResult, compare_all_pairs
+from repro.arrays.linear_comparison import LinearComparisonResult, compare_tuples
+from repro.arrays.base import run_array
+from repro.bitlevel.bits import expand_tuple, required_width, word_to_bits
+from repro.bitlevel.cells import EQ, GT, LT, BitMagnitudeCell
+from repro.errors import SimulationError
+from repro.systolic.streams import ScheduleFeeder
+from repro.systolic.values import Token
+from repro.systolic.wiring import Network
+
+__all__ = [
+    "bit_level_compare_tuples",
+    "bit_level_compare_all_pairs",
+    "bit_level_intersection",
+    "bit_level_three_way_compare",
+    "BitArrayStats",
+    "bit_array_stats",
+]
+
+
+@dataclass(frozen=True)
+class BitArrayStats:
+    """Geometry of a bit-level array vs its word-level original."""
+
+    word_rows: int
+    word_cols: int
+    width: int
+
+    @property
+    def bit_cols(self) -> int:
+        """Columns after the transformation (word columns × width)."""
+        return self.word_cols * self.width
+
+    @property
+    def bit_cells(self) -> int:
+        """Total bit-comparators — §8's area unit."""
+        return self.word_rows * self.bit_cols
+
+
+def bit_array_stats(rows: int, cols: int, width: int) -> BitArrayStats:
+    """Describe the bit-level version of a ``rows × cols`` word array."""
+    if rows < 1 or cols < 1 or width < 1:
+        raise SimulationError(
+            f"array geometry must be positive: {rows}×{cols} @ {width}b"
+        )
+    return BitArrayStats(word_rows=rows, word_cols=cols, width=width)
+
+
+def _width_for(*tuple_sets: Sequence[Sequence[int]], width: int | None) -> int:
+    if width is not None:
+        if width < 1:
+            raise SimulationError(f"width must be >= 1, got {width}")
+        return width
+    values = [v for tuples in tuple_sets for row in tuples for v in row]
+    return required_width(values)
+
+
+def bit_level_compare_tuples(
+    a: Sequence[int],
+    b: Sequence[int],
+    width: int | None = None,
+    seed: bool = True,
+) -> LinearComparisonResult:
+    """Fig 3-1 at bit level: the linear array widened by the bit expansion."""
+    bit_width = _width_for([a], [b], width=width)
+    return compare_tuples(
+        expand_tuple(a, bit_width), expand_tuple(b, bit_width), seed=seed
+    )
+
+
+def bit_level_compare_all_pairs(
+    a_tuples: Sequence[Sequence[int]],
+    b_tuples: Sequence[Sequence[int]],
+    width: int | None = None,
+) -> ComparisonMatrixResult:
+    """Fig 3-3 at bit level: same T matrix from the expanded tuples."""
+    bit_width = _width_for(a_tuples, b_tuples, width=width)
+    expanded_a = [expand_tuple(row, bit_width) for row in a_tuples]
+    expanded_b = [expand_tuple(row, bit_width) for row in b_tuples]
+    return compare_all_pairs(expanded_a, expanded_b)
+
+
+def bit_level_three_way_compare(
+    a: int, b: int, width: int | None = None
+) -> int:
+    """Three-way compare two words on a chain of bit-magnitude cells.
+
+    Returns −1 / 0 / +1 for a < b / a == b / a > b, computed by the
+    MSB-first state ripple.  This is the processor §6.3.2's
+    greater-than-join would be built from at bit level.
+    """
+    if width is None:
+        width = required_width([a, b])
+    a_bits = word_to_bits(a, width)
+    b_bits = word_to_bits(b, width)
+    network = Network("bit-magnitude-chain")
+    for position in range(width):
+        network.add(BitMagnitudeCell(f"mag[{position}]"))
+    for position in range(width):
+        name = f"mag[{position}]"
+        if position + 1 < width:
+            network.connect(name, "s_out", f"mag[{position + 1}]", "s_in")
+        network.feed(name, "a_in",
+                     ScheduleFeeder({position: Token(a_bits[position])}))
+        network.feed(name, "b_in",
+                     ScheduleFeeder({position: Token(b_bits[position])}))
+    network.feed("mag[0]", "s_in", ScheduleFeeder({0: Token(EQ)}))
+    network.tap("state", f"mag[{width - 1}]", "s_out")
+    simulator = run_array(network, pulses=width)
+    token = simulator.collector("state").at(width - 1)
+    if token is None:
+        raise SimulationError("the comparison state never left the chain")
+    if token.value not in (EQ, LT, GT):
+        raise SimulationError(f"invalid comparison state {token.value!r}")
+    return token.value
+
+
+def bit_level_intersection(a, b, width: int | None = None):
+    """``A ∩ B`` with the whole Fig 4-1 array at bit level (§8).
+
+    Tuples are expanded to their MSB-first bit vectors and the full
+    intersection array — bit comparators plus the accumulation column —
+    runs on the widened relations.  The answer is identical to the
+    word-level array's; the pulse count grows by the extra columns.
+    """
+    from repro.arrays.intersection import systolic_intersection
+    from repro.relational.domain import Domain
+    from repro.relational.relation import Relation
+    from repro.relational.schema import Column, Schema
+
+    a_tuples, b_tuples = a.tuples, b.tuples
+    a.schema.require_union_compatible(b.schema)
+    if not a_tuples or not b_tuples:
+        word = systolic_intersection(a, b)
+        return word
+    bit_width = _width_for(a_tuples, b_tuples, width=width)
+    bit_domain = Domain("bit", values=(0, 1), frozen=True)
+    bit_schema = Schema(
+        Column(f"b{k}", bit_domain)
+        for k in range(len(a_tuples[0]) * bit_width)
+    )
+    expanded_a = Relation(
+        bit_schema, (expand_tuple(row, bit_width) for row in a_tuples)
+    )
+    expanded_b = Relation(
+        bit_schema, (expand_tuple(row, bit_width) for row in b_tuples)
+    )
+    result = systolic_intersection(expanded_a, expanded_b)
+    # Map the surviving bit tuples back to the original rows via the
+    # (order-preserving, injective) expansion.
+    kept = (
+        row for row, keep in zip(a_tuples, result.t_vector) if keep
+    )
+    from repro.arrays.intersection import MembershipResult
+
+    return MembershipResult(
+        relation=Relation(a.schema, kept),
+        t_vector=result.t_vector,
+        run=result.run,
+    )

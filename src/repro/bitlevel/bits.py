@@ -1,0 +1,62 @@
+"""Bit-vector encoding of word elements (§8's word→bit partition).
+
+"Each word processor can be partitioned into bit processors to achieve
+modularity at the bit-level."  The partition starts with a fixed-width
+binary encoding of each element; this module provides it, MSB-first
+(magnitude comparators must see the most significant bit first).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["word_to_bits", "bits_to_word", "required_width", "expand_tuple"]
+
+
+def required_width(values: Sequence[int]) -> int:
+    """The smallest bit width that represents every value in ``values``."""
+    worst = max(values, default=0)
+    if worst < 0:
+        raise ReproError("bit encoding covers non-negative encoded elements")
+    return max(1, worst.bit_length())
+
+
+def word_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """MSB-first bits of ``value`` in a ``width``-bit field."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ReproError(f"elements are plain ints, got {value!r}")
+    if value < 0:
+        raise ReproError(f"encoded elements are non-negative, got {value}")
+    if width < 1:
+        raise ReproError(f"width must be >= 1, got {width}")
+    if value >= (1 << width):
+        raise ReproError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - position)) & 1 for position in range(width))
+
+
+def bits_to_word(bits: Sequence[int]) -> int:
+    """Inverse of :func:`word_to_bits` (MSB-first)."""
+    if not bits:
+        raise ReproError("cannot decode an empty bit vector")
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ReproError(f"bits are 0/1, got {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def expand_tuple(values: Sequence[int], width: int) -> tuple[int, ...]:
+    """Concatenate the MSB-first bits of every element of a tuple.
+
+    An m-element tuple becomes an ``m·width``-element bit tuple; tuple
+    equality is preserved (two tuples are equal iff their expansions
+    are), which is what lets a word-level comparison array be replaced
+    by a wider bit-level one.
+    """
+    expanded: list[int] = []
+    for value in values:
+        expanded.extend(word_to_bits(value, width))
+    return tuple(expanded)

@@ -1,0 +1,64 @@
+"""Bit-level processors (§8, ref [3]).
+
+Equality at the bit level needs no new cell: a bit is just a 1-bit word
+and the Fig 3-2 comparison processor ANDs bit equalities exactly as it
+ANDs word equalities.  *Magnitude* comparison does need a new cell: a
+single bit pair cannot decide ``<`` — the decision belongs to the most
+significant bit position where the operands differ.
+
+:class:`BitMagnitudeCell` implements the spatial MSB-first scheme: a
+three-valued state token (EQ / LT / GT, encoded 0 / −1 / +1) travels
+left-to-right through a chain of bit cells.  A cell only refines the
+state while it is still EQ; once decided, the state passes through
+untouched.  After the full width the state is the three-way comparison
+of the two words, from which any of <, ≤, >, ≥, =, ≠ can be read off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.values import Token
+
+__all__ = ["BitMagnitudeCell", "EQ", "LT", "GT"]
+
+#: Three-way comparison states carried by the travelling token.
+EQ, LT, GT = 0, -1, 1
+
+
+class BitMagnitudeCell(Cell):
+    """One bit position of a spatial MSB-first magnitude comparator."""
+
+    IN_PORTS = ("a_in", "b_in", "s_in")
+    OUT_PORTS = ("a_out", "b_out", "s_out")
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        a = inputs.get("a_in")
+        b = inputs.get("b_in")
+        state = inputs.get("s_in")
+        outputs: dict[str, Optional[Token]] = {}
+        if a is not None:
+            outputs["a_out"] = a
+        if b is not None:
+            outputs["b_out"] = b
+        if state is None:
+            if a is not None and b is not None:
+                raise self.protocol_error(
+                    "bits met with no comparison state on s_in — the "
+                    "state-injection schedule missed this meeting"
+                )
+            return outputs
+        if a is None or b is None:
+            raise self.protocol_error(
+                "a comparison state arrived without a bit pair — the bit "
+                "streams are mis-staggered"
+            )
+        current = state.value
+        if current == EQ:
+            if a.value > b.value:
+                current = GT
+            elif a.value < b.value:
+                current = LT
+        outputs["s_out"] = Token(current, state.tag)
+        return outputs

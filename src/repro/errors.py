@@ -1,0 +1,57 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems refine it:
+relational-model violations, systolic-simulation faults, and machine-level
+resource errors each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DomainError(ReproError):
+    """A value does not belong to (or cannot be encoded in) a domain."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation referenced a bad column."""
+
+
+class UnionCompatibilityError(SchemaError):
+    """Two relations fail the union-compatibility test of paper §2.4.
+
+    Union-compatibility requires the same number of columns and
+    corresponding columns drawn from the same underlying domain.
+    """
+
+
+class RelationError(ReproError):
+    """A relation or multi-relation was constructed or used incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The systolic simulator detected an inconsistency.
+
+    Raised for wiring mistakes (unconnected ports, double drivers),
+    protocol violations inside cells, and collector/schedule mismatches.
+    """
+
+
+class WiringError(SimulationError):
+    """A cell network was mis-wired (dangling port, duplicate driver...)."""
+
+
+class CapacityError(ReproError):
+    """A physical resource (array, memory, crossbar port) was exceeded."""
+
+
+class PlanError(ReproError):
+    """A query plan is malformed or cannot be scheduled."""
+
+
+class ParseError(ReproError):
+    """The relational-algebra expression language failed to parse."""

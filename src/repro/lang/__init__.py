@@ -1,0 +1,21 @@
+"""A small relational-algebra expression language.
+
+``parse`` turns text like ``project(join(EMP, DEPT, dept == id), name)``
+into the machine's plan AST; ``execute_plan``/``query`` evaluate plans
+on the software engine or the pulse-level systolic arrays.
+"""
+
+from repro.lang.compile import execute_plan, query
+from repro.lang.optimize import optimize, share_common_subplans
+from repro.lang.parser import parse
+from repro.lang.tokens import Token, tokenize
+
+__all__ = [
+    "Token",
+    "execute_plan",
+    "optimize",
+    "parse",
+    "query",
+    "share_common_subplans",
+    "tokenize",
+]

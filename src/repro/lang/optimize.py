@@ -1,0 +1,185 @@
+"""Plan rewrites for the §9 machine.
+
+A transaction spends its time in device runs and disk reads, so the
+classic algebraic rewrites pay off directly:
+
+* **redundancy removal** — ``dedup(dedup(X)) → dedup(X)``,
+  ``dedup(project(X)) → project(X)`` (projection already
+  deduplicates, §5), ``X ∩ X → X``, ``X ∪ X → X``;
+* **projection composition** — ``project(project(X, f), g) →
+  project(X, f∘g)`` when the composition is statically resolvable;
+* **selection pushdown** — σ commutes with ∩, ∪, −, and dedup, so
+  selections sink toward the base relations, where a logic-per-track
+  disk (§9, ref [8]) applies them *during the read, for free*;
+* **common-subplan sharing** — structurally identical subtrees become
+  one object, which the machine computes exactly once.
+
+All rewrites preserve set semantics; the tests re-execute original and
+optimized plans on random catalogs and compare.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.plan import (
+    Base,
+    Dedup,
+    Difference,
+    Divide,
+    Intersect,
+    Join,
+    PlanNode,
+    Project,
+    Select,
+    Union,
+)
+from repro.relational.schema import ColumnRef
+
+__all__ = ["optimize", "share_common_subplans"]
+
+
+def optimize(plan: PlanNode) -> PlanNode:
+    """Apply every rewrite bottom-up to a fixpoint, then share subtrees."""
+    changed = True
+    while changed:
+        plan, changed = _rewrite(plan)
+    return share_common_subplans(plan)
+
+
+def _rewrite(node: PlanNode) -> tuple[PlanNode, bool]:
+    """One bottom-up pass; returns (node, anything_changed)."""
+    changed = False
+    rebuilt = _rebuild_children(node)
+    if rebuilt is not None:
+        node, changed = rebuilt, True
+
+    replacement = _rewrite_here(node)
+    if replacement is not None:
+        return replacement, True
+    return node, changed
+
+
+def _rebuild_children(node: PlanNode) -> Optional[PlanNode]:
+    """Rewrite children; return a rebuilt node if any changed."""
+    new_children = []
+    any_changed = False
+    for child in node.children:
+        new_child, changed = _rewrite(child)
+        new_children.append(new_child)
+        any_changed = any_changed or changed
+    if not any_changed:
+        return None
+    return _with_children(node, new_children)
+
+
+def _with_children(node: PlanNode, children: list[PlanNode]) -> PlanNode:
+    if isinstance(node, Intersect):
+        return Intersect(children[0], children[1])
+    if isinstance(node, Difference):
+        return Difference(children[0], children[1])
+    if isinstance(node, Union):
+        return Union(children[0], children[1])
+    if isinstance(node, Dedup):
+        return Dedup(children[0])
+    if isinstance(node, Project):
+        return Project(children[0], node.columns)
+    if isinstance(node, Join):
+        return Join(children[0], children[1], on=node.on, ops=node.ops)
+    if isinstance(node, Divide):
+        return Divide(children[0], children[1], a_value=node.a_value,
+                      a_group=node.a_group, b_value=node.b_value)
+    if isinstance(node, Select):
+        return Select(children[0], column=node.column, op=node.op,
+                      value=node.value)
+    return node  # Base has no children
+
+
+def _rewrite_here(node: PlanNode) -> Optional[PlanNode]:
+    """Try each local rule once; None when nothing applies."""
+    # Idempotence of set operators on identical (structural) inputs.
+    if isinstance(node, (Intersect, Union)) and node.left == node.right:
+        return node.left
+    # dedup(dedup(X)) -> dedup(X)
+    if isinstance(node, Dedup) and isinstance(node.child, Dedup):
+        return node.child
+    # dedup(project(...)) -> project(...): projection already dedups (§5).
+    if isinstance(node, Dedup) and isinstance(node.child, Project):
+        return node.child
+    # dedup over a set-producing operator is a no-op.
+    if isinstance(node, Dedup) and isinstance(
+        node.child, (Intersect, Difference, Union, Divide)
+    ):
+        return node.child
+    # project(project(X, f), g) -> project(X, f∘g) when resolvable.
+    if isinstance(node, Project) and isinstance(node.child, Project):
+        composed = _compose_projections(node.child.columns, node.columns)
+        if composed is not None:
+            return Project(node.child.child, composed)
+    # Selection pushdown.
+    if isinstance(node, Select):
+        pushed = _push_select(node)
+        if pushed is not None:
+            return pushed
+    return None
+
+
+def _compose_projections(
+    inner: tuple[ColumnRef, ...], outer: tuple[ColumnRef, ...]
+) -> Optional[tuple[ColumnRef, ...]]:
+    """Map the outer column list through the inner one, if possible."""
+    composed: list[ColumnRef] = []
+    inner_names = [c for c in inner if isinstance(c, str)]
+    for ref in outer:
+        if isinstance(ref, int):
+            if not 0 <= ref < len(inner):
+                return None  # would have raised at execution; leave as-is
+            composed.append(inner[ref])
+        else:
+            if ref not in inner_names:
+                return None  # positional inner columns hide the name
+            composed.append(ref)
+    return tuple(composed)
+
+
+def _push_select(node: Select) -> Optional[PlanNode]:
+    child = node.child
+
+    def selected(target: PlanNode) -> Select:
+        return Select(target, column=node.column, op=node.op,
+                      value=node.value)
+
+    # σ(A ∩ B) = σA ∩ B  (membership of a selected tuple still needs B,
+    # but intersection keeps only A-side tuples, so filtering A suffices).
+    if isinstance(child, Intersect):
+        return Intersect(selected(child.left), child.right)
+    # σ(A − B) = σA − B.
+    if isinstance(child, Difference):
+        return Difference(selected(child.left), child.right)
+    # σ(A ∪ B) = σA ∪ σB.
+    if isinstance(child, Union):
+        return Union(selected(child.left), selected(child.right))
+    # σ(dedup(X)) = dedup(σ(X)).
+    if isinstance(child, Dedup):
+        return Dedup(selected(child.child))
+    return None
+
+
+def share_common_subplans(plan: PlanNode) -> PlanNode:
+    """Make structurally equal subtrees the same object (CSE).
+
+    The machine keys computed results by node identity, so shared
+    objects are computed once and reused (§9's "results from
+    subrelations must be stored ... before they are finally combined").
+    """
+    pool: dict[PlanNode, PlanNode] = {}
+
+    def canon(node: PlanNode) -> PlanNode:
+        rebuilt = _with_children(node, [canon(c) for c in node.children])
+        existing = pool.get(rebuilt)
+        if existing is not None:
+            return existing
+        pool[rebuilt] = rebuilt
+        return rebuilt
+
+    return canon(plan)

@@ -1,0 +1,68 @@
+"""The integrated systolic database machine of §9 (Fig 9-1).
+
+Disk, memory modules, crossbar switch, fixed-size systolic devices, a
+host CPU, a plan language, and a scheduler that runs multi-operation
+transactions with inter-operation concurrency — plus Song's tree
+machine as the §9 comparison architecture.
+"""
+
+from repro.machine.crossbar import CrossbarSwitch, Link
+from repro.machine.device import CpuDevice, DeviceRun, SystolicDevice
+from repro.machine.disk import MachineDisk
+from repro.machine.memory import MemoryModule, relation_bytes
+from repro.machine.plan import (
+    Base,
+    Dedup,
+    Difference,
+    Divide,
+    Intersect,
+    Join,
+    PlanNode,
+    Project,
+    Select,
+    Union,
+    walk,
+)
+from repro.machine.pipelining import ChainTiming, StageCost, analyze_chain
+from repro.machine.report_export import (
+    report_to_csv,
+    report_to_dict,
+    report_to_json,
+)
+from repro.machine.scheduler import ExecutionReport, ScheduledStep, gantt
+from repro.machine.system import SystolicDatabaseMachine
+from repro.machine.tree_machine import TreeMachine, TreeRun
+
+__all__ = [
+    "Base",
+    "ChainTiming",
+    "CpuDevice",
+    "CrossbarSwitch",
+    "Dedup",
+    "DeviceRun",
+    "Difference",
+    "Divide",
+    "ExecutionReport",
+    "Intersect",
+    "Join",
+    "Link",
+    "MachineDisk",
+    "MemoryModule",
+    "PlanNode",
+    "Project",
+    "ScheduledStep",
+    "Select",
+    "SystolicDatabaseMachine",
+    "StageCost",
+    "SystolicDevice",
+    "TreeMachine",
+    "TreeRun",
+    "Union",
+    "analyze_chain",
+    "gantt",
+    "relation_bytes",
+    "report_to_csv",
+    "report_to_dict",
+    "report_to_json",
+    "walk",
+]

@@ -1,0 +1,162 @@
+"""Systolic devices: the operator boxes of Fig 9-1.
+
+A device is one physical array of a fixed size (its
+:class:`~repro.arrays.decomposition.ArrayCapacity`) plus the §8
+technology that converts pulse counts to seconds.  Problems larger than
+the device run blocked (§8's decomposition); the device reports how
+many sub-problems it executed and the total pulse count.
+
+The CPU device models the conventional host of Fig 9-1: it executes
+selections (and nothing else — everything the paper makes systolic
+*is* systolic here) at a configurable per-tuple cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arrays.decomposition import (
+    ArrayCapacity,
+    BlockedReport,
+    blocked_difference,
+    blocked_divide,
+    blocked_intersection,
+    blocked_join,
+    blocked_remove_duplicates,
+    blocked_union,
+)
+from repro.errors import PlanError
+from repro.machine.plan import (
+    DEVICE_COMPARISON,
+    DEVICE_CPU,
+    DEVICE_DIVISION,
+    DEVICE_JOIN,
+    Dedup,
+    Difference,
+    Divide,
+    Intersect,
+    Join,
+    PlanNode,
+    Project,
+    Select,
+    Union,
+)
+from repro.perf.technology import PAPER_CONSERVATIVE, TechnologyModel
+from repro.relational import algebra
+from repro.relational.relation import Relation
+
+__all__ = ["DeviceRun", "SystolicDevice", "CpuDevice"]
+
+
+@dataclass
+class DeviceRun:
+    """Outcome of one operation on one device."""
+
+    relation: Relation
+    pulses: int
+    seconds: float
+    block_runs: int
+
+
+class SystolicDevice:
+    """One fixed-size systolic array attached to the crossbar."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        capacity: ArrayCapacity = ArrayCapacity(max_rows=63, max_cols=8),
+        technology: TechnologyModel = PAPER_CONSERVATIVE,
+    ) -> None:
+        if kind not in (DEVICE_COMPARISON, DEVICE_JOIN, DEVICE_DIVISION):
+            raise PlanError(
+                f"device {name!r}: unknown kind {kind!r}; systolic kinds are "
+                f"{DEVICE_COMPARISON!r}, {DEVICE_JOIN!r}, {DEVICE_DIVISION!r}"
+            )
+        self.name = name
+        self.kind = kind
+        self.capacity = capacity
+        self.technology = technology
+
+    def execute(self, node: PlanNode, inputs: list[Relation]) -> DeviceRun:
+        """Run one plan node's operation on this device."""
+        relation, report = self._dispatch(node, inputs)
+        return DeviceRun(
+            relation=relation,
+            pulses=report.total_pulses,
+            seconds=self.technology.pulses_to_seconds(report.total_pulses),
+            block_runs=report.block_runs,
+        )
+
+    def _dispatch(
+        self, node: PlanNode, inputs: list[Relation]
+    ) -> tuple[Relation, BlockedReport]:
+        if node.device_kind != self.kind:
+            raise PlanError(
+                f"device {self.name!r} ({self.kind}) cannot execute "
+                f"{node.describe()} ({node.device_kind})"
+            )
+        if isinstance(node, Intersect):
+            return blocked_intersection(inputs[0], inputs[1], self.capacity)
+        if isinstance(node, Difference):
+            return blocked_difference(inputs[0], inputs[1], self.capacity)
+        if isinstance(node, Union):
+            return blocked_union(inputs[0], inputs[1], self.capacity)
+        if isinstance(node, Dedup):
+            return blocked_remove_duplicates(
+                inputs[0].to_multi(), self.capacity
+            )
+        if isinstance(node, Project):
+            # The column drop happens during retrieval (§5); the array
+            # only deduplicates the reduced multi-relation.
+            reduced = algebra.project_multi(inputs[0], list(node.columns))
+            return blocked_remove_duplicates(reduced, self.capacity)
+        if isinstance(node, Join):
+            return blocked_join(
+                inputs[0], inputs[1], list(node.on), self.capacity,
+                ops=list(node.ops) if node.ops is not None else None,
+            )
+        if isinstance(node, Divide):
+            return blocked_divide(
+                inputs[0], inputs[1], self.capacity,
+                a_value=node.a_value, a_group=node.a_group,
+                b_value=node.b_value,
+            )
+        raise PlanError(
+            f"device {self.name!r} has no implementation for {node.describe()}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SystolicDevice({self.name!r}, {self.kind}, "
+            f"{self.capacity.max_rows}×{self.capacity.max_cols})"
+        )
+
+
+class CpuDevice:
+    """The conventional host: selections at a per-tuple cost."""
+
+    kind = DEVICE_CPU
+
+    def __init__(self, name: str = "cpu", tuple_op_ns: float = 10_000.0) -> None:
+        if tuple_op_ns <= 0:
+            raise PlanError(f"tuple_op_ns must be positive, got {tuple_op_ns}")
+        self.name = name
+        self.tuple_op_ns = tuple_op_ns
+
+    def execute(self, node: PlanNode, inputs: list[Relation]) -> DeviceRun:
+        """Run a selection over its input, one tuple at a time."""
+        if not isinstance(node, Select):
+            raise PlanError(
+                f"the CPU device only executes selections, not "
+                f"{node.describe()}; route array work to a systolic device"
+            )
+        source = inputs[0]
+        relation = algebra.select(source, node.column, node.op, node.value)
+        seconds = len(source) * self.tuple_op_ns * 1e-9
+        return DeviceRun(
+            relation=relation, pulses=0, seconds=seconds, block_runs=0
+        )
+
+    def __repr__(self) -> str:
+        return f"CpuDevice({self.name!r}, {self.tuple_op_ns:.0f} ns/tuple)"

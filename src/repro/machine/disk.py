@@ -1,0 +1,102 @@
+"""Mass storage for the integrated system (Fig 9-1, §9).
+
+Base relations live on a moving-head disk (the §8 model: whole-cylinder
+reads at rotation rate).  "Disks with 'logic-per-track' capabilities
+[8] can of course be incorporated into the system, so that some simple
+queries never have to be processed outside the disks" — with
+``logic_per_track=True``, a selection predicate is applied *during* the
+read at no extra cost and only matching tuples leave the disk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PlanError
+from repro.perf.disk import DiskModel, PAPER_DISK
+from repro.relational.algebra import COMPARISON_OPS
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnRef
+
+__all__ = ["MachineDisk"]
+
+
+class MachineDisk:
+    """A disk holding the machine's base relations."""
+
+    def __init__(
+        self,
+        model: DiskModel = PAPER_DISK,
+        logic_per_track: bool = False,
+        element_bits: int = 32,
+    ) -> None:
+        self.model = model
+        self.logic_per_track = logic_per_track
+        self.element_bits = element_bits
+        self._catalog: dict[str, Relation] = {}
+
+    # -- catalog --------------------------------------------------------------
+
+    def store(self, name: str, relation: Relation) -> None:
+        """Write (or overwrite) a base relation."""
+        if not name:
+            raise PlanError("a stored relation requires a name")
+        self._catalog[name] = relation
+
+    def names(self) -> list[str]:
+        """Names of stored relations."""
+        return sorted(self._catalog)
+
+    def holds(self, name: str) -> bool:
+        """Whether a base relation exists."""
+        return name in self._catalog
+
+    def relation_bytes(self, relation: Relation) -> int:
+        """On-disk size of a relation under this disk's element width."""
+        if len(relation) == 0:
+            return 0
+        return len(relation) * relation.arity * ((self.element_bits + 7) // 8)
+
+    # -- reading ---------------------------------------------------------------
+
+    def read(
+        self,
+        name: str,
+        selection: Optional[tuple[ColumnRef, str, int]] = None,
+    ) -> tuple[Relation, float]:
+        """Stream a base relation off the disk; returns (relation, seconds).
+
+        The read time covers the *full* stored relation (every tuple
+        passes under the head).  With logic-per-track, ``selection`` —
+        a ``(column, op, value)`` predicate — filters tuples on the
+        fly; without it, requesting a selection here is an error (route
+        it to the CPU instead).
+        """
+        try:
+            relation = self._catalog[name]
+        except KeyError:
+            raise PlanError(
+                f"no base relation named {name!r}; have {self.names()}"
+            ) from None
+        seconds = self.model.read_seconds(self.relation_bytes(relation))
+        if selection is None:
+            return relation, seconds
+        if not self.logic_per_track:
+            raise PlanError(
+                "selection during read requires a logic-per-track disk "
+                "(§9, ref [8]); this disk has none"
+            )
+        column, op, value = selection
+        compare = COMPARISON_OPS.get(op)
+        if compare is None:
+            raise PlanError(f"unknown comparison operator {op!r}")
+        position = relation.schema.resolve(column)
+        filtered = Relation(
+            relation.schema,
+            (row for row in relation.tuples if compare(row[position], value)),
+        )
+        return filtered, seconds
+
+    def __repr__(self) -> str:
+        track = "logic-per-track, " if self.logic_per_track else ""
+        return f"MachineDisk({track}{len(self._catalog)} relations)"

@@ -1,0 +1,93 @@
+"""Pipelined operator chains — the streaming reading of §9.
+
+§9's machine moves data as *streams*: "The data is pipelined from the
+memories through the switch and through the processor array.  The
+output of the array is pipelined back into another memory."  When one
+operation's output feeds the next, the downstream array need not wait
+for the upstream one to finish — it can start as soon as the first
+results emerge, i.e. after the upstream array's *fill* latency.
+
+For a linear chain of systolic stages this gives the classic pipeline
+law.  With per-stage fill latency ``f_i`` (pulses before the first
+result emerges) and stream time ``s_i`` (pulses for the whole relation
+to pass through at one tuple per pulse-slot):
+
+* **store-and-forward** (each stage runs to completion, §9's simplest
+  reading):  ``makespan = Σ (f_i + s_i)``
+* **pipelined** (each stage starts on the predecessor's first output;
+  streams overlap, the slowest stage sets the rhythm):
+  ``makespan = Σ f_i + max_i s_i``
+
+The win grows with chain length and stream size — quantified in
+``benchmarks/bench_pipelining.py`` (E17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PlanError
+
+__all__ = ["StageCost", "ChainTiming", "analyze_chain"]
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """One systolic stage in a chain.
+
+    ``fill`` — pulses (or seconds; any one unit) from first input to
+    first output: the array's latency, roughly rows + columns.
+    ``stream`` — additional pulses for the rest of the relation to
+    follow the first result through.
+    """
+
+    name: str
+    fill: float
+    stream: float
+
+    def __post_init__(self) -> None:
+        if self.fill < 0 or self.stream < 0:
+            raise PlanError(f"stage costs must be non-negative: {self}")
+
+    @property
+    def total(self) -> float:
+        """The stage's stand-alone completion time."""
+        return self.fill + self.stream
+
+
+@dataclass(frozen=True)
+class ChainTiming:
+    """Makespans of one chain under both §9 execution disciplines."""
+
+    stages: tuple[StageCost, ...]
+    store_and_forward: float
+    pipelined: float
+
+    @property
+    def speedup(self) -> float:
+        """store-and-forward ÷ pipelined (≥ 1)."""
+        if self.pipelined == 0:
+            return 1.0
+        return self.store_and_forward / self.pipelined
+
+    @property
+    def bottleneck(self) -> StageCost:
+        """The stage whose stream time paces the pipeline."""
+        return max(self.stages, key=lambda s: s.stream)
+
+
+def analyze_chain(stages: Sequence[StageCost]) -> ChainTiming:
+    """Apply the pipeline law to a linear chain of systolic stages."""
+    if not stages:
+        raise PlanError("a chain needs at least one stage")
+    ordered = tuple(stages)
+    store_and_forward = sum(stage.total for stage in ordered)
+    pipelined = sum(stage.fill for stage in ordered) + max(
+        stage.stream for stage in ordered
+    )
+    return ChainTiming(
+        stages=ordered,
+        store_and_forward=store_and_forward,
+        pipelined=pipelined,
+    )

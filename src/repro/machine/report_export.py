@@ -1,0 +1,67 @@
+"""Export execution reports for external analysis.
+
+An :class:`~repro.machine.scheduler.ExecutionReport` is a timeline;
+this module serializes it — JSON for tooling, CSV for spreadsheets —
+with the derived figures (makespan, serial sum, concurrency speedup,
+per-device busy time) included, so a §9-style machine study can be
+post-processed without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.machine.scheduler import ExecutionReport
+
+__all__ = ["report_to_dict", "report_to_json", "report_to_csv"]
+
+
+def report_to_dict(report: ExecutionReport) -> dict:
+    """The report as plain data (JSON-serializable)."""
+    return {
+        "makespan_seconds": report.makespan,
+        "serial_seconds": report.serial_seconds,
+        "concurrency_speedup": report.concurrency_speedup,
+        "device_busy_seconds": report.device_busy_seconds(),
+        "steps": [
+            {
+                "label": step.label,
+                "device": step.device,
+                "start_seconds": step.start,
+                "end_seconds": step.end,
+                "duration_seconds": step.duration,
+                "output_key": step.output_key,
+                "output_memory": step.output_memory,
+                "input_keys": list(step.input_keys),
+                "pulses": step.pulses,
+                "block_runs": step.block_runs,
+                "output_bytes": step.nbytes_out,
+            }
+            for step in sorted(report.steps, key=lambda s: (s.start, s.label))
+        ],
+    }
+
+
+def report_to_json(report: ExecutionReport, path: str | Path) -> None:
+    """Write the report as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(report_to_dict(report), indent=2))
+
+
+def report_to_csv(report: ExecutionReport, path: str | Path) -> None:
+    """Write the step timeline as CSV (one row per scheduled step)."""
+    fields = [
+        "label", "device", "start_seconds", "end_seconds",
+        "duration_seconds", "output_key", "output_memory", "pulses",
+        "block_runs", "output_bytes",
+    ]
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for step in sorted(report.steps, key=lambda s: (s.start, s.label)):
+            writer.writerow([
+                step.label, step.device, step.start, step.end,
+                step.duration, step.output_key, step.output_memory,
+                step.pulses, step.block_runs, step.nbytes_out,
+            ])

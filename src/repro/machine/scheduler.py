@@ -1,0 +1,157 @@
+"""Transaction scheduling on the integrated machine (§9).
+
+§9's execution loop — configure the crossbar, pipeline an operation
+from memories through a device into another memory, repeat, with
+independent operations running concurrently — is a classic
+resource-constrained list-scheduling problem.  The scheduler walks the
+plan in topological order and starts each operation at the earliest
+time its inputs, a device of the right kind, and the memory ports are
+all simultaneously available.
+
+Operation duration is the maximum of the device's compute time and the
+memory-port streaming times (an array can only run as fast as its
+slowest stream — the "high capacity for data transfer" requirement §9
+opens with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+from repro.machine.crossbar import CrossbarSwitch
+from repro.machine.device import CpuDevice, DeviceRun, SystolicDevice
+from repro.machine.memory import MemoryModule
+from repro.machine.plan import PlanNode
+
+__all__ = ["ScheduledStep", "ExecutionReport", "gantt"]
+
+
+@dataclass
+class ScheduledStep:
+    """One operation (or disk load) placed on the timeline."""
+
+    label: str
+    device: str
+    start: float
+    end: float
+    output_key: str
+    output_memory: str
+    input_keys: tuple[str, ...] = ()
+    pulses: int = 0
+    block_runs: int = 0
+    nbytes_out: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds occupied by the step."""
+        return self.end - self.start
+
+
+@dataclass
+class ExecutionReport:
+    """The executed timeline of one transaction."""
+
+    steps: list[ScheduledStep] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end wall-clock time."""
+        return max((step.end for step in self.steps), default=0.0)
+
+    @property
+    def serial_seconds(self) -> float:
+        """Total work: what a one-op-at-a-time machine would take."""
+        return sum(step.duration for step in self.steps)
+
+    @property
+    def concurrency_speedup(self) -> float:
+        """serial ÷ makespan — the crossbar's overlap win."""
+        if self.makespan == 0:
+            return 1.0
+        return self.serial_seconds / self.makespan
+
+    def device_busy_seconds(self) -> dict[str, float]:
+        """Busy time per device (and the disk)."""
+        busy: dict[str, float] = {}
+        for step in self.steps:
+            busy[step.device] = busy.get(step.device, 0.0) + step.duration
+        return busy
+
+    def timeline(self) -> str:
+        """Human-readable schedule for examples and debugging."""
+        lines = [
+            f"{'start':>10}  {'end':>10}  {'device':<14}  step",
+            f"{'-' * 10}  {'-' * 10}  {'-' * 14}  {'-' * 30}",
+        ]
+        for step in sorted(self.steps, key=lambda s: (s.start, s.label)):
+            lines.append(
+                f"{step.start * 1e3:>8.3f}ms  {step.end * 1e3:>8.3f}ms  "
+                f"{step.device:<14}  {step.label}"
+            )
+        lines.append(
+            f"makespan {self.makespan * 1e3:.3f} ms, serial "
+            f"{self.serial_seconds * 1e3:.3f} ms, speedup "
+            f"{self.concurrency_speedup:.2f}×"
+        )
+        return "\n".join(lines)
+
+
+class DeviceTimeline:
+    """Tracks when each device instance becomes free."""
+
+    def __init__(self, devices: list[SystolicDevice | CpuDevice]) -> None:
+        if not devices:
+            raise PlanError("the machine needs at least one device")
+        self._free_at: dict[str, float] = {d.name: 0.0 for d in devices}
+        self._by_kind: dict[str, list[SystolicDevice | CpuDevice]] = {}
+        for device in devices:
+            self._by_kind.setdefault(device.kind, []).append(device)
+
+    def pick(
+        self, kind: str, ready: float
+    ) -> tuple[SystolicDevice | CpuDevice, float]:
+        """The device of ``kind`` usable earliest at or after ``ready``."""
+        candidates = self._by_kind.get(kind)
+        if not candidates:
+            raise PlanError(
+                f"no device of kind {kind!r} is attached to the machine"
+            )
+        best = min(
+            candidates, key=lambda d: (max(ready, self._free_at[d.name]), d.name)
+        )
+        return best, max(ready, self._free_at[best.name])
+
+    def occupy(self, name: str, until: float) -> None:
+        """Mark a device busy until ``until``."""
+        self._free_at[name] = until
+
+
+def gantt(report: ExecutionReport, width: int = 60) -> str:
+    """Render the timeline as an ASCII Gantt chart, one row per device.
+
+    Each row shows the device's busy intervals over the makespan,
+    scaled to ``width`` characters — the §9 machine's concurrency at a
+    glance.
+    """
+    if not report.steps:
+        return "(empty timeline)"
+    makespan = report.makespan
+    if makespan <= 0:
+        return "(zero-length timeline)"
+    devices = sorted({step.device for step in report.steps})
+    name_width = max(len(name) for name in devices)
+    lines = []
+    for device in devices:
+        row = [" "] * width
+        for step in report.steps:
+            if step.device != device:
+                continue
+            start = int(step.start / makespan * (width - 1))
+            end = max(start + 1, int(step.end / makespan * (width - 1)) + 1)
+            for position in range(start, min(end, width)):
+                row[position] = "#"
+        lines.append(f"{device:>{name_width}} |{''.join(row)}|")
+    scale = f"{' ' * name_width}  0{'':{width - 8}}{makespan * 1e3:.1f} ms"
+    lines.append(scale)
+    return "\n".join(lines)

@@ -1,0 +1,369 @@
+"""The integrated systolic database machine of Fig 9-1.
+
+Memories on one side of a crossbar switch, systolic devices (plus the
+host CPU) on the other, with a disk feeding the memories: "Initially,
+the relevant relations are read from disks into memories.  Then the
+crossbar switch is configured so that the relevant memories are
+connected to the systolic array that will perform the first operation
+... The output of the array is pipelined back into another memory.
+This is repeated for each relational operation in the transaction.  Due
+to the crossbar structure, several operations may be run concurrently."
+
+:class:`SystolicDatabaseMachine` executes query plans exactly that way
+and returns a timed :class:`~repro.machine.scheduler.ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.arrays.decomposition import ArrayCapacity
+from repro.errors import CapacityError, PlanError
+from repro.machine.crossbar import CrossbarSwitch
+from repro.machine.device import CpuDevice, SystolicDevice
+from repro.machine.disk import MachineDisk
+from repro.machine.memory import MemoryModule, relation_bytes
+from repro.machine.plan import (
+    DEVICE_COMPARISON,
+    DEVICE_DIVISION,
+    DEVICE_JOIN,
+    Base,
+    PlanNode,
+    Select,
+    walk,
+)
+from repro.machine.scheduler import DeviceTimeline, ExecutionReport, ScheduledStep
+from repro.perf.technology import PAPER_CONSERVATIVE, TechnologyModel
+from repro.relational.relation import Relation
+
+__all__ = ["SystolicDatabaseMachine"]
+
+#: One device of each systolic kind — the literal Fig 9-1 configuration
+#: ("Intersect", "Join", plus the division array of §7).
+DEFAULT_DEVICES = (
+    (DEVICE_COMPARISON, 1),
+    (DEVICE_JOIN, 1),
+    (DEVICE_DIVISION, 1),
+)
+
+
+class SystolicDatabaseMachine:
+    """Fig 9-1: disk + memories + crossbar + systolic devices + CPU."""
+
+    def __init__(
+        self,
+        memories: int = 4,
+        devices: Sequence[tuple[str, int]] = DEFAULT_DEVICES,
+        capacity: ArrayCapacity = ArrayCapacity(max_rows=63, max_cols=8),
+        technology: TechnologyModel = PAPER_CONSERVATIVE,
+        disk: Optional[MachineDisk] = None,
+        memory_bytes: int = 4 * 1024 * 1024,
+        element_bits: int = 32,
+    ) -> None:
+        if memories < 2:
+            raise CapacityError(
+                "the machine needs at least two memories (§9: output is "
+                "pipelined back into *another* memory)"
+            )
+        self.element_bits = element_bits
+        self.disk = disk if disk is not None else MachineDisk(
+            element_bits=element_bits
+        )
+        self.memories = [
+            MemoryModule(f"mem{m}", capacity_bytes=memory_bytes)
+            for m in range(memories)
+        ]
+        self.devices: list[SystolicDevice | CpuDevice] = []
+        for kind, count in devices:
+            for index in range(count):
+                self.devices.append(
+                    SystolicDevice(
+                        f"{kind}{index}", kind,
+                        capacity=capacity, technology=technology,
+                    )
+                )
+        self.devices.append(CpuDevice("cpu"))
+        self.crossbar = CrossbarSwitch(
+            [m.name for m in self.memories],
+            [d.name for d in self.devices] + ["disk"],
+        )
+        self._step_counter = itertools.count()
+        #: relations already resident in memories (ready at time 0):
+        #: name -> (key, relation, ready, memory name)
+        self._resident: dict[str, tuple[str, Relation, float, str]] = {}
+
+    # -- catalog -------------------------------------------------------------
+
+    def store(self, name: str, relation: Relation) -> None:
+        """Place a base relation on the machine's disk."""
+        self.disk.store(name, relation)
+
+    def preload(self, name: str, relation: Relation) -> None:
+        """Place a relation directly in a memory module, ready at time 0.
+
+        §9's memories hold results between operations and transactions
+        ("the final results are eventually returned to the disk ...
+        from the memory in which they reside"); a preloaded relation
+        models exactly that — a prior transaction's output still
+        resident, needing no disk read.
+        """
+        if name in self._resident:
+            raise PlanError(f"relation {name!r} is already resident")
+        nbytes = relation_bytes(relation, self.element_bits)
+        # Spread residents across modules (emptiest first) so their
+        # ports don't become a single serialization point.
+        candidates = [m for m in self.memories if m.free_bytes >= nbytes]
+        if not candidates:
+            raise CapacityError(
+                f"no memory module can absorb {nbytes} bytes for {name!r}"
+            )
+        memory = min(candidates, key=lambda m: (m.used_bytes, m.name))
+        key = f"resident:{name}"
+        memory.store(key, relation, nbytes)
+        self._resident[name] = (key, relation, 0.0, memory.name)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, plan: PlanNode) -> tuple[Relation, ExecutionReport]:
+        """Execute one plan; returns (result, timed report)."""
+        results, report = self.run_many([plan])
+        return results[0], report
+
+    def run_many(
+        self,
+        plans: Sequence[PlanNode],
+        arrivals: Optional[Sequence[float]] = None,
+    ) -> tuple[list[Relation], ExecutionReport]:
+        """Execute a transaction of several plans on one shared timeline.
+
+        Plans are independent unless they share sub-plan objects, in
+        which case the shared node is computed once.  ``arrivals`` are
+        optional per-plan release times (seconds): nothing belonging to
+        a plan starts before its arrival — §9's "set of transactions"
+        submitted over time.
+        """
+        if not plans:
+            raise PlanError("a transaction needs at least one plan")
+        if arrivals is None:
+            arrivals = [0.0] * len(plans)
+        if len(arrivals) != len(plans):
+            raise PlanError(
+                f"need one arrival per plan: {len(arrivals)} arrivals, "
+                f"{len(plans)} plans"
+            )
+        if any(t < 0 for t in arrivals):
+            raise PlanError("arrival times must be non-negative")
+        report = ExecutionReport()
+        timeline = DeviceTimeline(self.devices)
+        disk_free = 0.0
+        #: node id -> (result key, relation, ready time, memory name)
+        produced: dict[int, tuple[str, Relation, float, str]] = {}
+
+        order: list[PlanNode] = []
+        release: dict[int, float] = {}
+        seen: set[int] = set()
+        for plan, arrival in sorted(
+            zip(plans, arrivals), key=lambda pair: pair[1]
+        ):
+            for node in walk(plan):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    order.append(node)
+                    release[id(node)] = arrival
+
+        # §9/[8]: simple selections over a base relation ride the disk
+        # read for free on a logic-per-track disk.  Only fuse when the
+        # base relation is not shared with any other operation.
+        parent_count: dict[int, int] = {}
+        for node in order:
+            for child in node.children:
+                parent_count[id(child)] = parent_count.get(id(child), 0) + 1
+        fused: dict[int, Select] = {}
+        if self.disk.logic_per_track:
+            for node in order:
+                if (
+                    isinstance(node, Select)
+                    and isinstance(node.child, Base)
+                    and parent_count.get(id(node.child), 0) == 1
+                ):
+                    fused[id(node.child)] = node
+
+        #: base-relation name -> produced record, so two plans naming the
+        #: same relation share one disk read.
+        loaded_bases: dict[str, tuple[str, Relation, float, str]] = {}
+        for node in order:
+            if id(node) in produced:
+                continue
+            if isinstance(node, Base):
+                if node.name in self._resident:
+                    produced[id(node)] = self._resident[node.name]
+                    continue
+                select = fused.get(id(node))
+                if select is None and node.name in loaded_bases:
+                    produced[id(node)] = loaded_bases[node.name]
+                    continue
+                released = max(disk_free, release[id(node)])
+                if select is not None:
+                    disk_free = self._load_base(
+                        node, produced, report, released,
+                        selection=(select.column, select.op, select.value),
+                        fused_as=select,
+                    )
+                else:
+                    disk_free = self._load_base(
+                        node, produced, report, released
+                    )
+                    loaded_bases[node.name] = produced[id(node)]
+            else:
+                self._execute_op(node, produced, report, timeline,
+                                 release=release[id(node)])
+        final = [produced[id(plan)][1] for plan in plans]
+        return final, report
+
+    # -- internals ------------------------------------------------------------
+
+    def _new_key(self, node: PlanNode) -> str:
+        return f"n{next(self._step_counter)}:{node.describe()}"
+
+    def _choose_memory(
+        self, nbytes: int, avoid: set[str], ready: float, duration: float
+    ) -> tuple[MemoryModule, float]:
+        """A memory with space and the earliest free port window."""
+        best: Optional[tuple[float, int, MemoryModule]] = None
+        for index, memory in enumerate(self.memories):
+            if memory.name in avoid or memory.free_bytes < nbytes:
+                continue
+            start = self.crossbar.earliest_window(memory.name, ready, duration)
+            candidate = (start, index, memory)
+            if best is None or candidate[:2] < best[:2]:
+                best = candidate
+        if best is None:
+            raise CapacityError(
+                f"no memory module can absorb {nbytes} bytes "
+                f"(avoiding {sorted(avoid)})"
+            )
+        return best[2], best[0]
+
+    def _load_base(
+        self,
+        node: Base,
+        produced: dict[int, tuple[str, Relation, float, str]],
+        report: ExecutionReport,
+        disk_free: float,
+        selection: Optional[tuple] = None,
+        fused_as: Optional[PlanNode] = None,
+    ) -> float:
+        relation, read_seconds = self.disk.read(node.name, selection=selection)
+        nbytes = relation_bytes(relation, self.element_bits)
+        memory, start = self._choose_memory(
+            nbytes, avoid=set(), ready=disk_free, duration=read_seconds
+        )
+        end = start + read_seconds
+        key = self._new_key(fused_as if fused_as is not None else node)
+        memory.store(key, relation, nbytes)
+        self.crossbar.establish(memory.name, "disk", start, end)
+        label = node.name if fused_as is None else fused_as.describe()
+        report.steps.append(ScheduledStep(
+            label=f"load {label}",
+            device="disk",
+            start=start, end=end,
+            output_key=key, output_memory=memory.name,
+            nbytes_out=nbytes,
+        ))
+        target = fused_as if fused_as is not None else node
+        produced[id(target)] = (key, relation, end, memory.name)
+        if fused_as is not None:
+            produced[id(node)] = produced[id(target)]
+        return end
+
+    def _execute_op(
+        self,
+        node: PlanNode,
+        produced: dict[int, tuple[str, Relation, float, str]],
+        report: ExecutionReport,
+        timeline: DeviceTimeline,
+        release: float = 0.0,
+    ) -> None:
+        inputs = []
+        input_keys = []
+        input_memories = []
+        ready = release
+        for child in node.children:
+            key, relation, child_ready, memory_name = produced[id(child)]
+            inputs.append(relation)
+            input_keys.append(key)
+            input_memories.append(memory_name)
+            ready = max(ready, child_ready)
+
+        device, device_ready = timeline.pick(node.device_kind, ready)
+        run = device.execute(node, inputs)
+        nbytes_out = relation_bytes(run.relation, self.element_bits)
+
+        # An operation runs at the pace of its slowest stream: any input
+        # being read out of its memory, or the result being written back
+        # (§6.2's warning — a degenerate join's output can dwarf its
+        # inputs — shows up here as output-streaming time).
+        stream_seconds = [
+            memory.transfer_seconds(memory.size_of(key))
+            for key, memory in (
+                (k, self._memory(m)) for k, m in zip(input_keys, input_memories)
+            )
+        ]
+        if self.memories:
+            stream_seconds.append(
+                self.memories[0].transfer_seconds(nbytes_out)
+            )
+        duration = max([run.seconds] + stream_seconds)
+
+        # Find a start time at which every input port is free for the
+        # whole window, the device is free, and an output memory exists.
+        start = device_ready
+        for _ in range(64):  # converges in a couple of rounds in practice
+            adjusted = start
+            for memory_name in set(input_memories):
+                adjusted = max(
+                    adjusted,
+                    self.crossbar.earliest_window(memory_name, adjusted, duration),
+                )
+            out_memory, out_start = self._choose_memory(
+                nbytes_out,
+                avoid=set(input_memories),
+                ready=adjusted,
+                duration=duration,
+            )
+            adjusted = max(adjusted, out_start)
+            if adjusted == start:
+                break
+            start = adjusted
+        end = start + duration
+
+        key = self._new_key(node)
+        out_memory.store(key, run.relation, nbytes_out)
+        for memory_name in set(input_memories):
+            self.crossbar.establish(memory_name, device.name, start, end)
+        if out_memory.name not in set(input_memories):
+            self.crossbar.establish(out_memory.name, device.name, start, end)
+        timeline.occupy(device.name, end)
+        report.steps.append(ScheduledStep(
+            label=node.describe(),
+            device=device.name,
+            start=start, end=end,
+            output_key=key, output_memory=out_memory.name,
+            input_keys=tuple(input_keys),
+            pulses=run.pulses, block_runs=run.block_runs,
+            nbytes_out=nbytes_out,
+        ))
+        produced[id(node)] = (key, run.relation, end, out_memory.name)
+
+    def _memory(self, name: str) -> MemoryModule:
+        for memory in self.memories:
+            if memory.name == name:
+                return memory
+        raise PlanError(f"unknown memory {name!r}")
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(d.name for d in self.devices)
+        return (
+            f"SystolicDatabaseMachine({len(self.memories)} memories; {kinds})"
+        )

@@ -1,0 +1,168 @@
+"""Song's tree machine — §9's comparison architecture (ref [9]).
+
+"Song [9] has suggested the use of a tree machine for database
+applications.  The leaf nodes of the tree machine are responsible for
+data storage, and for a limited amount of processing of the data.  The
+tree structure itself is used to broadcast instructions and data, and
+to combine results of low-level computations on the data."
+
+This is a functional-plus-cost model at the same granularity as the
+systolic pulse counts: one tree *cycle* moves data one tree level.  A
+query tuple is broadcast down ``depth`` levels, compared at every leaf
+in one cycle, and the OR/match responses combine up ``depth`` levels;
+queries pipeline one per cycle, so a probe batch of ``q`` tuples
+against loaded leaves costs ``q + 2·depth`` cycles (plus loading).
+Relations larger than the leaf count are processed in leaf-sized
+blocks.  Enumerative results (join matches) must be *extracted* through
+the root one per cycle — the serialization §9's "detailed comparison"
+would weigh against the systolic arrays' parallel edge output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.relational import algebra
+from repro.relational.relation import MultiRelation, Relation
+
+__all__ = ["TreeRun", "TreeMachine"]
+
+
+@dataclass
+class TreeRun:
+    """Outcome and cost of one tree-machine operation."""
+
+    relation: Relation
+    cycles: int
+    blocks: int
+    comparisons: int
+
+
+class TreeMachine:
+    """A binary tree of processors with data stored at the leaves."""
+
+    def __init__(self, leaves: int = 1024) -> None:
+        if leaves < 1:
+            raise CapacityError(f"a tree machine needs >= 1 leaf, got {leaves}")
+        self.leaves = leaves
+
+    @property
+    def depth(self) -> int:
+        """Tree depth: levels between root and leaves."""
+        return max(1, math.ceil(math.log2(self.leaves))) if self.leaves > 1 else 1
+
+    # -- cost helpers -----------------------------------------------------
+
+    def _blocks(self, n: int) -> int:
+        return max(1, math.ceil(n / self.leaves))
+
+    def _load_cycles(self, n_block: int) -> int:
+        # Tuples stream down the tree one per cycle after a depth-fill.
+        return n_block + self.depth
+
+    def _probe_cycles(self, n_queries: int) -> int:
+        # One query per cycle after the pipeline fills both ways.
+        return n_queries + 2 * self.depth
+
+    # -- operations ----------------------------------------------------------
+
+    def intersection(self, a: Relation, b: Relation) -> TreeRun:
+        """``A ∩ B``: load B blocks into leaves, probe with every a_i."""
+        a.schema.require_union_compatible(b.schema)
+        result = algebra.intersection(a, b)
+        if not a or not b:
+            return TreeRun(result, cycles=0, blocks=0, comparisons=0)
+        blocks = self._blocks(len(b))
+        cycles = 0
+        for block in range(blocks):
+            block_size = min(self.leaves, len(b) - block * self.leaves)
+            cycles += self._load_cycles(block_size)
+            cycles += self._probe_cycles(len(a))
+        comparisons = len(a) * len(b)
+        return TreeRun(result, cycles=cycles, blocks=blocks,
+                       comparisons=comparisons)
+
+    def remove_duplicates(self, a: MultiRelation) -> TreeRun:
+        """Dedup: insert tuples one by one, probing before each insert."""
+        result = algebra.remove_duplicates(a)
+        if not a:
+            return TreeRun(result, cycles=0, blocks=0, comparisons=0)
+        if len(a) > self.leaves:
+            raise CapacityError(
+                f"tree dedup holds the growing distinct set in the leaves; "
+                f"{len(a)} tuples exceed {self.leaves} leaves"
+            )
+        # Each tuple: broadcast down, compare, response up, conditional
+        # insert — pipelined one per cycle plus the two-way fill.
+        cycles = self._probe_cycles(len(a))
+        comparisons = len(a) * (len(a) - 1) // 2
+        return TreeRun(result, cycles=cycles, blocks=1, comparisons=comparisons)
+
+    def join(
+        self, a: Relation, b: Relation,
+        on: list[tuple[int, int]],
+    ) -> TreeRun:
+        """Equi-join: probe B-loaded leaves with each a_i; extract matches.
+
+        Every match must leave through the root, one per cycle — the
+        tree's output bottleneck relative to the join array's
+        per-row edge outputs.
+        """
+        result = algebra.join(a, b, on)
+        if not a or not b:
+            return TreeRun(result, cycles=0, blocks=0, comparisons=0)
+        blocks = self._blocks(len(b))
+        matches = len(result)
+        cycles = 0
+        for block in range(blocks):
+            block_size = min(self.leaves, len(b) - block * self.leaves)
+            cycles += self._load_cycles(block_size)
+            cycles += self._probe_cycles(len(a))
+        cycles += matches  # root extraction, one concatenated tuple per cycle
+        comparisons = len(a) * len(b)
+        return TreeRun(result, cycles=cycles, blocks=blocks,
+                       comparisons=comparisons)
+
+    def difference(self, a: Relation, b: Relation) -> TreeRun:
+        """``A − B``: the intersection probe with the keep-bit inverted.
+
+        Identical data movement to :meth:`intersection` — the root
+        simply keeps the a_i whose OR-combined response is FALSE
+        (§4.3's inverter, tree-shaped).
+        """
+        a.schema.require_union_compatible(b.schema)
+        result = algebra.difference(a, b)
+        if not a or not b:
+            return TreeRun(result, cycles=0, blocks=0, comparisons=0)
+        probe = self.intersection(a, b)
+        return TreeRun(result, cycles=probe.cycles, blocks=probe.blocks,
+                       comparisons=probe.comparisons)
+
+    def divide(self, a: Relation, b: Relation) -> TreeRun:
+        """``A ÷ B`` (binary ÷ unary): dividend pairs at the leaves.
+
+        The dividend is loaded once; each divisor element is broadcast
+        and the per-x responses combine up the tree; an x survives
+        every round iff it covers all of B.  Quotient members then
+        extract through the root one per cycle.
+        """
+        result = algebra.divide(a, b)
+        if not a or not b:
+            return TreeRun(result, cycles=0, blocks=0, comparisons=0)
+        if len(a) > self.leaves:
+            raise CapacityError(
+                f"tree division holds the dividend at the leaves; "
+                f"{len(a)} pairs exceed {self.leaves} leaves"
+            )
+        load = self._load_cycles(len(a))
+        probes = self._probe_cycles(len(b))
+        extraction = len(result)
+        cycles = load + probes + extraction
+        comparisons = len(a) * len(b)
+        return TreeRun(result, cycles=cycles, blocks=1,
+                       comparisons=comparisons)
+
+    def __repr__(self) -> str:
+        return f"TreeMachine({self.leaves} leaves, depth {self.depth})"

@@ -1,0 +1,69 @@
+"""The pattern-match processor (§8, ref [3]).
+
+§8: "These include a pattern-match chip [3] ... The pattern-match chip
+can be viewed as a scaled-down version of the comparison array in
+Section 3.  (This chip has been fabricated, tested, and found to
+work.)"
+
+A :class:`PatternCell` stores one pattern character (or a wildcard,
+which matches anything — the Foster–Kung chip's "X").  Text characters
+stream through at full speed; partial match results trail at half speed
+(one delay latch between cells), so the result for alignment ``i``
+meets ``text[i + k]`` at cell ``k`` — the same
+right-place-at-the-right-time discipline as §3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.values import Token
+
+__all__ = ["PatternCell", "WILDCARD"]
+
+
+class _Wildcard:
+    """The pattern character that matches any text character."""
+
+    _instance: "Optional[_Wildcard]" = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "WILDCARD"
+
+
+#: Singleton wildcard pattern character.
+WILDCARD = _Wildcard()
+
+
+class PatternCell(Cell):
+    """One pattern position: stored character, AND-chained match bit."""
+
+    IN_PORTS = ("c_in", "r_in")
+    OUT_PORTS = ("c_out", "r_out")
+
+    def __init__(self, name: str, stored: object) -> None:
+        super().__init__(name)
+        self.stored = stored
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        char = inputs.get("c_in")
+        result = inputs.get("r_in")
+        outputs: dict[str, Optional[Token]] = {}
+        if char is not None:
+            outputs["c_out"] = char
+        if result is None:
+            return outputs
+        if char is None:
+            raise self.protocol_error(
+                "a partial match result arrived with no text character — "
+                "the text/result speeds are misaligned"
+            )
+        matched = self.stored is WILDCARD or char.value == self.stored
+        outputs["r_out"] = Token(bool(result.value) and matched, result.tag)
+        return outputs

@@ -1,0 +1,62 @@
+"""Area accounting: from array geometry to chips (§8).
+
+§8's chip arithmetic is bottom-up: bit-comparators per chip, chips per
+system.  Going the other way, a word-level array of ``rows × cols``
+processors comparing ``element_bits``-bit elements occupies
+``rows · cols · element_bits`` bit-comparators (the word→bit partition
+of §8 / ref [3]); dividing by comparators-per-chip sizes the device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.perf.technology import TechnologyModel
+
+__all__ = ["ArrayAreaEstimate", "estimate_array_area"]
+
+
+@dataclass(frozen=True)
+class ArrayAreaEstimate:
+    """Physical footprint of one operator array."""
+
+    rows: int
+    cols: int
+    element_bits: int
+    bit_comparators: int
+    chips: int
+    silicon_mm2: float
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayAreaEstimate({self.rows}×{self.cols} words @ "
+            f"{self.element_bits}b = {self.bit_comparators} comparators, "
+            f"{self.chips} chips, {self.silicon_mm2:.1f} mm²)"
+        )
+
+
+def estimate_array_area(
+    rows: int,
+    cols: int,
+    technology: TechnologyModel,
+    element_bits: int = 32,
+) -> ArrayAreaEstimate:
+    """Size a ``rows × cols`` word-level array on the §8 technology."""
+    if rows < 1 or cols < 1 or element_bits < 1:
+        raise ReproError(
+            f"array geometry must be positive: rows={rows}, cols={cols}, "
+            f"element_bits={element_bits}"
+        )
+    bit_comparators = rows * cols * element_bits
+    chips = math.ceil(bit_comparators / technology.comparators_per_chip)
+    silicon_mm2 = bit_comparators * technology.bit_comparator_area_um2 / 1e6
+    return ArrayAreaEstimate(
+        rows=rows,
+        cols=cols,
+        element_bits=element_bits,
+        bit_comparators=bit_comparators,
+        chips=chips,
+        silicon_mm2=silicon_mm2,
+    )

@@ -1,0 +1,98 @@
+"""§8's performance predictions, reproduced as executable arithmetic.
+
+The paper's evaluation (experiment E8) assumes a "typical relation":
+1500-bit tuples (~200 characters) and 10⁴ tuples per relation.
+Intersection then needs ``1500 × (10⁴)² = 1.5 × 10¹¹`` bit comparisons;
+at 350 ns per comparison across 10⁶ parallel comparators that is
+52.5 ms — "about 50ms" — and at 200 ns across 3 × 10⁶ comparators,
+exactly 10 ms.
+
+These functions compute the same quantities from a
+:class:`~repro.perf.technology.TechnologyModel`, so the benchmark can
+print paper-value vs model-value side by side and the tests can pin
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.perf.technology import (
+    PAPER_AGGRESSIVE,
+    PAPER_CONSERVATIVE,
+    TechnologyModel,
+)
+
+__all__ = [
+    "RelationProfile",
+    "PAPER_WORKLOAD",
+    "intersection_bit_comparisons",
+    "intersection_time_seconds",
+    "paper_conservative_prediction",
+    "paper_aggressive_prediction",
+]
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """The §8 "typical relation": tuple width in bits and cardinality."""
+
+    tuple_bits: int = 1500
+    cardinality: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.tuple_bits < 1 or self.cardinality < 0:
+            raise ReproError(f"invalid relation profile: {self}")
+
+    @property
+    def tuple_bytes(self) -> float:
+        """Tuple size in bytes ("about 200 characters" for 1500 bits)."""
+        return self.tuple_bits / 8
+
+    @property
+    def total_bytes(self) -> float:
+        """Relation size in bytes."""
+        return self.cardinality * self.tuple_bytes
+
+
+#: The workload §8's predictions are computed for.
+PAPER_WORKLOAD = RelationProfile()
+
+
+def intersection_bit_comparisons(
+    a: RelationProfile, b: RelationProfile | None = None
+) -> int:
+    """Bit comparisons for a full pairwise intersection of A with B.
+
+    "We need 1500 bit-comparisons for each of the (10⁴)² tuple
+    comparisons" → 1.5 × 10¹¹ for the paper workload.
+    """
+    other = a if b is None else b
+    if a.tuple_bits != other.tuple_bits:
+        raise ReproError(
+            f"union-compatible relations share a tuple width: "
+            f"{a.tuple_bits} vs {other.tuple_bits}"
+        )
+    return a.tuple_bits * a.cardinality * other.cardinality
+
+
+def intersection_time_seconds(
+    technology: TechnologyModel,
+    a: RelationProfile = PAPER_WORKLOAD,
+    b: RelationProfile | None = None,
+) -> float:
+    """Seconds to intersect A and B at the model's full parallelism."""
+    return technology.time_for_bit_comparisons(
+        intersection_bit_comparisons(a, b)
+    )
+
+
+def paper_conservative_prediction() -> float:
+    """§8's headline: ~50 ms (strict arithmetic gives 52.5 ms)."""
+    return intersection_time_seconds(PAPER_CONSERVATIVE)
+
+
+def paper_aggressive_prediction() -> float:
+    """§8's second figure: "about 10ms" with 200 ns and 3000 chips."""
+    return intersection_time_seconds(PAPER_AGGRESSIVE)

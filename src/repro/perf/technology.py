@@ -1,0 +1,102 @@
+"""The NMOS technology model of §8.
+
+§8 grounds the paper's performance claims in four "(conservative)
+estimates ... typical of results that have been achieved with present
+NMOS technology":
+
+* a bit-comparator of about 240µ × 150µ, performing a comparison in
+  about 350 ns including on-/off-chip transfer;
+* chips of about 6000µ × 6000µ — "division gives us about 1000
+  bit-comparators per chip";
+* off-chip transfer under 30 ns, so ~10 bits can be multiplexed on a
+  pin during one comparison;
+* systems of about 1000 chips, giving 10⁶ comparisons in parallel.
+
+:class:`TechnologyModel` encodes those numbers (all overridable) and
+derives the quantities §8 computes from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ReproError
+
+__all__ = ["TechnologyModel", "PAPER_CONSERVATIVE", "PAPER_AGGRESSIVE"]
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """§8's device parameters and the arithmetic built on them."""
+
+    bit_comparator_width_um: float = 240.0
+    bit_comparator_height_um: float = 150.0
+    chip_width_um: float = 6000.0
+    chip_height_um: float = 6000.0
+    comparison_time_ns: float = 350.0
+    offchip_transfer_ns: float = 30.0
+    chips: int = 1000
+
+    def __post_init__(self) -> None:
+        numeric = (
+            self.bit_comparator_width_um, self.bit_comparator_height_um,
+            self.chip_width_um, self.chip_height_um,
+            self.comparison_time_ns, self.offchip_transfer_ns,
+        )
+        if any(value <= 0 for value in numeric) or self.chips < 1:
+            raise ReproError(f"technology parameters must be positive: {self}")
+
+    # -- area --------------------------------------------------------------
+
+    @property
+    def bit_comparator_area_um2(self) -> float:
+        """Area of one bit-comparator (240µ × 150µ = 36 000 µm²)."""
+        return self.bit_comparator_width_um * self.bit_comparator_height_um
+
+    @property
+    def chip_area_um2(self) -> float:
+        """Area of one chip (6000µ × 6000µ = 3.6 × 10⁷ µm²)."""
+        return self.chip_width_um * self.chip_height_um
+
+    @property
+    def comparators_per_chip(self) -> int:
+        """"Division gives us about 1000 bit-comparators per chip.""" ""
+        return int(self.chip_area_um2 // self.bit_comparator_area_um2)
+
+    @property
+    def parallel_comparisons(self) -> int:
+        """Bit comparisons performed in parallel across the system."""
+        return self.comparators_per_chip * self.chips
+
+    # -- timing --------------------------------------------------------------
+
+    @property
+    def bits_per_pin_multiplex(self) -> int:
+        """Bits multiplexable on one pin per comparison window (~10)."""
+        return int(self.comparison_time_ns // self.offchip_transfer_ns)
+
+    @property
+    def comparisons_per_second(self) -> float:
+        """System-wide bit-comparison throughput."""
+        return self.parallel_comparisons / (self.comparison_time_ns * 1e-9)
+
+    def time_for_bit_comparisons(self, bit_comparisons: float) -> float:
+        """Seconds to perform ``bit_comparisons`` at full parallelism."""
+        if bit_comparisons < 0:
+            raise ReproError(f"negative work: {bit_comparisons}")
+        return bit_comparisons / self.comparisons_per_second
+
+    def pulses_to_seconds(self, pulses: int) -> float:
+        """Wall-clock time of a simulated run: one pulse per comparison window."""
+        return pulses * self.comparison_time_ns * 1e-9
+
+    def scaled(self, **overrides: float) -> "TechnologyModel":
+        """A copy with some parameters replaced (e.g. faster comparators)."""
+        return replace(self, **overrides)
+
+
+#: §8's baseline: 350 ns comparisons, 1000 chips → "about 50ms".
+PAPER_CONSERVATIVE = TechnologyModel()
+
+#: §8's second data point: "200ns/comparison, and 3000 chips ... about 10ms".
+PAPER_AGGRESSIVE = TechnologyModel(comparison_time_ns=200.0, chips=3000)

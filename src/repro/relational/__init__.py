@@ -1,0 +1,49 @@
+"""Relational substrate: domains, schemas, relations, reference algebra.
+
+This package implements the data model of paper §2 — integer-encoded
+domains (§2.3), union-compatibility (§2.4), relations and
+multi-relations (§2.5) — plus a complete software implementation of
+every relational operator, used both as a correctness oracle for the
+systolic arrays and as the sequential baseline of experiment E14.
+"""
+
+from repro.relational.algebra import (
+    COMPARISON_OPS,
+    ComparisonCounter,
+    difference,
+    divide,
+    intersection,
+    join,
+    project,
+    project_multi,
+    remove_duplicates,
+    select,
+    theta_join,
+    union,
+)
+from repro.relational.domain import Domain, IntegerDomain
+from repro.relational.relation import EncodedTuple, MultiRelation, Relation
+from repro.relational.schema import Column, ColumnRef, Schema
+
+__all__ = [
+    "COMPARISON_OPS",
+    "Column",
+    "ColumnRef",
+    "ComparisonCounter",
+    "Domain",
+    "EncodedTuple",
+    "IntegerDomain",
+    "MultiRelation",
+    "Relation",
+    "Schema",
+    "difference",
+    "divide",
+    "intersection",
+    "join",
+    "project",
+    "project_multi",
+    "remove_duplicates",
+    "select",
+    "theta_join",
+    "union",
+]

@@ -1,0 +1,103 @@
+"""CSV import/export for relations.
+
+The paper's machine reads relations from disk; a downstream user reads
+them from files.  :func:`load_csv` builds a relation whose columns are
+dictionary-encoded through :class:`~repro.relational.domain.Domain`
+objects drawn from a shared *registry* keyed by column name — so two
+files with a column of the same name automatically share a domain,
+making them join- and union-compatible without ceremony (pass separate
+registries to keep files apart).
+
+Values that parse as integers are stored as Python ints, everything
+else as strings; both round-trip through :func:`dump_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Hashable, Optional
+
+from repro.errors import RelationError
+from repro.relational.domain import Domain
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+
+__all__ = ["load_csv", "dump_csv", "DomainRegistry"]
+
+#: Column name → Domain; share one registry across files to make their
+#: same-named columns union/join-compatible.
+DomainRegistry = dict[str, Domain]
+
+
+def _parse(cell: str) -> Hashable:
+    text = cell.strip()
+    if text and (text.isdigit() or (text[0] == "-" and text[1:].isdigit())):
+        return int(text)
+    return text
+
+
+def load_csv(
+    path: str | Path,
+    registry: Optional[DomainRegistry] = None,
+    has_header: bool = True,
+) -> Relation:
+    """Read a relation from a CSV file.
+
+    Without a header, columns are named ``c0, c1, ...``.
+
+    With a shared ``registry``, same-named columns across files share
+    one :class:`Domain` (same dictionary, consistent codes) and are
+    therefore join/union-compatible.  Without one, each file's domains
+    are namespaced by its filename, so relations from different files
+    are deliberately *incompatible* — two private dictionaries could
+    assign the same code to different values, and a silent wrong answer
+    is worse than a loud schema error.
+    """
+    path = Path(path)
+    prefix = ""
+    if registry is None:
+        registry = {}
+        prefix = f"{path.stem}."
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+    if not rows:
+        raise RelationError(f"{path}: no rows to read")
+    if has_header:
+        header = [name.strip() for name in rows[0]]
+        data_rows = rows[1:]
+    else:
+        header = [f"c{k}" for k in range(len(rows[0]))]
+        data_rows = rows
+    if len(set(header)) != len(header):
+        raise RelationError(f"{path}: duplicate column names in header {header}")
+
+    columns = []
+    for name in header:
+        domain = registry.get(name)
+        if domain is None:
+            domain = Domain(prefix + name)
+            registry[name] = domain
+        columns.append(Column(name, domain))
+    schema = Schema(columns)
+
+    parsed = []
+    for line_number, row in enumerate(data_rows, start=2 if has_header else 1):
+        if len(row) != len(header):
+            raise RelationError(
+                f"{path}:{line_number}: expected {len(header)} fields, "
+                f"got {len(row)}"
+            )
+        parsed.append(tuple(_parse(cell) for cell in row))
+    return Relation.from_values(schema, parsed)
+
+
+def dump_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation (decoded values) to a CSV file with a header."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation.decoded():
+            writer.writerow(row)

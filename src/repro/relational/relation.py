@@ -1,0 +1,237 @@
+"""Relations and multi-relations (paper §2.3, §2.5).
+
+A :class:`Relation` is a *set* of tuples; a :class:`MultiRelation`
+allows duplicates (the paper's "multi-relation", §2.5 — typically an
+intermediate result such as an un-deduplicated projection).  Both store
+tuples in their integer-encoded form, exactly as the paper's arrays see
+them; decoding back to domain values happens only on demand.
+
+Tuple order is preserved as given (relations are logically unordered,
+but a deterministic iteration order keeps the systolic feeding schedules
+and the tests reproducible).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.errors import RelationError
+from repro.relational.schema import ColumnRef, Schema
+
+__all__ = ["Relation", "MultiRelation", "EncodedTuple"]
+
+#: A tuple in its stored (integer-encoded) form.
+EncodedTuple = tuple[int, ...]
+
+
+class _TupleStore:
+    """Shared machinery for relations and multi-relations."""
+
+    #: Subclasses set this: do we reject duplicate tuples?
+    _allow_duplicates = False
+
+    def __init__(self, schema: Schema, tuples: Iterable[EncodedTuple] = ()) -> None:
+        self.schema = schema
+        self._tuples: list[EncodedTuple] = []
+        self._seen: set[EncodedTuple] = set()
+        for item in tuples:
+            self._add(item)
+
+    # -- construction -------------------------------------------------------
+
+    def _add(self, item: Sequence[int]) -> None:
+        encoded = tuple(item)
+        if len(encoded) != len(self.schema):
+            raise RelationError(
+                f"tuple arity {len(encoded)} does not match schema arity "
+                f"{len(self.schema)}: {encoded!r}"
+            )
+        for element in encoded:
+            if isinstance(element, bool) or not isinstance(element, int):
+                raise RelationError(
+                    f"stored tuples are integer-encoded; got element "
+                    f"{element!r} in {encoded!r}"
+                )
+        if encoded in self._seen:
+            if not self._allow_duplicates:
+                return  # set semantics: silently idempotent
+        else:
+            self._seen.add(encoded)
+        self._tuples.append(encoded)
+
+    @classmethod
+    def from_values(
+        cls, schema: Schema, rows: Iterable[Sequence[Hashable]]
+    ) -> "_TupleStore":
+        """Build from human-readable rows, encoding via the column domains."""
+        encoded_rows = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != len(schema):
+                raise RelationError(
+                    f"row arity {len(row)} does not match schema arity "
+                    f"{len(schema)}: {row!r}"
+                )
+            encoded_rows.append(
+                tuple(
+                    column.domain.encode(value)
+                    for column, value in zip(schema, row)
+                )
+            )
+        return cls(schema, encoded_rows)
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def tuples(self) -> tuple[EncodedTuple, ...]:
+        """The stored (encoded) tuples, in deterministic order."""
+        return tuple(self._tuples)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of stored tuples (``n`` in the paper's notation)."""
+        return len(self._tuples)
+
+    @property
+    def arity(self) -> int:
+        """Number of elements per tuple (``m`` in the paper's notation)."""
+        return len(self.schema)
+
+    def contains(self, item: Sequence[int]) -> bool:
+        """Membership test on an encoded tuple."""
+        return tuple(item) in self._seen
+
+    def decoded(self) -> list[tuple[Hashable, ...]]:
+        """All tuples decoded back to domain values."""
+        domains = self.schema.domains
+        return [
+            tuple(domain.decode(code) for domain, code in zip(domains, row))
+            for row in self._tuples
+        ]
+
+    def column_values(self, ref: ColumnRef) -> list[int]:
+        """The encoded values of one column, in tuple order."""
+        position = self.schema.resolve(ref)
+        return [row[position] for row in self._tuples]
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[EncodedTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, item: object) -> bool:
+        return isinstance(item, tuple) and item in self._seen
+
+    def __bool__(self) -> bool:
+        return bool(self._tuples)
+
+    def __eq__(self, other: object) -> bool:
+        """Set equality for relations, bag equality for multi-relations."""
+        if not isinstance(other, _TupleStore):
+            return NotImplemented
+        if self._allow_duplicates != other._allow_duplicates:
+            return NotImplemented
+        if not self.schema.union_compatible_with(other.schema):
+            return False
+        if self._allow_duplicates:
+            return sorted(self._tuples) == sorted(other._tuples)
+        return self._seen == other._seen
+
+    def __hash__(self) -> int:
+        return hash((self.schema, frozenset(self._seen)))
+
+    def __repr__(self) -> str:
+        kind = type(self).__name__
+        return f"{kind}({self.schema!r}, {len(self)} tuples)"
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        headers = list(self.schema.names)
+        rows = [[str(v) for v in row] for row in self.decoded()[:max_rows]]
+        widths = [len(h) for h in headers]
+        for row in rows:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        lines += [" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in rows]
+        if len(self) > max_rows:
+            lines.append(f"... ({len(self) - max_rows} more)")
+        return "\n".join(lines)
+
+
+class Relation(_TupleStore):
+    """A set of tuples over a schema (duplicates are dropped on insert).
+
+    The Python set operators delegate to the reference algebra:
+    ``a & b`` = intersection (§4), ``a | b`` = union (§5), ``a - b`` =
+    difference (§4.3), ``<=``/``>=`` = subset/superset.  These are the
+    *software* semantics; for the simulated hardware call the
+    ``systolic_*`` runners in :mod:`repro.arrays`.
+    """
+
+    _allow_duplicates = False
+
+    def to_multi(self) -> "MultiRelation":
+        """View this relation as a multi-relation (copying tuples)."""
+        return MultiRelation(self.schema, self._tuples)
+
+    def __and__(self, other: "Relation") -> "Relation":
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return _algebra().intersection(self, other)
+
+    def __or__(self, other: "Relation") -> "Relation":
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return _algebra().union(self, other)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return _algebra().difference(self, other)
+
+    def __le__(self, other: "Relation") -> bool:
+        """Subset test: every tuple of self appears in other."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        self.schema.require_union_compatible(other.schema)
+        return set(self.tuples) <= set(other.tuples)
+
+    def __ge__(self, other: "Relation") -> bool:
+        """Superset test."""
+        if not isinstance(other, Relation):
+            return NotImplemented
+        self.schema.require_union_compatible(other.schema)
+        return set(self.tuples) >= set(other.tuples)
+
+
+class MultiRelation(_TupleStore):
+    """A bag of tuples over a schema (duplicates preserved, §2.5)."""
+
+    _allow_duplicates = True
+
+    def distinct(self) -> Relation:
+        """The relation obtained by dropping duplicates (order-preserving).
+
+        This is the *semantic* answer of the paper's remove-duplicates
+        array (§5); the array itself lives in
+        :mod:`repro.arrays.duplicates`.
+        """
+        return Relation(self.schema, self._tuples)
+
+    def concat(self, other: "MultiRelation | Relation") -> "MultiRelation":
+        """Bag concatenation ``A + B`` (used to build union, §5)."""
+        self.schema.require_union_compatible(other.schema)
+        return MultiRelation(self.schema, list(self._tuples) + list(other.tuples))
+
+
+def _algebra():
+    """Late import: algebra depends on this module."""
+    from repro.relational import algebra
+
+    return algebra

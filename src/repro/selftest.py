@@ -1,0 +1,161 @@
+"""Self-verification sweep: every array against the reference algebra.
+
+``python -m repro selftest`` (or :func:`run_selftest`) runs each
+systolic operator — both geometry variants where they exist, with
+ghost-tag schedule verification on — over seeded random workloads and
+checks every answer against the software oracle.  This is the 30-second
+"is this installation computing what the paper says" check a downstream
+user runs before trusting the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arrays import (
+    systolic_difference,
+    systolic_divide,
+    systolic_dynamic_theta_join,
+    systolic_intersection,
+    systolic_join,
+    systolic_projection,
+    systolic_remove_duplicates,
+    systolic_theta_join,
+    systolic_union,
+)
+from repro.arrays.hexagonal import hex_compare_all_pairs
+from repro.arrays import compare_all_pairs
+from repro.patterns import match_pattern
+from repro.relational import algebra
+from repro.workloads import (
+    division_workload,
+    join_pair,
+    overlapping_pair,
+    relation_with_duplicates,
+)
+
+__all__ = ["CheckResult", "SelfTestReport", "run_selftest"]
+
+
+@dataclass
+class CheckResult:
+    """One operator check: name, verdict, and a short detail line."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class SelfTestReport:
+    """All checks from one sweep."""
+
+    checks: list[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True iff every check passed."""
+        return all(check.passed for check in self.checks)
+
+    def summary(self) -> str:
+        """Human-readable scoreboard."""
+        lines = []
+        for check in self.checks:
+            mark = "ok " if check.passed else "FAIL"
+            lines.append(f"  [{mark}] {check.name:<28} {check.detail}")
+        verdict = "ALL CHECKS PASSED" if self.passed else "CHECKS FAILED"
+        lines.append(f"{verdict} ({len(self.checks)} checks)")
+        return "\n".join(lines)
+
+
+def _check(
+    report: SelfTestReport, name: str, thunk: Callable[[], str]
+) -> None:
+    try:
+        detail = thunk()
+        report.checks.append(CheckResult(name, True, detail))
+    except Exception as exc:  # noqa: BLE001 — a self-test reports, not raises
+        report.checks.append(CheckResult(name, False, f"{type(exc).__name__}: {exc}"))
+
+
+def run_selftest(seed: int = 0, size: int = 8) -> SelfTestReport:
+    """Run the sweep; deterministic per (seed, size)."""
+    report = SelfTestReport()
+    a, b = overlapping_pair(size, size, size // 2, arity=3, seed=seed)
+    multi = relation_with_duplicates(size, 2.0, arity=2, seed=seed + 1)
+    ja, jb = join_pair(size, size - 1, size // 2, seed=seed + 2)
+    da, db, quotient_size = division_workload(size // 2, 3, size // 4,
+                                              seed=seed + 3)
+
+    def agree(result, oracle, extra: str = "") -> str:
+        if result != oracle:
+            raise AssertionError(
+                f"array produced {len(result)} tuples, oracle {len(oracle)}"
+            )
+        return f"{len(result)} tuples{extra}"
+
+    for variant in ("counter", "fixed"):
+        _check(report, f"intersection [{variant}]", lambda v=variant: agree(
+            systolic_intersection(a, b, variant=v, tagged=True).relation,
+            algebra.intersection(a, b),
+        ))
+        _check(report, f"difference [{variant}]", lambda v=variant: agree(
+            systolic_difference(a, b, variant=v, tagged=True).relation,
+            algebra.difference(a, b),
+        ))
+        _check(report, f"remove-duplicates [{variant}]", lambda v=variant: agree(
+            systolic_remove_duplicates(multi, variant=v, tagged=True).relation,
+            algebra.remove_duplicates(multi),
+        ))
+    _check(report, "union", lambda: agree(
+        systolic_union(a, b, tagged=True).relation, algebra.union(a, b),
+    ))
+    _check(report, "projection", lambda: agree(
+        systolic_projection(a, ["c0", "c1"], tagged=True).relation,
+        algebra.project(a, ["c0", "c1"]),
+    ))
+    _check(report, "equi-join", lambda: agree(
+        systolic_join(ja, jb, [("key", "key")], tagged=True).relation,
+        algebra.join(ja, jb, [("key", "key")]),
+    ))
+    _check(report, "theta-join (preloaded <)", lambda: agree(
+        systolic_theta_join(ja, jb, [("key", "key")], ["<"], tagged=True).relation,
+        algebra.theta_join(ja, jb, [("key", "key")], ["<"]),
+    ))
+    _check(report, "theta-join (streamed ops)", lambda: agree(
+        systolic_dynamic_theta_join(
+            ja, jb, [("key", "key")], ["<="], tagged=True
+        ).relation,
+        algebra.theta_join(ja, jb, [("key", "key")], ["<="]),
+    ))
+    _check(report, "division", lambda: agree(
+        systolic_divide(da, db, tagged=True).relation,
+        algebra.divide(da, db),
+        extra=f" (expected quotient {quotient_size})",
+    ))
+    _check(report, "hexagonal comparison", lambda: agree_matrix(
+        hex_compare_all_pairs(a.tuples, b.tuples).t_matrix,
+        compare_all_pairs(a.tuples, b.tuples).t_matrix,
+    ))
+    _check(report, "pattern-match chip", _pattern_check)
+    return report
+
+
+def agree_matrix(got, want) -> str:
+    """Compare two T matrices; detail line reports the TRUE count."""
+    if got != want:
+        raise AssertionError("hexagonal and orthogonal T matrices differ")
+    return f"{sum(map(sum, got))} TRUE entries"
+
+
+def _pattern_check() -> str:
+    text = "reproducibility is systolic"
+    matches = match_pattern(text, "s?st").matches
+    expected = [
+        i for i in range(len(text) - 3)
+        if text[i] == "s" and text[i + 2 : i + 4] == "st"
+    ]
+    if matches != expected:
+        raise AssertionError(f"{matches} != {expected}")
+    return f"{len(matches)} matches"

@@ -1,0 +1,173 @@
+"""An interactive session with the systolic database machine.
+
+``python -m repro shell`` drops into a small REPL over a
+:class:`~repro.machine.system.SystolicDatabaseMachine`:
+
+::
+
+    sys> load EMP employees.csv
+    sys> load DEPT departments.csv
+    sys> query project(join(EMP, DEPT, dept == dept), name, budget)
+    sys> timeline
+    sys> let MERGED = union(EMP, EMP)
+    sys> show MERGED
+    sys> engines intersect(EMP, EMP)      # cross-check all engines
+    sys> quit
+
+The shell is also the library's scriptable face: every command is a
+method (``do_*``), so tests drive it through ``onecmd`` without a tty.
+"""
+
+from __future__ import annotations
+
+import cmd
+import shlex
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.lang import execute_plan, optimize, parse
+from repro.machine import SystolicDatabaseMachine
+from repro.machine.scheduler import ExecutionReport
+from repro.relational.csv_io import DomainRegistry, load_csv
+from repro.relational.relation import Relation
+
+__all__ = ["SystolicShell"]
+
+
+class SystolicShell(cmd.Cmd):
+    """The REPL; one instance wraps one machine and one catalog."""
+
+    intro = (
+        "systolic database machine — type 'help' for commands, "
+        "'quit' to leave"
+    )
+    prompt = "sys> "
+
+    def __init__(self, machine: Optional[SystolicDatabaseMachine] = None,
+                 **cmd_kwargs) -> None:
+        super().__init__(**cmd_kwargs)
+        self.machine = machine if machine is not None else (
+            SystolicDatabaseMachine()
+        )
+        self.catalog: dict[str, Relation] = {}
+        self.registry: DomainRegistry = {}
+        self.last_report: Optional[ExecutionReport] = None
+        self.auto_optimize = False
+
+    # -- helpers -----------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _fail(self, exc: Exception) -> None:
+        self._say(f"error: {exc}")
+
+    def _plan(self, source: str):
+        plan = parse(source)
+        return optimize(plan) if self.auto_optimize else plan
+
+    # -- commands ------------------------------------------------------------
+
+    def do_load(self, line: str) -> None:
+        """load NAME FILE.csv — read a CSV relation onto the machine's disk."""
+        try:
+            name, path = shlex.split(line)
+        except ValueError:
+            self._say("usage: load NAME FILE.csv")
+            return
+        try:
+            relation = load_csv(path, registry=self.registry)
+        except (ReproError, OSError) as exc:
+            self._fail(exc)
+            return
+        self.catalog[name] = relation
+        self.machine.store(name, relation)
+        self._say(f"{name}: {len(relation)} tuples, "
+                  f"columns {', '.join(relation.schema.names)}")
+
+    def do_relations(self, line: str) -> None:
+        """relations — list everything loaded or computed."""
+        if not self.catalog:
+            self._say("(nothing loaded)")
+        for name, relation in sorted(self.catalog.items()):
+            self._say(f"  {name:<12} {len(relation):>6} tuples  "
+                      f"({', '.join(relation.schema.names)})")
+
+    def do_show(self, line: str) -> None:
+        """show NAME — print a relation."""
+        relation = self.catalog.get(line.strip())
+        if relation is None:
+            self._say(f"no relation named {line.strip()!r}")
+            return
+        self._say(relation.pretty(max_rows=30))
+
+    def do_query(self, line: str) -> None:
+        """query EXPR — run on the machine; result printed, timeline kept."""
+        try:
+            result, report = self.machine.run(self._plan(line))
+        except ReproError as exc:
+            self._fail(exc)
+            return
+        self.last_report = report
+        self._say(result.pretty(max_rows=30))
+        self._say(f"({len(result)} tuples, "
+                  f"makespan {report.makespan * 1e3:.3f} ms)")
+
+    def do_let(self, line: str) -> None:
+        """let NAME = EXPR — evaluate (software engine) and keep the result."""
+        name, _, source = line.partition("=")
+        name = name.strip()
+        if not name or not source.strip():
+            self._say("usage: let NAME = EXPR")
+            return
+        try:
+            result = execute_plan(self._plan(source), self.catalog,
+                                  engine="software")
+        except ReproError as exc:
+            self._fail(exc)
+            return
+        self.catalog[name] = result
+        self.machine.store(name, result)
+        self._say(f"{name}: {len(result)} tuples")
+
+    def do_engines(self, line: str) -> None:
+        """engines EXPR — run on software + systolic engines; must agree."""
+        try:
+            plan = self._plan(line)
+            software = execute_plan(plan, self.catalog, engine="software")
+            systolic = execute_plan(plan, self.catalog, engine="systolic")
+        except ReproError as exc:
+            self._fail(exc)
+            return
+        verdict = "AGREE" if software == systolic else "DISAGREE (bug!)"
+        self._say(f"software: {len(software)} tuples; "
+                  f"systolic: {len(systolic)} tuples — {verdict}")
+
+    def do_timeline(self, line: str) -> None:
+        """timeline — the last machine query's schedule."""
+        if self.last_report is None:
+            self._say("no machine query has run yet")
+            return
+        self._say(self.last_report.timeline())
+
+    def do_optimize(self, line: str) -> None:
+        """optimize on|off — toggle plan rewrites for later queries."""
+        setting = line.strip().lower()
+        if setting not in ("on", "off"):
+            self._say("usage: optimize on|off")
+            return
+        self.auto_optimize = setting == "on"
+        self._say(f"plan rewrites {'enabled' if self.auto_optimize else 'disabled'}")
+
+    def do_quit(self, line: str) -> bool:
+        """quit — leave the shell."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:
+        pass  # an empty line does nothing (default repeats the last command)
+
+    def default(self, line: str) -> None:
+        self._say(f"unknown command: {line.split()[0]!r} (try 'help')")

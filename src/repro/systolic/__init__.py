@@ -1,0 +1,47 @@
+"""Systolic machine substrate: cells, wiring, and the pulse simulator.
+
+Everything in :mod:`repro.arrays` is built from these parts: a
+:class:`~repro.systolic.wiring.Network` of
+:class:`~repro.systolic.cell.Cell`\\ s driven by a
+:class:`~repro.systolic.simulator.SystolicSimulator` at pulse
+granularity, fed and observed through
+:mod:`~repro.systolic.streams`.
+"""
+
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.metrics import ActivityMeter, UtilizationReport
+from repro.systolic.simulator import SystolicSimulator
+from repro.systolic.streams import (
+    Collector,
+    ConstantFeeder,
+    PeriodicFeeder,
+    ScheduleFeeder,
+    silent,
+)
+from repro.systolic.trace import TraceRecorder, render_grid
+from repro.systolic.values import FALSE, NULL_VALUE, TRUE, Token, tok, value_of
+from repro.systolic.wiring import Endpoint, Network, Wire
+
+__all__ = [
+    "ActivityMeter",
+    "Cell",
+    "Collector",
+    "ConstantFeeder",
+    "Endpoint",
+    "FALSE",
+    "NULL_VALUE",
+    "Network",
+    "PeriodicFeeder",
+    "PortMap",
+    "ScheduleFeeder",
+    "SystolicSimulator",
+    "Token",
+    "TraceRecorder",
+    "TRUE",
+    "UtilizationReport",
+    "Wire",
+    "render_grid",
+    "silent",
+    "tok",
+    "value_of",
+]

@@ -1,0 +1,63 @@
+"""The systolic processor prototype (paper §2.2, Fig 2-2).
+
+Every processor in the paper's arrays is an instance of one prototype:
+a handful of input lines, a handful of output lines, and a short
+computation performed between pulses.  :class:`Cell` captures that
+contract.  Concrete cells (comparison processor, accumulation
+processor, θ-comparator, division cells) live in
+:mod:`repro.systolic.cells`.
+
+Cells are deliberately *time-invariant*: ``step`` receives only the
+current inputs, never the global pulse number — just like the hardware,
+whose behaviour is a pure function of inputs and local registers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional
+
+from repro.errors import SimulationError
+from repro.systolic.values import Token
+
+__all__ = ["Cell", "PortMap"]
+
+#: What a cell sees and produces each pulse: port name -> token (or None).
+PortMap = Mapping[str, Optional[Token]]
+
+
+class Cell(ABC):
+    """One systolic processor.
+
+    Subclasses declare their ports via the ``IN_PORTS`` / ``OUT_PORTS``
+    class attributes and implement :meth:`step`, the per-pulse
+    transformation.  Internal registers (preloaded elements, sticky
+    flags) are ordinary instance attributes, reset by :meth:`reset`.
+    """
+
+    IN_PORTS: tuple[str, ...] = ()
+    OUT_PORTS: tuple[str, ...] = ()
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SimulationError("a cell requires a non-empty name")
+        self.name = name
+
+    @abstractmethod
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        """Compute one pulse: consume latched inputs, emit outputs.
+
+        ``inputs`` maps every declared input port to a token or ``None``
+        (empty wire).  The returned mapping may omit ports; omitted or
+        ``None`` entries mean the output wire is empty this pulse.
+        """
+
+    def reset(self) -> None:
+        """Clear internal registers (default: stateless, nothing to do)."""
+
+    def protocol_error(self, message: str) -> SimulationError:
+        """Build a schedule-violation error attributed to this cell."""
+        return SimulationError(f"cell {self.name!r}: {message}")
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

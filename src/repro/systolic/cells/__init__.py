@@ -1,0 +1,30 @@
+"""The paper's processor library.
+
+One class per processor type: the comparison processor (Fig 3-2), the
+accumulation processor (§4.2), the programmable θ-join comparator
+(§6.3.2), the three division-array processors (§7), and small utility
+cells (delay latch, output inverter).
+"""
+
+from repro.systolic.cells.accumulator import AccumulationCell
+from repro.systolic.cells.comparator import ComparisonCell
+from repro.systolic.cells.dynamic import DynamicThetaCell
+from repro.systolic.cells.division import (
+    DividendGateCell,
+    DividendMatchCell,
+    DivisorCell,
+)
+from repro.systolic.cells.theta import ThetaCell
+from repro.systolic.cells.util import InverterCell, LatchCell
+
+__all__ = [
+    "AccumulationCell",
+    "ComparisonCell",
+    "DividendGateCell",
+    "DividendMatchCell",
+    "DivisorCell",
+    "DynamicThetaCell",
+    "InverterCell",
+    "LatchCell",
+    "ThetaCell",
+]

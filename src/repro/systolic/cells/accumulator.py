@@ -1,0 +1,63 @@
+"""The accumulation processor of §4.2 (right-hand module of Fig 4-1).
+
+An accumulation processor "takes its left input (some ``t_ij`` from the
+comparison array), ORs that with the top input (some ``t_i``), and
+passes on the result as its output (the updated ``t_i``) to the
+processor below".  When it isn't busy — no ``t_ij`` arriving from the
+left — it "simply passes on the ``t_i`` that it has".
+
+The descending value enters the column as ``t_i^initial = FALSE`` and
+leaves the bottom as ``t_i = OR_j t_ij`` (equation 4.1).
+
+Ghost tags: descending accumulators carry ``("acc", i)``; left inputs
+carry ``("t", i, j)``.  When both are tagged, the cell proves that the
+schedule merged row results into the right tuple's accumulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.values import Token
+
+__all__ = ["AccumulationCell"]
+
+
+class AccumulationCell(Cell):
+    """One processor of the linear (vertical) accumulation array."""
+
+    IN_PORTS = ("t_left", "t_top")
+    OUT_PORTS = ("t_bottom",)
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        left = inputs.get("t_left")
+        top = inputs.get("t_top")
+        if left is None and top is None:
+            return {}
+        if left is None:
+            # Not busy: pass the descending accumulator through unchanged.
+            return {"t_bottom": top}
+        if top is None:
+            raise self.protocol_error(
+                "a row result arrived from the left with no descending "
+                "accumulator to merge into — t_i injection is misaligned"
+            )
+        self._check_tags(left, top)
+        return {"t_bottom": Token(bool(top.value) or bool(left.value), top.tag)}
+
+    def _check_tags(self, left: Token, top: Token) -> None:
+        left_tag = left.tag
+        top_tag = top.tag
+        if (
+            isinstance(left_tag, tuple)
+            and len(left_tag) == 3
+            and left_tag[0] == "t"
+            and isinstance(top_tag, tuple)
+            and len(top_tag) == 2
+            and top_tag[0] == "acc"
+            and left_tag[1] != top_tag[1]
+        ):
+            raise self.protocol_error(
+                f"row result {left_tag!r} merged into accumulator {top_tag!r}"
+            )

@@ -1,0 +1,96 @@
+"""The comparison processor of Fig 3-2 — the workhorse of the paper.
+
+On each pulse the cell passes ``a`` downward and ``b`` upward
+unchanged, and computes ``t_out = t_in AND (a == b)``: the running AND
+of element comparisons that, after ``m`` columns, is the tuple-equality
+bit (§3.1).  The "surprising" property noted in §3.1 — a FALSE fed in
+guarantees FALSE out — is what the remove-duplicates array's triangular
+masking (§5) relies on.
+
+Ghost-tag discipline (verification only): ``a`` tokens are tagged
+``("a", i, k)``, ``b`` tokens ``("b", j, k)``, and ``t`` tokens
+``("t", i, j)``.  When tags are present the cell proves the schedule:
+the elements meeting here belong to the tuples the travelling ``t``
+claims to compare, and sit in the same element position ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.values import Token
+
+__all__ = ["ComparisonCell"]
+
+
+def _structured(tag: object, head: str) -> Optional[tuple]:
+    """Return the tag as a tuple if it follows the ``(head, ...)`` scheme."""
+    if isinstance(tag, tuple) and len(tag) == 3 and tag[0] == head:
+        return tag
+    return None
+
+
+class ComparisonCell(Cell):
+    """One processor of the (linear or 2-D) comparison array.
+
+    Parameters
+    ----------
+    name:
+        Unique cell name.
+    require_t:
+        When true (default), two elements meeting without an
+        accompanying partial result is treated as a feeding-schedule
+        violation.  Correctly staggered inputs always deliver the
+        travelling ``t`` together with the element pair (§3.1).
+    """
+
+    IN_PORTS = ("a_in", "b_in", "t_in")
+    OUT_PORTS = ("a_out", "b_out", "t_out")
+
+    def __init__(self, name: str, require_t: bool = True) -> None:
+        super().__init__(name)
+        self.require_t = require_t
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        a = inputs.get("a_in")
+        b = inputs.get("b_in")
+        t = inputs.get("t_in")
+        outputs: dict[str, Optional[Token]] = {}
+        if a is not None:
+            outputs["a_out"] = a
+        if b is not None:
+            outputs["b_out"] = b
+
+        if t is not None:
+            if a is None or b is None:
+                raise self.protocol_error(
+                    "a partial result arrived without an element pair to "
+                    "compare — the input schedule is mis-staggered"
+                )
+            self._check_tags(a, b, t)
+            result = bool(t.value) and (a.value == b.value)
+            outputs["t_out"] = Token(result, t.tag)
+        elif a is not None and b is not None and self.require_t:
+            raise self.protocol_error(
+                "elements met with no partial result on t_in — the t "
+                "injection schedule missed this meeting"
+            )
+        return outputs
+
+    def _check_tags(self, a: Token, b: Token, t: Token) -> None:
+        a_tag = _structured(a.tag, "a")
+        b_tag = _structured(b.tag, "b")
+        t_tag = _structured(t.tag, "t")
+        if a_tag and b_tag and a_tag[2] != b_tag[2]:
+            raise self.protocol_error(
+                f"element positions disagree: {a.tag!r} vs {b.tag!r}"
+            )
+        if t_tag and a_tag and t_tag[1] != a_tag[1]:
+            raise self.protocol_error(
+                f"t claims tuple a_{t_tag[1]} but element is {a.tag!r}"
+            )
+        if t_tag and b_tag and t_tag[2] != b_tag[1]:
+            raise self.protocol_error(
+                f"t claims tuple b_{t_tag[2]} but element is {b.tag!r}"
+            )

@@ -1,0 +1,122 @@
+"""The three processor types of the division array (§7, Fig 7-2).
+
+The dividend array has two columns.  The **left** column stores the
+distinct elements of the dividend's ``A₁`` column (one per processor);
+as each pair ``(x, y)`` streams upward, the left processor compares the
+passing ``x`` against its stored element and ships the match bit right.
+The **right** column carries the ``y`` of each pair "one step behind"
+its ``x``; when the match bit arrives together with ``y``, the
+processor gates ``y`` out of the right side of the array — or "some
+null value" (an explicit :data:`~repro.systolic.values.NULL_VALUE`
+token) when the match bit is FALSE.
+
+Each divisor-array row stores the divisor's elements (one per
+processor).  The gated ``y`` stream passes along the row; a processor
+sets a sticky flag when it sees its stored element.  "After the
+dividend passes through the array", an AND token sweeps the row,
+collecting ``AND`` of all flags: TRUE at the right edge means the
+stored ``x`` of that row belongs to the quotient.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.values import NULL_VALUE, Token
+
+__all__ = ["DividendMatchCell", "DividendGateCell", "DivisorCell"]
+
+
+class DividendMatchCell(Cell):
+    """Left-column dividend processor: stores one distinct ``A₁`` value."""
+
+    IN_PORTS = ("x_in",)
+    OUT_PORTS = ("x_out", "t_out")
+
+    def __init__(self, name: str, stored: int) -> None:
+        super().__init__(name)
+        self.stored = stored
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        x = inputs.get("x_in")
+        if x is None:
+            return {}
+        matched = x.value == self.stored
+        return {"x_out": x, "t_out": Token(matched, x.tag)}
+
+
+class DividendGateCell(Cell):
+    """Right-column dividend processor: gates ``y`` by the match bit.
+
+    The ``y`` and its match bit arrive on the same pulse (the ``y``
+    trails its ``x`` by exactly the one pulse the bit needs to cross
+    from the left column); either arriving alone is a schedule
+    violation.
+    """
+
+    IN_PORTS = ("y_in", "t_in")
+    OUT_PORTS = ("y_out", "y_pass")
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        y = inputs.get("y_in")
+        t = inputs.get("t_in")
+        if y is None and t is None:
+            return {}
+        if y is None or t is None:
+            raise self.protocol_error(
+                "y and its match bit must arrive together — the pair "
+                "stream is mis-staggered"
+            )
+        self._check_tags(y, t)
+        gated = y if bool(t.value) else Token(NULL_VALUE, y.tag)
+        return {"y_out": y, "y_pass": gated}
+
+    def _check_tags(self, y: Token, t: Token) -> None:
+        y_tag = y.tag
+        t_tag = t.tag
+        if (
+            isinstance(y_tag, tuple)
+            and len(y_tag) == 2
+            and y_tag[0] == "pair"
+            and isinstance(t_tag, tuple)
+            and len(t_tag) == 2
+            and t_tag[0] == "pair"
+            and y_tag[1] != t_tag[1]
+        ):
+            raise self.protocol_error(
+                f"y of pair {y_tag[1]} met the match bit of pair {t_tag[1]}"
+            )
+
+
+class DivisorCell(Cell):
+    """Divisor-array processor: stores one divisor element, flags sightings.
+
+    State: ``seen`` latches TRUE the first time the stored element
+    passes by on the ``y`` stream (explicit nulls never match).  The
+    AND sweep reads the flag: ``and_out = and_in AND seen``.
+    """
+
+    IN_PORTS = ("y_in", "and_in")
+    OUT_PORTS = ("y_out", "and_out")
+
+    def __init__(self, name: str, stored: int) -> None:
+        super().__init__(name)
+        self.stored = stored
+        self.seen = False
+
+    def reset(self) -> None:
+        self.seen = False
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        outputs: dict[str, Optional[Token]] = {}
+        y = inputs.get("y_in")
+        if y is not None:
+            outputs["y_out"] = y
+            if y.value is not NULL_VALUE and y.value == self.stored:
+                self.seen = True
+        and_token = inputs.get("and_in")
+        if and_token is not None:
+            outputs["and_out"] = Token(bool(and_token.value) and self.seen,
+                                       and_token.tag)
+        return outputs

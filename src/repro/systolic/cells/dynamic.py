@@ -1,0 +1,78 @@
+"""The op-code-carrying join comparator — §6.3.2's second option.
+
+"The particular operation to be performed might be encoded in a few
+bits, and passed along with the a_ij and b_ij.  Or, it might be
+preloaded into the array of processors."
+
+:class:`~repro.systolic.cells.theta.ThetaCell` is the preloaded form;
+this cell is the other one: an op code travels down the array alongside
+relation A's join-column elements (same staggering, same speed), and
+each processor performs whatever comparison the arriving code names.
+"This illustrates that some degree of programability can often be
+provided to a processor array at the expense of additional logic" —
+here, the extra op port and the operation decoder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.relational.algebra import COMPARISON_OPS
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.values import Token
+
+__all__ = ["DynamicThetaCell"]
+
+
+class DynamicThetaCell(Cell):
+    """A join comparator whose operation arrives with the data."""
+
+    IN_PORTS = ("a_in", "b_in", "t_in", "op_in")
+    OUT_PORTS = ("a_out", "b_out", "t_out", "op_out")
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        a = inputs.get("a_in")
+        b = inputs.get("b_in")
+        t = inputs.get("t_in")
+        op = inputs.get("op_in")
+        outputs: dict[str, Optional[Token]] = {}
+        if a is not None:
+            outputs["a_out"] = a
+        if b is not None:
+            outputs["b_out"] = b
+        if op is not None:
+            outputs["op_out"] = op
+        if (a is None) != (op is None):
+            raise self.protocol_error(
+                "the op code must travel with relation A's element — "
+                "one arrived without the other"
+            )
+        if a is not None and b is not None:
+            assert op is not None  # guaranteed by the pairing check above
+            compare = COMPARISON_OPS.get(op.value)
+            if compare is None:
+                raise self.protocol_error(
+                    f"unknown op code {op.value!r} arrived on op_in"
+                )
+            result = compare(a.value, b.value)
+            if t is not None:
+                result = bool(t.value) and result
+            outputs["t_out"] = Token(result, self._pair_tag(a, b, t))
+        elif t is not None:
+            raise self.protocol_error(
+                "a partial join result arrived without an element pair"
+            )
+        return outputs
+
+    @staticmethod
+    def _pair_tag(a: Token, b: Token, t: Optional[Token]) -> Optional[tuple]:
+        if t is not None and t.tag is not None:
+            return t.tag
+        a_tag = a.tag
+        b_tag = b.tag
+        if (
+            isinstance(a_tag, tuple) and len(a_tag) == 3 and a_tag[0] == "a"
+            and isinstance(b_tag, tuple) and len(b_tag) == 3 and b_tag[0] == "b"
+        ):
+            return ("t", a_tag[1], b_tag[1])
+        return None

@@ -1,0 +1,83 @@
+"""The programmable join comparator of §6 (Fig 6-1, §6.3.2).
+
+A join-array processor compares the ``a`` and ``b`` join-column values
+passing through it and emits the individual ``t_ij`` to the right — no
+accumulation follows (§6.2: "here we are interested in the t_ij
+individually").  For joins over several columns the partial results
+chain left-to-right exactly as in the comparison array (§6.3.1), so
+``t_in`` is ANDed when present and treated as TRUE at the leftmost
+column.
+
+§6.3.2 generalizes the equality test to "any sort of binary comparison
+(e.g. <, >, etc.)"; the operation "might be preloaded into the array of
+processors" — here it is a constructor argument, the simulated
+equivalent of preloading.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.relational.algebra import COMPARISON_OPS
+from repro.systolic.cell import Cell, PortMap
+from repro.systolic.values import Token
+
+__all__ = ["ThetaCell"]
+
+
+class ThetaCell(Cell):
+    """One processor of the join array, preloaded with a comparison op."""
+
+    IN_PORTS = ("a_in", "b_in", "t_in")
+    OUT_PORTS = ("a_out", "b_out", "t_out")
+
+    def __init__(self, name: str, op: str = "==") -> None:
+        super().__init__(name)
+        compare = COMPARISON_OPS.get(op)
+        if compare is None:
+            raise SimulationError(
+                f"cell {name!r}: unknown comparison operator {op!r}; "
+                f"have {sorted(COMPARISON_OPS)}"
+            )
+        self.op = op
+        self._compare = compare
+
+    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
+        a = inputs.get("a_in")
+        b = inputs.get("b_in")
+        t = inputs.get("t_in")
+        outputs: dict[str, Optional[Token]] = {}
+        if a is not None:
+            outputs["a_out"] = a
+        if b is not None:
+            outputs["b_out"] = b
+        if a is not None and b is not None:
+            result = self._compare(a.value, b.value)
+            if t is not None:
+                result = bool(t.value) and result
+            outputs["t_out"] = Token(result, self._pair_tag(a, b, t))
+        elif t is not None:
+            raise self.protocol_error(
+                "a partial join result arrived without an element pair — "
+                "the join-column schedule is mis-staggered"
+            )
+        return outputs
+
+    @staticmethod
+    def _pair_tag(a: Token, b: Token, t: Optional[Token]) -> Optional[tuple]:
+        """Derive the ``("t", i, j)`` tag from the meeting elements."""
+        if t is not None and t.tag is not None:
+            return t.tag
+        a_tag = a.tag
+        b_tag = b.tag
+        if (
+            isinstance(a_tag, tuple)
+            and len(a_tag) == 3
+            and a_tag[0] == "a"
+            and isinstance(b_tag, tuple)
+            and len(b_tag) == 3
+            and b_tag[0] == "b"
+        ):
+            return ("t", a_tag[1], b_tag[1])
+        return None

@@ -1,0 +1,28 @@
+"""Workloads: synthetic generators and the paper's worked examples."""
+
+from repro.workloads.generators import (
+    division_workload,
+    skewed_join_pair,
+    zipf_relation,
+    integer_schema,
+    join_pair,
+    overlapping_pair,
+    random_relation,
+    relation_with_duplicates,
+)
+from repro.workloads.paper_examples import division_example, three_by_three_pair
+from repro.workloads.suppliers_parts import suppliers_parts_database
+
+__all__ = [
+    "division_example",
+    "division_workload",
+    "integer_schema",
+    "join_pair",
+    "overlapping_pair",
+    "random_relation",
+    "relation_with_duplicates",
+    "skewed_join_pair",
+    "suppliers_parts_database",
+    "three_by_three_pair",
+    "zipf_relation",
+]

@@ -1,0 +1,67 @@
+"""The paper's worked examples, as ready-made relations.
+
+* :func:`three_by_three_pair` — the 3 × 3 relations of the Fig 3-4 /
+  Fig 4-1 walkthrough (concrete values chosen here; the figures only
+  show index labels).
+* :func:`division_example` — the Fig 7-1 division example.  The scanned
+  table is partially illegible; this is the reconstruction consistent
+  with every legible fragment (divisor B = {a, b, c, d}; dividend rows
+  i|a, i|b, i|c, i|d, j|c, k|a, k|c, k|d), giving quotient C = {i} —
+  only ``i`` is paired with *all* of B.
+"""
+
+from __future__ import annotations
+
+from repro.relational.domain import Domain
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = ["three_by_three_pair", "division_example"]
+
+
+def three_by_three_pair() -> tuple[Relation, Relation]:
+    """Two union-compatible 3-tuple, 3-column relations with one common tuple.
+
+    Shaped like the running example of §3.2–§4.2 (Figures 3-3, 3-4,
+    4-1): n = m = 3.  Exactly one tuple of A also appears in B, so the
+    intersection array's result vector is easy to eyeball.
+    """
+    domain = Domain("fig34")
+    schema = Schema.of(("c1", domain), ("c2", domain), ("c3", domain))
+    a = Relation.from_values(schema, [
+        (11, 12, 13),
+        (21, 22, 23),
+        (31, 32, 33),
+    ])
+    b = Relation.from_values(schema, [
+        (41, 42, 43),
+        (21, 22, 23),
+        (51, 52, 53),
+    ])
+    return a, b
+
+
+def division_example() -> tuple[Relation, Relation, Relation]:
+    """The Fig 7-1 example: ``C = A ÷ B`` with quotient {i}.
+
+    Returns ``(A, B, expected_C)`` with A over columns (A₁, A₂), B over
+    (B₁), C over (C₁).
+    """
+    groups = Domain("fig71-a1")
+    values = Domain("fig71-dom")
+    a_schema = Schema.of(("A1", groups), ("A2", values))
+    b_schema = Schema.of(("B1", values))
+    a = Relation.from_values(a_schema, [
+        ("i", "a"),
+        ("i", "b"),
+        ("i", "c"),
+        ("i", "d"),
+        ("j", "c"),
+        ("k", "a"),
+        ("k", "c"),
+        ("k", "d"),
+    ])
+    b = Relation.from_values(b_schema, [("a",), ("b",), ("c",), ("d",)])
+    c_schema = Schema.of(("C1", groups))
+    expected = Relation.from_values(c_schema, [("i",)])
+    return a, b, expected

@@ -1,0 +1,66 @@
+"""Codd's suppliers-and-parts database — reference [1]'s classic.
+
+The paper's relational model is Codd's (its first reference); the
+suppliers/parts/shipments schema is the canonical exercise for every
+operator the paper makes systolic, including the famous division query
+"suppliers who supply *every* part".  Used by the integration tests and
+the ``suppliers_parts.py`` example.
+"""
+
+from __future__ import annotations
+
+from repro.relational.domain import Domain, IntegerDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+__all__ = ["suppliers_parts_database"]
+
+
+def suppliers_parts_database() -> dict[str, Relation]:
+    """The S/P/SP instance (Date's variant of Codd's example).
+
+    Returns ``{"S": suppliers, "P": parts, "SP": shipments}`` with
+    shared domains so every cross-relation operation is well-defined.
+    """
+    snum = Domain("sno")
+    pnum = Domain("pno")
+    names = Domain("name")
+    cities = Domain("city")
+    # Magnitude comparisons (θ-joins on weight/qty) need an
+    # order-preserving encoding; the identity encoding provides it.
+    numbers = IntegerDomain("number")
+
+    suppliers = Relation.from_values(
+        Schema.of(("sno", snum), ("sname", names), ("status", numbers),
+                  ("city", cities)),
+        [
+            ("S1", "Smith", 20, "London"),
+            ("S2", "Jones", 10, "Paris"),
+            ("S3", "Blake", 30, "Paris"),
+            ("S4", "Clark", 20, "London"),
+            ("S5", "Adams", 30, "Athens"),
+        ],
+    )
+    parts = Relation.from_values(
+        Schema.of(("pno", pnum), ("pname", names), ("color", names),
+                  ("weight", numbers), ("city", cities)),
+        [
+            ("P1", "Nut", "Red", 12, "London"),
+            ("P2", "Bolt", "Green", 17, "Paris"),
+            ("P3", "Screw", "Blue", 17, "Oslo"),
+            ("P4", "Screw", "Red", 14, "London"),
+            ("P5", "Cam", "Blue", 12, "Paris"),
+            ("P6", "Cog", "Red", 19, "London"),
+        ],
+    )
+    shipments = Relation.from_values(
+        Schema.of(("sno", snum), ("pno", pnum), ("qty", numbers)),
+        [
+            ("S1", "P1", 300), ("S1", "P2", 200), ("S1", "P3", 400),
+            ("S1", "P4", 200), ("S1", "P5", 100), ("S1", "P6", 100),
+            ("S2", "P1", 300), ("S2", "P2", 400),
+            ("S3", "P2", 200),
+            ("S4", "P2", 200), ("S4", "P4", 300), ("S4", "P5", 400),
+        ],
+    )
+    return {"S": suppliers, "P": parts, "SP": shipments}

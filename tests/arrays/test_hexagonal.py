@@ -1,0 +1,149 @@
+"""The hexagonally connected alternative of §2.1 (ref [5])."""
+
+import pytest
+
+from repro.arrays import compare_all_pairs
+from repro.arrays.hexagonal import (
+    BOOLEAN_SEMIRING,
+    COMPARISON_SEMIRING,
+    HexCell,
+    U_A,
+    U_B,
+    U_C,
+    _a_start,
+    _b_start,
+    _c_start,
+    _meeting_cell,
+    hex_compare_all_pairs,
+    hex_matrix_product,
+)
+from repro.errors import SimulationError
+from repro.systolic.values import tok
+from repro.workloads import overlapping_pair, three_by_three_pair
+
+
+class TestScheduleGeometry:
+    def test_directions_sum_to_zero(self):
+        # The defining property of the hexagonal axes.
+        total = tuple(a + b + c for a, b, c in zip(U_A, U_B, U_C))
+        assert total == (0, 0)
+
+    def test_triples_meet(self):
+        # a[i][k], b[k][j], c[i][j] coincide at pulse i + j + k.
+        for i in range(3):
+            for j in range(3):
+                for k in range(3):
+                    t = i + j + k
+                    pa = tuple(s + t * d for s, d in zip(_a_start(i, k), U_A))
+                    pb = tuple(s + t * d for s, d in zip(_b_start(k, j), U_B))
+                    pc = tuple(s + t * d for s, d in zip(_c_start(i, j), U_C))
+                    assert pa == pb == pc == _meeting_cell(i, j, k)
+
+    def test_start_positions_injective_per_stream(self):
+        # No two same-stream tokens are ever co-resident: same velocity
+        # plus distinct starts.
+        a_starts = {_a_start(i, k) for i in range(5) for k in range(5)}
+        b_starts = {_b_start(k, j) for k in range(5) for j in range(5)}
+        c_starts = {_c_start(i, j) for i in range(5) for j in range(5)}
+        assert len(a_starts) == len(b_starts) == len(c_starts) == 25
+
+    def test_only_scheduled_triples_coincide(self):
+        # Exhaustively: whenever an a, b, and c token share a cell at a
+        # pulse, their indices form a scheduled (i, j, k) triple.
+        n = 3
+        horizon = 3 * (n - 1)
+        occupancy = {}
+        for i in range(n):
+            for k in range(n):
+                for t in range(horizon + 1):
+                    pos = tuple(s + t * d for s, d in zip(_a_start(i, k), U_A))
+                    occupancy.setdefault((pos, t), {})["a"] = (i, k)
+        for k in range(n):
+            for j in range(n):
+                for t in range(horizon + 1):
+                    pos = tuple(s + t * d for s, d in zip(_b_start(k, j), U_B))
+                    occupancy.setdefault((pos, t), {})["b"] = (k, j)
+        for i in range(n):
+            for j in range(n):
+                for t in range(i + j + n):
+                    pos = tuple(s + t * d for s, d in zip(_c_start(i, j), U_C))
+                    occupancy.setdefault((pos, t), {})["c"] = (i, j)
+        for (pos, t), streams in occupancy.items():
+            if len(streams) == 3:
+                (i, k) = streams["a"]
+                (k2, j) = streams["b"]
+                (i2, j2) = streams["c"]
+                assert (i, j, k) == (i2, j2, k2)
+                assert t == i + j + k
+
+
+class TestHexCell:
+    def test_semiring_step(self):
+        cell = HexCell("h", COMPARISON_SEMIRING)
+        out = cell.step({"a_in": tok(5), "b_in": tok(5), "c_in": tok(True)})
+        assert out["c_out"].value is True
+        out = cell.step({"a_in": tok(5), "b_in": tok(6), "c_in": tok(True)})
+        assert out["c_out"].value is False
+
+    def test_pass_through_without_meeting(self):
+        cell = HexCell("h", COMPARISON_SEMIRING)
+        out = cell.step({"a_in": tok(5), "b_in": None, "c_in": tok(True)})
+        assert out["c_out"].value is True  # c unchanged
+        assert out["a_out"].value == 5
+
+    def test_unscheduled_triple_detected_by_tags(self):
+        cell = HexCell("h", COMPARISON_SEMIRING)
+        with pytest.raises(SimulationError, match="unscheduled triple"):
+            cell.step({
+                "a_in": tok(5, ("a", 0, 0)),
+                "b_in": tok(5, ("b", 1, 0)),  # wrong k
+                "c_in": tok(True, ("c", 0, 0)),
+            })
+
+
+class TestHexComparison:
+    def test_paper_example(self):
+        a, b = three_by_three_pair()
+        result = hex_compare_all_pairs(a.tuples, b.tuples)
+        orthogonal = compare_all_pairs(a.tuples, b.tuples)
+        assert result.t_matrix == orthogonal.t_matrix
+
+    @pytest.mark.parametrize("n_a,n_b,arity", [(1, 1, 1), (2, 4, 2), (4, 2, 3)])
+    def test_shapes(self, n_a, n_b, arity):
+        a, b = overlapping_pair(n_a, n_b, min(n_a, n_b) // 2, arity=arity,
+                                seed=n_a * 10 + n_b)
+        hex_result = hex_compare_all_pairs(a.tuples, b.tuples)
+        ortho = compare_all_pairs(a.tuples, b.tuples)
+        assert hex_result.t_matrix == ortho.t_matrix
+
+    def test_finishes_in_linear_pulses(self):
+        a, b = overlapping_pair(5, 5, 2, arity=3, seed=9)
+        result = hex_compare_all_pairs(a.tuples, b.tuples)
+        assert result.run.pulses == (5 - 1) + (5 - 1) + (3 - 1) + 1
+
+    def test_peak_firing_at_most_a_third(self):
+        # Kung–Leiserson: the hex design keeps ≤ 1/3 of cells active.
+        a, b = overlapping_pair(4, 4, 2, arity=3, seed=10)
+        result = hex_compare_all_pairs(a.tuples, b.tuples)
+        assert result.peak_firing <= result.run.cells / 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError, match="non-empty"):
+            hex_compare_all_pairs([], [(1,)])
+
+
+class TestOtherSemirings:
+    def test_boolean_matrix_product(self):
+        A = [[1, 0, 1], [0, 0, 1], [1, 1, 0]]
+        B = [[0, 1, 0], [1, 0, 0], [0, 0, 1]]
+        b_cols = [[B[k][j] for k in range(3)] for j in range(3)]
+        result = hex_matrix_product(A, b_cols, BOOLEAN_SEMIRING)
+        expected = [
+            [bool(sum(A[i][k] * B[k][j] for k in range(3))) for j in range(3)]
+            for i in range(3)
+        ]
+        assert [[bool(v) for v in row] for row in result.t_matrix] == expected
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(SimulationError, match="inner dimension"):
+            hex_matrix_product([[1, 2]], [[1]], BOOLEAN_SEMIRING)

@@ -1,0 +1,110 @@
+"""The §8 pattern-match chip (the fabricated scaled-down array)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.patterns import WILDCARD, PatternCell, match_pattern
+from repro.systolic.values import tok
+
+
+def reference_matches(text: str, pattern: str, wildcard: str = "?") -> list[int]:
+    positions = []
+    for i in range(len(text) - len(pattern) + 1):
+        if all(
+            p == wildcard or text[i + k] == p
+            for k, p in enumerate(pattern)
+        ):
+            positions.append(i)
+    return positions
+
+
+class TestPatternCell:
+    def test_match_and_chain(self):
+        cell = PatternCell("p", ord("a"))
+        out = cell.step({"c_in": tok(ord("a")), "r_in": tok(True)})
+        assert out["r_out"].value is True
+
+    def test_mismatch_forces_false(self):
+        cell = PatternCell("p", ord("a"))
+        out = cell.step({"c_in": tok(ord("b")), "r_in": tok(True)})
+        assert out["r_out"].value is False
+
+    def test_false_in_false_out(self):
+        cell = PatternCell("p", ord("a"))
+        out = cell.step({"c_in": tok(ord("a")), "r_in": tok(False)})
+        assert out["r_out"].value is False
+
+    def test_wildcard_matches_anything(self):
+        cell = PatternCell("p", WILDCARD)
+        out = cell.step({"c_in": tok(ord("z")), "r_in": tok(True)})
+        assert out["r_out"].value is True
+
+    def test_character_passes_through(self):
+        cell = PatternCell("p", ord("a"))
+        out = cell.step({"c_in": tok(ord("q")), "r_in": None})
+        assert out["c_out"].value == ord("q")
+        assert "r_out" not in out
+
+    def test_result_without_character_is_violation(self):
+        cell = PatternCell("p", ord("a"))
+        with pytest.raises(SimulationError, match="misaligned"):
+            cell.step({"c_in": None, "r_in": tok(True)})
+
+
+class TestMatcher:
+    @pytest.mark.parametrize("text,pattern", [
+        ("abracadabra", "abra"),
+        ("abracadabra", "a"),
+        ("aaaa", "aa"),
+        ("mississippi", "issi"),
+        ("mississippi", "zz"),
+        ("ab", "ab"),
+    ])
+    def test_exact_matching(self, text, pattern):
+        result = match_pattern(text, pattern, wildcard=None)
+        assert result.matches == reference_matches(text, pattern, wildcard="\0")
+
+    @pytest.mark.parametrize("text,pattern", [
+        ("abracadabra", "a?a"),
+        ("abcabc", "??c"),
+        ("xyz", "???"),
+        ("banana", "?an"),
+    ])
+    def test_wildcard_matching(self, text, pattern):
+        result = match_pattern(text, pattern)
+        assert result.matches == reference_matches(text, pattern)
+
+    def test_overlapping_matches_found(self):
+        assert match_pattern("aaaa", "aa").matches == [0, 1, 2]
+
+    def test_bits_cover_all_alignments(self):
+        result = match_pattern("abcde", "cd")
+        assert len(result.bits) == 4
+        assert result.bits == [False, False, True, False]
+
+    def test_integer_sequences(self):
+        result = match_pattern([1, 2, 3, 1, 2], [1, 2])
+        assert result.matches == [0, 3]
+
+    def test_integer_with_wildcard(self):
+        result = match_pattern([1, 2, 3, 1, 9, 3], [1, WILDCARD, 3])
+        assert result.matches == [0, 3]
+
+    def test_pattern_longer_than_text_rejected(self):
+        with pytest.raises(SimulationError, match="shorter"):
+            match_pattern("ab", "abc")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(SimulationError, match="non-empty"):
+            match_pattern("abc", "")
+
+    def test_single_character_pattern(self):
+        result = match_pattern("abcabc", "b")
+        assert result.matches == [1, 4]
+        assert result.run.cells == 1  # no latches needed
+
+    def test_run_geometry(self):
+        result = match_pattern("abcdef", "cde")
+        assert result.run.cells == 2 * 3 - 1  # m cells + m-1 latches
+        # Last alignment (i=3) exits at pulse 3 + 2·(m−1) = 7.
+        assert result.run.pulses == 8

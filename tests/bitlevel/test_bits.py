@@ -1,0 +1,74 @@
+"""Bit encodings for the §8 word→bit partition."""
+
+import pytest
+
+from repro.bitlevel import bits_to_word, expand_tuple, required_width, word_to_bits
+from repro.errors import ReproError
+
+
+class TestWordToBits:
+    def test_msb_first(self):
+        assert word_to_bits(6, 4) == (0, 1, 1, 0)
+
+    def test_zero(self):
+        assert word_to_bits(0, 3) == (0, 0, 0)
+
+    def test_max_value(self):
+        assert word_to_bits(7, 3) == (1, 1, 1)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ReproError, match="does not fit"):
+            word_to_bits(8, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            word_to_bits(-1, 3)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ReproError):
+            word_to_bits(True, 3)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ReproError):
+            word_to_bits(0, 0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [0, 1, 5, 127, 128, 1000])
+    def test_roundtrip(self, value):
+        width = max(1, value.bit_length())
+        assert bits_to_word(word_to_bits(value, width)) == value
+
+    def test_bits_to_word_validates(self):
+        with pytest.raises(ReproError):
+            bits_to_word([])
+        with pytest.raises(ReproError):
+            bits_to_word([0, 2])
+
+
+class TestRequiredWidth:
+    def test_covers_max(self):
+        assert required_width([0, 5, 3]) == 3
+        assert required_width([8]) == 4
+
+    def test_empty_and_zero(self):
+        assert required_width([]) == 1
+        assert required_width([0]) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            required_width([-3])
+
+
+class TestExpandTuple:
+    def test_concatenation(self):
+        assert expand_tuple((2, 1), 2) == (1, 0, 0, 1)
+
+    def test_equality_preserved(self):
+        # The property the whole transformation rests on.
+        pairs = [((3, 7), (3, 7)), ((3, 7), (3, 6)), ((0, 1), (1, 0))]
+        for a, b in pairs:
+            assert (a == b) == (expand_tuple(a, 4) == expand_tuple(b, 4))
+
+    def test_length(self):
+        assert len(expand_tuple((1, 2, 3), 5)) == 15

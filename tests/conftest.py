@@ -1,0 +1,38 @@
+"""Shared fixtures: small schemas and relations used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import Domain, MultiRelation, Relation, Schema
+
+
+@pytest.fixture
+def int_domain() -> Domain:
+    return Domain("d", values=range(100))
+
+
+@pytest.fixture
+def pair_schema(int_domain: Domain) -> Schema:
+    return Schema.of(("x", int_domain), ("y", int_domain))
+
+
+@pytest.fixture
+def triple_schema(int_domain: Domain) -> Schema:
+    return Schema.of(("x", int_domain), ("y", int_domain), ("z", int_domain))
+
+
+@pytest.fixture
+def small_pair(pair_schema: Schema) -> tuple[Relation, Relation]:
+    """Two union-compatible relations with a known 2-tuple intersection."""
+    a = Relation(pair_schema, [(1, 2), (3, 4), (5, 6), (7, 8)])
+    b = Relation(pair_schema, [(3, 4), (9, 9), (7, 8)])
+    return a, b
+
+
+@pytest.fixture
+def dup_multi(pair_schema: Schema) -> MultiRelation:
+    """A multi-relation with duplicate groups {(1,1)×3, (2,2)×2, (3,3)×1}."""
+    return MultiRelation(
+        pair_schema, [(1, 1), (2, 2), (1, 1), (3, 3), (2, 2), (1, 1)]
+    )

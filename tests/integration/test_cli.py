@@ -1,0 +1,119 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def csv_pair(tmp_path):
+    emp = tmp_path / "emp.csv"
+    emp.write_text(
+        "name,dept\nada,research\ngrace,research\nedsger,theory\n"
+    )
+    dept = tmp_path / "dept.csv"
+    dept.write_text("dept,budget\nresearch,900\ntheory,400\n")
+    return emp, dept
+
+
+class TestQueryCommand:
+    def test_join_query(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        code = main([
+            "query", "join(EMP, DEPT, dept == dept)",
+            "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(3 tuples)" in out
+        assert "ada" in out
+
+    def test_engines_agree(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        outputs = []
+        for engine in ("systolic", "software"):
+            assert main([
+                "query", "project(join(EMP, DEPT, dept == dept), name, budget)",
+                "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+                "--engine", engine,
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_output_file(self, csv_pair, tmp_path, capsys):
+        emp, dept = csv_pair
+        out_file = tmp_path / "result.csv"
+        assert main([
+            "query", "dedup(EMP)",
+            "-r", f"EMP={emp}", "--out", str(out_file),
+        ]) == 0
+        assert "written" in capsys.readouterr().out
+        content = out_file.read_text()
+        assert content.startswith("name,dept")
+        assert "ada" in content
+
+    def test_bad_relation_spec(self, capsys):
+        assert main(["query", "dedup(A)", "-r", "nonsense"]) == 1
+        assert "NAME=path" in capsys.readouterr().err
+
+    def test_missing_relation(self, csv_pair, capsys):
+        emp, _ = csv_pair
+        assert main([
+            "query", "intersect(EMP, GHOST)", "-r", f"EMP={emp}",
+        ]) == 1
+        assert "GHOST" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, csv_pair, capsys):
+        emp, _ = csv_pair
+        assert main(["query", "teleport(EMP)", "-r", f"EMP={emp}"]) == 1
+        assert "unknown function" in capsys.readouterr().err
+
+
+class TestMachineCommand:
+    def test_machine_prints_timeline(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        code = main([
+            "machine", "join(EMP, DEPT, dept == dept)",
+            "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "join0" in out
+        assert "load EMP" in out
+
+    def test_logic_per_track_flag(self, csv_pair, capsys):
+        emp, _ = csv_pair
+        code = main([
+            "machine", "select(EMP, dept == 0)",
+            "-r", f"EMP={emp}", "--logic-per-track",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Fused into the read: no separate cpu step on the timeline.
+        assert "cpu" not in out
+
+
+class TestOptimizeFlag:
+    def test_optimized_query_same_answer(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        args_base = [
+            "query", "select(dedup(EMP), dept == 0)",
+            "-r", f"EMP={emp}",
+        ]
+        assert main(args_base) == 0
+        plain = capsys.readouterr().out
+        assert main(args_base + ["--optimize"]) == 0
+        optimized = capsys.readouterr().out
+        assert plain == optimized
+
+    def test_optimize_enables_disk_fusion_on_machine(self, csv_pair, capsys):
+        emp, _ = csv_pair
+        code = main([
+            "machine", "select(dedup(EMP), name == 0)",
+            "-r", f"EMP={emp}", "--logic-per-track", "--optimize",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Pushdown sank the select under the dedup, onto the base read.
+        assert "cpu" not in out

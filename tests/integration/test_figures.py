@@ -1,0 +1,70 @@
+"""Figure rendering: schematics drawn from live networks."""
+
+import pytest
+
+from repro.arrays.comparison_array import build_comparison_array
+from repro.arrays.intersection import build_intersection_array
+from repro.figures import (
+    division_schematic,
+    grid_schematic,
+    machine_schematic,
+    network_summary,
+)
+from repro.machine import SystolicDatabaseMachine
+from repro.workloads import three_by_three_pair
+
+
+@pytest.fixture
+def comparison():
+    a, b = three_by_three_pair()
+    return build_comparison_array(a.tuples, b.tuples)
+
+
+class TestNetworkSummary:
+    def test_census_counts(self, comparison):
+        network, schedule, _ = comparison
+        text = network_summary(network)
+        assert f"{schedule.rows * schedule.arity} × ComparisonCell" in text
+        assert "0 unconnected inputs" in text
+        assert f"{len(network.wires)} wires" in text
+
+    def test_intersection_lists_both_cell_types(self):
+        a, b = three_by_three_pair()
+        network, _, _ = build_intersection_array(a, b)
+        text = network_summary(network)
+        assert "AccumulationCell" in text
+        assert "ComparisonCell" in text
+
+
+class TestGridSchematic:
+    def test_box_per_cell(self, comparison):
+        _, schedule, layout = comparison
+        art = grid_schematic(layout)
+        assert art.count("| = |") == schedule.rows * schedule.arity
+
+    def test_accumulators_get_plus_glyph(self):
+        a, b = three_by_three_pair()
+        _, schedule, layout = build_intersection_array(a, b)
+        art = grid_schematic(layout)
+        assert art.count("| + |") == schedule.rows
+
+    def test_custom_labels(self):
+        art = grid_schematic({"x": (0, 0)}, label={"x": "AB"})
+        assert "AB" in art
+
+    def test_empty_layout(self):
+        assert grid_schematic({}) == "(empty layout)"
+
+
+class TestOtherSchematics:
+    def test_division_shape(self):
+        art = division_schematic(["i", "j"], ["a", "b"])
+        assert art.count("AND") == 2
+        assert "[i]" in art and "[b]" in art
+
+    def test_machine_boxes(self):
+        art = machine_schematic(SystolicDatabaseMachine())
+        assert "[mem0]" in art
+        assert "[comparison0]" in art
+        assert "[disk]" in art
+        assert "crossbar" in art

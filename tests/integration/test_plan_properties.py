@@ -1,0 +1,99 @@
+"""Property tests over random query plans.
+
+Hypothesis builds arbitrary plan trees over a small catalog and checks
+the system-level invariants: every engine computes the same answer,
+and the optimizer never changes it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.lang import execute_plan, optimize
+from repro.lang.optimize import share_common_subplans
+from repro.machine.plan import (
+    Base,
+    Dedup,
+    Difference,
+    Intersect,
+    PlanNode,
+    Project,
+    Select,
+    Union,
+    walk,
+)
+from repro.relational import Domain, Relation, Schema
+
+SMALL = settings(max_examples=20, deadline=None)
+
+_DOMAIN = Domain("planprop", values=range(5))
+_SCHEMA = Schema.of(("x", _DOMAIN), ("y", _DOMAIN))
+_CATALOG = {
+    "A": Relation(_SCHEMA, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+    "B": Relation(_SCHEMA, [(1, 2), (3, 4), (0, 0), (2, 2)]),
+}
+
+#: Union-compatible plan expressions over A and B (all produce the
+#: two-column schema, so they compose freely).
+bases = st.sampled_from([Base("A"), Base("B")])
+
+
+def _extend(children: st.SearchStrategy[PlanNode]) -> st.SearchStrategy[PlanNode]:
+    binary = st.sampled_from([Intersect, Union, Difference])
+    return st.one_of(
+        st.builds(lambda op, l, r: op(l, r), binary, children, children),
+        st.builds(Dedup, children),
+        st.builds(
+            lambda child, col, op, val: Select(child, column=col, op=op,
+                                               value=val),
+            children,
+            st.sampled_from(["x", "y"]),
+            st.sampled_from(["==", "!=", "<", ">=", "<=", ">"]),
+            st.integers(0, 4),
+        ),
+    )
+
+
+plans = st.recursive(bases, _extend, max_leaves=6)
+
+
+class TestRandomPlans:
+    @SMALL
+    @given(plan=plans)
+    def test_engines_agree(self, plan):
+        software = execute_plan(plan, _CATALOG, "software")
+        systolic = execute_plan(plan, _CATALOG, "systolic")
+        assert software == systolic
+
+    @SMALL
+    @given(plan=plans)
+    def test_optimizer_preserves_semantics(self, plan):
+        before = execute_plan(plan, _CATALOG, "software")
+        after = execute_plan(optimize(plan), _CATALOG, "software")
+        assert before == after
+
+    @SMALL
+    @given(plan=plans)
+    def test_optimizer_is_idempotent(self, plan):
+        once = optimize(plan)
+        twice = optimize(once)
+        assert once == twice
+
+    @SMALL
+    @given(plan=plans)
+    def test_sharing_never_grows_the_plan(self, plan):
+        shared = share_common_subplans(plan)
+        assert len(walk(shared)) <= len(walk(plan))
+        assert execute_plan(shared, _CATALOG, "software") == (
+            execute_plan(plan, _CATALOG, "software")
+        )
+
+    @SMALL
+    @given(plan=plans)
+    def test_projection_wrapper_shrinks_arity(self, plan):
+        projected = Project(plan, ("y",))
+        result = execute_plan(projected, _CATALOG, "software")
+        assert result.arity == 1
+        assert execute_plan(projected, _CATALOG, "systolic") == result

@@ -1,0 +1,62 @@
+"""The EXPERIMENTS.md regeneration tool's table extractor."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+from regen_experiments import extract_tables  # noqa: E402
+
+
+def box(title: str, rows: list[str]) -> str:
+    rule = "=" * 30
+    header = "     | paper | measured"
+    dashes = "-----+-------+---------"
+    return "\n".join([rule, title, rule, header, dashes] + rows + [rule])
+
+
+class TestExtraction:
+    def test_single_box(self):
+        output = "noise\n" + box("E1 linear array", ["row  |  1 |  1"]) + "\n.\n"
+        tables = extract_tables(output)
+        assert len(tables) == 1
+        assert "E1 linear array" in tables[0]
+        assert "row" in tables[0]
+
+    def test_junk_titles_filtered(self):
+        output = "\n".join([
+            "=" * 10, ".", "=" * 10,   # a pytest pass-dot, not a table
+            box("E2 real", ["r | 1 | 1"]),
+        ])
+        tables = extract_tables(output)
+        assert len(tables) == 1
+        assert "E2 real" in tables[0]
+
+    def test_tables_sorted_by_experiment_id(self):
+        output = "\n".join([
+            box("E10 later", ["r | 1 | 1"]),
+            box("E2b middle", ["r | 1 | 1"]),
+            box("E2  early", ["r | 1 | 1"]),
+            box("ABL3 ablation", ["r | 1 | 1"]),
+        ])
+        tables = extract_tables(output)
+        titles = [t.splitlines()[1] for t in tables]
+        assert titles == ["E2  early", "E2b middle", "E10 later",
+                          "ABL3 ablation"]
+
+    def test_box_without_table_rows_dropped(self):
+        rule = "=" * 10
+        output = "\n".join([rule, "just a banner", rule])
+        assert extract_tables(output) == []
+
+    def test_live_experiments_file_is_complete(self):
+        text = (Path(__file__).resolve().parents[2] / "EXPERIMENTS.md").read_text()
+        # Every core experiment and every extension appears.
+        for experiment in [f"E{n}" for n in range(1, 19)] + [
+            "ABL1", "ABL2", "ABL3", "ABL4",
+        ]:
+            assert f"\n{experiment}" in text or f" {experiment}" in text, (
+                f"{experiment} missing from EXPERIMENTS.md"
+            )
+        assert "reproduced" in text

@@ -1,0 +1,46 @@
+"""The self-verification sweep and its CLI entry point."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.selftest import CheckResult, SelfTestReport, run_selftest
+
+
+class TestSelfTest:
+    def test_sweep_passes(self):
+        report = run_selftest(seed=3, size=6)
+        assert report.passed
+        assert len(report.checks) == 14
+
+    def test_deterministic_per_seed(self):
+        first = run_selftest(seed=1, size=5)
+        second = run_selftest(seed=1, size=5)
+        assert [c.detail for c in first.checks] == [
+            c.detail for c in second.checks
+        ]
+
+    def test_summary_scoreboard(self):
+        report = run_selftest(seed=0, size=4)
+        text = report.summary()
+        assert "ALL CHECKS PASSED" in text
+        assert "intersection [counter]" in text
+        assert "pattern-match chip" in text
+
+    def test_failure_is_reported_not_raised(self):
+        report = SelfTestReport(checks=[
+            CheckResult("good", True, "fine"),
+            CheckResult("bad", False, "AssertionError: boom"),
+        ])
+        assert not report.passed
+        assert "FAIL" in report.summary()
+        assert "CHECKS FAILED" in report.summary()
+
+
+class TestSelfTestCli:
+    def test_cli_exit_zero_on_pass(self, capsys):
+        assert main(["selftest", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out
+
+    def test_cli_seed_flag(self, capsys):
+        assert main(["selftest", "--size", "4", "--seed", "9"]) == 0

@@ -1,0 +1,77 @@
+"""Plan evaluation: software and systolic engines agree."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.lang import execute_plan, parse, query
+from repro.relational import algebra
+from repro.workloads import division_example, join_pair, overlapping_pair
+
+
+@pytest.fixture
+def catalog():
+    a, b = overlapping_pair(7, 6, 3, arity=2, seed=50)
+    ja, jb = join_pair(6, 5, 3, seed=51)
+    da, db, _ = division_example()
+    return {"A": a, "B": b, "JA": ja, "JB": jb, "DA": da, "DB": db}
+
+
+QUERIES = [
+    "intersect(A, B)",
+    "difference(A, B)",
+    "union(A, B)",
+    "dedup(A)",
+    "project(A, c0)",
+    "project(A, #1, #0)",
+    "join(JA, JB, key == key)",
+    "join(JA, JB, key <= key)",
+    "project(join(JA, JB, key == key), key, a0)",
+    "divide(DA, DB, group = A1, value = A2, by = B1)",
+    "select(A, c0 >= 0)",
+    "intersect(union(A, B), A)",
+    "difference(A, intersect(A, B))",
+]
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("source", QUERIES)
+    def test_software_vs_systolic(self, catalog, source):
+        software = query(source, catalog, engine="software")
+        systolic = query(source, catalog, engine="systolic")
+        assert software == systolic, source
+
+
+class TestAgainstDirectAlgebra:
+    def test_intersect(self, catalog):
+        assert query("intersect(A, B)", catalog) == algebra.intersection(
+            catalog["A"], catalog["B"]
+        )
+
+    def test_nested(self, catalog):
+        result = query("difference(A, intersect(A, B))", catalog)
+        expected = algebra.difference(
+            catalog["A"], algebra.intersection(catalog["A"], catalog["B"])
+        )
+        assert result == expected
+
+
+class TestErrors:
+    def test_missing_relation(self, catalog):
+        with pytest.raises(PlanError, match="no relation named"):
+            query("intersect(A, GHOST)", catalog)
+
+    def test_unknown_engine(self, catalog):
+        with pytest.raises(PlanError, match="unknown engine"):
+            execute_plan(parse("dedup(A)"), catalog, engine="quantum")
+
+
+class TestMachineParity:
+    def test_parsed_plan_runs_on_the_machine(self, catalog):
+        from repro.machine import SystolicDatabaseMachine
+
+        machine = SystolicDatabaseMachine()
+        for name, relation in catalog.items():
+            machine.store(name, relation)
+        plan = parse("project(join(JA, JB, key == key), key, a0)")
+        machine_result, _ = machine.run(plan)
+        assert machine_result == execute_plan(plan, catalog, "software")

@@ -1,0 +1,164 @@
+"""Plan rewrites: applied where legal, semantics always preserved."""
+
+import pytest
+
+from repro.lang import execute_plan, parse
+from repro.lang.optimize import optimize, share_common_subplans
+from repro.machine.plan import (
+    Base,
+    Dedup,
+    Difference,
+    Intersect,
+    Project,
+    Select,
+    Union,
+    walk,
+)
+from repro.workloads import overlapping_pair
+
+
+@pytest.fixture
+def catalog():
+    a, b = overlapping_pair(8, 7, 3, arity=2, seed=300)
+    return {"A": a, "B": b}
+
+
+def assert_equivalent(source: str, catalog) -> None:
+    plan = parse(source)
+    optimized = optimize(plan)
+    assert execute_plan(plan, catalog, "software") == (
+        execute_plan(optimized, catalog, "software")
+    )
+
+
+class TestRedundancyRules:
+    def test_dedup_dedup(self):
+        plan = optimize(Dedup(Dedup(Base("A"))))
+        assert plan == Dedup(Base("A"))
+
+    def test_dedup_over_project(self):
+        plan = optimize(Dedup(Project(Base("A"), ("x",))))
+        assert plan == Project(Base("A"), ("x",))
+
+    def test_dedup_over_set_operator(self):
+        plan = optimize(Dedup(Intersect(Base("A"), Base("B"))))
+        assert plan == Intersect(Base("A"), Base("B"))
+
+    def test_self_intersection(self):
+        assert optimize(Intersect(Base("A"), Base("A"))) == Base("A")
+
+    def test_self_union(self):
+        assert optimize(Union(Base("A"), Base("A"))) == Base("A")
+
+    def test_structural_not_just_identity(self):
+        left = Dedup(Base("A"))
+        right = Dedup(Base("A"))  # distinct objects, equal structure
+        assert optimize(Union(left, right)) == Dedup(Base("A"))
+
+
+class TestProjectionComposition:
+    def test_composes_names(self):
+        plan = optimize(
+            Project(Project(Base("A"), ("x", "y", "z")), ("z", "x"))
+        )
+        assert plan == Project(Base("A"), ("z", "x"))
+
+    def test_composes_outer_indices(self):
+        plan = optimize(Project(Project(Base("A"), ("x", "y")), (1,)))
+        assert plan == Project(Base("A"), ("y",))
+
+    def test_bails_on_unresolvable(self):
+        # Outer name not present in the inner list: leave untouched.
+        original = Project(Project(Base("A"), (0, 1)), ("x",))
+        assert optimize(original) == original
+
+
+class TestSelectionPushdown:
+    def test_through_intersection(self):
+        plan = optimize(Select(Intersect(Base("A"), Base("B")), "c0", ">=", 3))
+        assert plan == Intersect(
+            Select(Base("A"), "c0", ">=", 3), Base("B")
+        )
+
+    def test_through_union_duplicates_the_select(self):
+        plan = optimize(Select(Union(Base("A"), Base("B")), "c0", "<", 5))
+        assert isinstance(plan, Union)
+        assert isinstance(plan.left, Select)
+        assert isinstance(plan.right, Select)
+
+    def test_through_difference_filters_minuend_only(self):
+        plan = optimize(Select(Difference(Base("A"), Base("B")), "c0", "==", 1))
+        assert plan == Difference(
+            Select(Base("A"), "c0", "==", 1), Base("B")
+        )
+
+    def test_through_dedup(self):
+        plan = optimize(Select(Dedup(Base("A")), "c0", "!=", 0))
+        assert plan == Dedup(Select(Base("A"), "c0", "!=", 0))
+
+    def test_pushes_all_the_way_down(self):
+        plan = optimize(
+            Select(Dedup(Union(Base("A"), Base("B"))), "c0", ">", 2)
+        )
+        # select sank below both dedup and union, reaching the bases.
+        selects = [n for n in walk(plan) if isinstance(n, Select)]
+        assert len(selects) == 2
+        assert all(isinstance(s.child, Base) for s in selects)
+
+
+class TestSharing:
+    def test_equal_subtrees_become_one_object(self):
+        plan = Union(
+            Intersect(Base("A"), Base("B")),
+            Intersect(Base("A"), Base("B")),
+        )
+        shared = share_common_subplans(plan)
+        # Self-union then collapses entirely under full optimize():
+        assert shared.left is shared.right
+
+    def test_sharing_counts_in_walk(self):
+        plan = share_common_subplans(Union(
+            Difference(Base("A"), Base("B")),
+            Difference(Base("A"), Base("B")),
+        ))
+        labels = [n.describe() for n in walk(plan)]
+        assert labels.count("difference") == 1
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("source", [
+        "dedup(dedup(A))",
+        "dedup(project(A, c0))",
+        "intersect(A, A)",
+        "union(dedup(A), dedup(A))",
+        "project(project(A, c0, c1), c1)",
+        "select(intersect(A, B), c0 >= 0)",
+        "select(union(A, B), c1 < 9999)",
+        "select(difference(A, B), c0 != 3)",
+        "select(dedup(union(A, B)), c0 > 1)",
+        "difference(union(A, B), intersect(A, B))",
+    ])
+    def test_optimized_plan_gives_identical_answer(self, source, catalog):
+        assert_equivalent(source, catalog)
+
+    def test_systolic_engine_agrees_too(self, catalog):
+        source = "select(dedup(union(A, B)), c0 >= 0)"
+        plan = optimize(parse(source))
+        assert execute_plan(plan, catalog, "systolic") == (
+            execute_plan(parse(source), catalog, "software")
+        )
+
+    def test_machine_benefits_from_pushdown(self, catalog):
+        # On a logic-per-track disk, the pushed-down selects fuse into
+        # the reads: no CPU steps remain.
+        from repro.machine import MachineDisk, SystolicDatabaseMachine
+
+        machine = SystolicDatabaseMachine(
+            disk=MachineDisk(logic_per_track=True)
+        )
+        for name, relation in catalog.items():
+            machine.store(name, relation)
+        plan = optimize(parse("select(union(A, B), c0 >= 0)"))
+        result, report = machine.run(plan)
+        assert result == execute_plan(plan, catalog, "software")
+        assert all(step.device != "cpu" for step in report.steps)

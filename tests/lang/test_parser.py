@@ -1,0 +1,129 @@
+"""Parser: expression text → plan AST."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import parse
+from repro.machine import (
+    Base,
+    Dedup,
+    Difference,
+    Divide,
+    Intersect,
+    Join,
+    Project,
+    Select,
+    Union,
+)
+
+
+class TestBasicForms:
+    def test_bare_name_is_base(self):
+        plan = parse("EMPLOYEES")
+        assert isinstance(plan, Base)
+        assert plan.name == "EMPLOYEES"
+
+    def test_intersect(self):
+        plan = parse("intersect(A, B)")
+        assert isinstance(plan, Intersect)
+        assert plan.left == Base("A")
+        assert plan.right == Base("B")
+
+    def test_difference_union_dedup(self):
+        assert isinstance(parse("difference(A, B)"), Difference)
+        assert isinstance(parse("union(A, B)"), Union)
+        assert isinstance(parse("dedup(A)"), Dedup)
+
+    def test_nesting(self):
+        plan = parse("intersect(union(A, B), difference(C, D))")
+        assert isinstance(plan, Intersect)
+        assert isinstance(plan.left, Union)
+        assert isinstance(plan.right, Difference)
+
+
+class TestProject:
+    def test_named_columns(self):
+        plan = parse("project(A, name, salary)")
+        assert isinstance(plan, Project)
+        assert plan.columns == ("name", "salary")
+
+    def test_positional_columns(self):
+        assert parse("project(A, #0, #2)").columns == (0, 2)
+
+    def test_requires_columns(self):
+        with pytest.raises(ParseError, match="at least one column"):
+            parse("project(A)")
+
+
+class TestJoin:
+    def test_equi_join(self):
+        plan = parse("join(A, B, dept == dept)")
+        assert isinstance(plan, Join)
+        assert plan.on == (("dept", "dept"),)
+        assert plan.ops is None  # pure equality
+
+    def test_multi_column(self):
+        plan = parse("join(A, B, x == x, y == y)")
+        assert plan.on == (("x", "x"), ("y", "y"))
+
+    def test_theta_join(self):
+        plan = parse("join(A, B, qty < limit)")
+        assert plan.ops == ("<",)
+
+    def test_mixed_ops(self):
+        plan = parse("join(A, B, k == k, v >= w)")
+        assert plan.ops == ("==", ">=")
+
+    def test_positional_join_columns(self):
+        plan = parse("join(A, B, #0 == #1)")
+        assert plan.on == ((0, 1),)
+
+    def test_requires_condition(self):
+        with pytest.raises(ParseError, match="condition"):
+            parse("join(A, B)")
+
+
+class TestSelectAndDivide:
+    def test_select(self):
+        plan = parse("select(A, salary >= 50000)")
+        assert isinstance(plan, Select)
+        assert (plan.column, plan.op, plan.value) == ("salary", ">=", 50000)
+
+    def test_divide_defaults(self):
+        plan = parse("divide(A, B)")
+        assert isinstance(plan, Divide)
+        assert plan.a_value == 1
+        assert plan.a_group is None
+        assert plan.b_value == 0
+
+    def test_divide_keywords(self):
+        plan = parse("divide(A, B, group = student, value = course, by = cid)")
+        assert plan.a_group == "student"
+        assert plan.a_value == "course"
+        assert plan.b_value == "cid"
+
+    def test_divide_unknown_keyword(self):
+        with pytest.raises(ParseError, match="group/value/by"):
+            parse("divide(A, B, bogus = x)")
+
+
+class TestErrors:
+    def test_unknown_function(self):
+        with pytest.raises(ParseError, match="unknown function"):
+            parse("teleport(A, B)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="expected EOF"):
+            parse("intersect(A, B) extra")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse("intersect(A, B")
+
+    def test_missing_comma(self):
+        with pytest.raises(ParseError):
+            parse("intersect(A B)")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError, match="position"):
+            parse("intersect(A,)")

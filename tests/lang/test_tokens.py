@@ -1,0 +1,61 @@
+"""Tokenizer for the expression language."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokenizer:
+    def test_simple_call(self):
+        assert kinds("intersect(A, B)") == [
+            "NAME", "LPAREN", "NAME", "COMMA", "NAME", "RPAREN", "EOF"
+        ]
+
+    def test_comparison_operators(self):
+        assert texts("a == b != c <= d >= e < f > g") == [
+            "a", "==", "b", "!=", "c", "<=", "d", ">=", "e", "<", "f", ">", "g"
+        ]
+
+    def test_longest_operator_wins(self):
+        tokens = tokenize("x<=1")
+        assert [t.text for t in tokens[:-1]] == ["x", "<=", "1"]
+
+    def test_assign_vs_equality(self):
+        assert [t.kind for t in tokenize("a = b == c")[:-1]] == [
+            "NAME", "ASSIGN", "NAME", "OP", "NAME"
+        ]
+
+    def test_hash_column(self):
+        assert kinds("#3")[:2] == ["HASH", "INT"]
+
+    def test_integers(self):
+        tokens = tokenize("select(A, x >= 50000)")
+        assert tokens[-2].kind == "RPAREN"
+        assert any(t.kind == "INT" and t.text == "50000" for t in tokens)
+
+    def test_underscored_names(self):
+        assert tokenize("my_rel_2")[0].text == "my_rel_2"
+
+    def test_whitespace_insensitive(self):
+        assert kinds(" intersect ( A , B ) ") == kinds("intersect(A,B)")
+
+    def test_position_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("intersect(A; B)")
+
+    def test_empty_source(self):
+        assert kinds("") == ["EOF"]

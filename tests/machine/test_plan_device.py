@@ -1,0 +1,139 @@
+"""Plan AST validation and device dispatch."""
+
+import pytest
+
+from repro.arrays import ArrayCapacity
+from repro.errors import PlanError
+from repro.machine import (
+    Base,
+    CpuDevice,
+    Dedup,
+    Difference,
+    Divide,
+    Intersect,
+    Join,
+    Project,
+    Select,
+    SystolicDevice,
+    Union,
+    walk,
+)
+from repro.machine.plan import DEVICE_COMPARISON, DEVICE_DIVISION, DEVICE_JOIN
+from repro.relational import Relation, algebra
+from repro.workloads import division_example, join_pair, overlapping_pair
+
+
+class TestPlanNodes:
+    def test_device_kinds(self):
+        a, b = Base("A"), Base("B")
+        assert Intersect(a, b).device_kind == DEVICE_COMPARISON
+        assert Difference(a, b).device_kind == DEVICE_COMPARISON
+        assert Union(a, b).device_kind == DEVICE_COMPARISON
+        assert Dedup(a).device_kind == DEVICE_COMPARISON
+        assert Project(a, ("x",)).device_kind == DEVICE_COMPARISON
+        assert Join(a, b, on=(("x", "x"),)).device_kind == DEVICE_JOIN
+        assert Divide(a, b).device_kind == DEVICE_DIVISION
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            Base("")
+        with pytest.raises(PlanError):
+            Project(Base("A"), ())
+        with pytest.raises(PlanError):
+            Join(Base("A"), Base("B"), on=())
+        with pytest.raises(PlanError):
+            Join(Base("A"), Base("B"), on=(("x", "x"),), ops=("<", ">"))
+
+    def test_describe(self):
+        node = Join(Base("A"), Base("B"), on=(("k", "k"),), ops=("<",))
+        assert "k<k" in node.describe()
+        assert Select(Base("A"), "x", ">=", 5).describe() == "select[x>=5]"
+
+    def test_walk_postorder(self):
+        a, b = Base("A"), Base("B")
+        plan = Intersect(Union(a, b), b)
+        order = walk(plan)
+        assert order[0] is a
+        assert order[-1] is plan
+        # Shared node b appears exactly once.
+        assert sum(1 for n in order if n is b) == 1
+
+    def test_walk_respects_dependencies(self):
+        plan = Project(Dedup(Base("A")), ("x",))
+        order = walk(plan)
+        positions = {id(n): i for i, n in enumerate(order)}
+        for node in order:
+            for child in node.children:
+                assert positions[id(child)] < positions[id(node)]
+
+
+class TestSystolicDevice:
+    def test_executes_every_comparison_op(self, pair_schema):
+        device = SystolicDevice("c", DEVICE_COMPARISON,
+                                capacity=ArrayCapacity(5, 4))
+        a, b = overlapping_pair(5, 4, 2, arity=2, seed=20)
+        run = device.execute(Intersect(Base("A"), Base("B")), [a, b])
+        assert run.relation == algebra.intersection(a, b)
+        assert run.pulses > 0
+        assert run.seconds > 0
+
+        run = device.execute(Union(Base("A"), Base("B")), [a, b])
+        assert run.relation == algebra.union(a, b)
+
+        run = device.execute(Project(Base("A"), ("c0",)), [a])
+        assert run.relation == algebra.project(a, ["c0"])
+
+    def test_join_device(self):
+        device = SystolicDevice("j", DEVICE_JOIN, capacity=ArrayCapacity(5, 4))
+        a, b = join_pair(5, 4, 2, seed=21)
+        run = device.execute(
+            Join(Base("A"), Base("B"), on=(("key", "key"),)), [a, b]
+        )
+        assert run.relation == algebra.join(a, b, [("key", "key")])
+
+    def test_division_device(self):
+        device = SystolicDevice("d", DEVICE_DIVISION,
+                                capacity=ArrayCapacity(4, 6))
+        a, b, expected = division_example()
+        run = device.execute(Divide(Base("A"), Base("B")), [a, b])
+        assert run.relation == expected
+
+    def test_kind_mismatch_rejected(self):
+        device = SystolicDevice("c", DEVICE_COMPARISON)
+        with pytest.raises(PlanError, match="cannot execute"):
+            device.execute(Join(Base("A"), Base("B"), on=(("x", "x"),)), [])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError, match="unknown kind"):
+            SystolicDevice("z", "quantum")
+
+    def test_small_device_blocks_but_agrees(self):
+        tiny = SystolicDevice("c", DEVICE_COMPARISON,
+                              capacity=ArrayCapacity(3, 1))
+        big = SystolicDevice("c", DEVICE_COMPARISON,
+                             capacity=ArrayCapacity(99, 9))
+        a, b = overlapping_pair(8, 8, 3, arity=2, seed=22)
+        node = Intersect(Base("A"), Base("B"))
+        tiny_run = tiny.execute(node, [a, b])
+        big_run = big.execute(node, [a, b])
+        assert tiny_run.relation == big_run.relation
+        assert tiny_run.block_runs > big_run.block_runs
+        assert tiny_run.seconds > big_run.seconds
+
+
+class TestCpuDevice:
+    def test_selection(self, pair_schema):
+        cpu = CpuDevice(tuple_op_ns=1000.0)
+        r = Relation(pair_schema, [(1, 10), (5, 50), (9, 90)])
+        run = cpu.execute(Select(Base("A"), "x", ">=", 5), [r])
+        assert run.relation.tuples == ((5, 50), (9, 90))
+        assert run.seconds == pytest.approx(3 * 1000e-9)
+
+    def test_rejects_array_work(self):
+        cpu = CpuDevice()
+        with pytest.raises(PlanError, match="only executes selections"):
+            cpu.execute(Intersect(Base("A"), Base("B")), [])
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            CpuDevice(tuple_op_ns=0)

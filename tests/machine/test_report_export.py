@@ -1,0 +1,65 @@
+"""Execution-report serialization."""
+
+import csv
+import json
+
+import pytest
+
+from repro.machine import Base, Intersect, SystolicDatabaseMachine
+from repro.machine.report_export import (
+    report_to_csv,
+    report_to_dict,
+    report_to_json,
+)
+from repro.workloads import overlapping_pair
+
+
+@pytest.fixture
+def report():
+    machine = SystolicDatabaseMachine()
+    a, b = overlapping_pair(8, 8, 3, arity=2, seed=400)
+    machine.store("A", a)
+    machine.store("B", b)
+    _, report = machine.run(Intersect(Base("A"), Base("B")))
+    return report
+
+
+class TestDictExport:
+    def test_derived_figures_present(self, report):
+        data = report_to_dict(report)
+        assert data["makespan_seconds"] == report.makespan
+        assert data["serial_seconds"] == report.serial_seconds
+        assert data["concurrency_speedup"] == report.concurrency_speedup
+        assert "disk" in data["device_busy_seconds"]
+
+    def test_steps_sorted_by_start(self, report):
+        data = report_to_dict(report)
+        starts = [step["start_seconds"] for step in data["steps"]]
+        assert starts == sorted(starts)
+
+    def test_step_fields(self, report):
+        data = report_to_dict(report)
+        op = next(s for s in data["steps"] if s["label"] == "intersect")
+        assert op["device"] == "comparison0"
+        assert op["pulses"] > 0
+        assert len(op["input_keys"]) == 2
+
+    def test_json_serializable(self, report):
+        json.dumps(report_to_dict(report))
+
+
+class TestFileExport:
+    def test_json_roundtrip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        report_to_json(report, path)
+        loaded = json.loads(path.read_text())
+        assert loaded == report_to_dict(report)
+
+    def test_csv_timeline(self, report, tmp_path):
+        path = tmp_path / "timeline.csv"
+        report_to_csv(report, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(report.steps)
+        assert rows[0]["device"] == "disk"
+        assert any(row["label"] == "intersect" for row in rows)

@@ -1,0 +1,124 @@
+"""Song's tree machine — the §9 comparison architecture."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.machine import TreeMachine
+from repro.relational import MultiRelation, Relation, algebra
+from repro.workloads import join_pair, overlapping_pair, relation_with_duplicates
+
+
+class TestGeometry:
+    def test_depth(self):
+        assert TreeMachine(leaves=8).depth == 3
+        assert TreeMachine(leaves=1024).depth == 10
+        assert TreeMachine(leaves=1).depth == 1
+
+    def test_validation(self):
+        with pytest.raises(CapacityError):
+            TreeMachine(leaves=0)
+
+
+class TestFunctionalCorrectness:
+    def test_intersection(self):
+        a, b = overlapping_pair(9, 7, 3, arity=2, seed=40)
+        run = TreeMachine(leaves=16).intersection(a, b)
+        assert run.relation == algebra.intersection(a, b)
+
+    def test_intersection_blocked_when_b_exceeds_leaves(self):
+        a, b = overlapping_pair(6, 10, 2, arity=2, seed=41)
+        run = TreeMachine(leaves=4).intersection(a, b)
+        assert run.relation == algebra.intersection(a, b)
+        assert run.blocks == 3
+
+    def test_dedup(self):
+        multi = relation_with_duplicates(5, 2.0, arity=2, seed=42)
+        run = TreeMachine(leaves=32).remove_duplicates(multi)
+        assert run.relation == algebra.remove_duplicates(multi)
+
+    def test_dedup_capacity_limit(self):
+        multi = relation_with_duplicates(10, 2.0, arity=2, seed=43)
+        with pytest.raises(CapacityError, match="exceed"):
+            TreeMachine(leaves=4).remove_duplicates(multi)
+
+    def test_join(self):
+        a, b = join_pair(7, 6, 3, seed=44)
+        run = TreeMachine(leaves=16).join(a, b, [(0, 0)])
+        assert run.relation == algebra.join(a, b, [(0, 0)])
+
+    def test_empty_operands(self, pair_schema):
+        empty = Relation(pair_schema)
+        full = Relation(pair_schema, [(1, 2)])
+        tm = TreeMachine(leaves=4)
+        assert tm.intersection(empty, full).cycles == 0
+        assert tm.remove_duplicates(MultiRelation(pair_schema)).cycles == 0
+
+
+class TestCostModel:
+    def test_intersection_cycles_formula(self):
+        a, b = overlapping_pair(10, 8, 0, arity=2, seed=45)
+        tm = TreeMachine(leaves=16)
+        run = tm.intersection(a, b)
+        # One block: load (8 + depth) + probe (10 + 2·depth).
+        assert run.cycles == (8 + tm.depth) + (10 + 2 * tm.depth)
+        assert run.comparisons == 80
+
+    def test_join_pays_for_match_extraction(self):
+        a, b = join_pair(6, 6, 6, seed=46)
+        tm = TreeMachine(leaves=8)
+        run = tm.join(a, b, [(0, 0)])
+        no_match_a, no_match_b = join_pair(6, 6, 0, seed=47)
+        dry = tm.join(no_match_a, no_match_b, [(0, 0)])
+        assert run.cycles == dry.cycles + 6  # one cycle per extracted match
+
+    def test_more_leaves_fewer_blocks(self):
+        a, b = overlapping_pair(6, 40, 0, arity=2, seed=48)
+        small = TreeMachine(leaves=8).intersection(a, b)
+        large = TreeMachine(leaves=64).intersection(a, b)
+        assert small.blocks > large.blocks
+        assert small.cycles > large.cycles
+
+
+class TestDifferenceAndDivision:
+    def test_difference(self):
+        a, b = overlapping_pair(8, 6, 3, arity=2, seed=50)
+        tm = TreeMachine(leaves=16)
+        run = tm.difference(a, b)
+        assert run.relation == algebra.difference(a, b)
+        # Same data movement as the intersection probe.
+        assert run.cycles == tm.intersection(a, b).cycles
+
+    def test_difference_empty_cases(self, pair_schema):
+        tm = TreeMachine(leaves=4)
+        empty = Relation(pair_schema)
+        full = Relation(pair_schema, [(1, 2)])
+        assert tm.difference(empty, full).cycles == 0
+        assert tm.difference(full, empty).relation == full
+
+    def test_division(self):
+        from repro.workloads import division_example
+
+        a, b, expected = division_example()
+        run = TreeMachine(leaves=16).divide(a, b)
+        assert run.relation == expected
+        assert run.cycles > 0
+        assert run.comparisons == len(a) * len(b)
+
+    def test_division_capacity(self):
+        from repro.workloads import division_example
+
+        a, b, _ = division_example()
+        with pytest.raises(CapacityError, match="exceed"):
+            TreeMachine(leaves=4).divide(a, b)
+
+    def test_division_extraction_cost(self):
+        from repro.workloads import division_workload
+
+        a1, b1, _ = division_workload(6, 2, 0, seed=60)  # empty quotient
+        a2, b2, size = division_workload(6, 2, 6, seed=60)  # full quotient
+        tm = TreeMachine(leaves=64)
+        empty_run = tm.divide(a1, b1)
+        full_run = tm.divide(a2, b2)
+        # The quotient members each cost one extraction cycle.
+        assert full_run.cycles - full_run.relation.cardinality >= 0
+        assert empty_run.relation.cardinality == 0

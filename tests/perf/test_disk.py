@@ -1,0 +1,99 @@
+"""The §8 disk model and the array-keeps-up-with-disk claim (E9)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf import (
+    DiskModel,
+    PAPER_AGGRESSIVE,
+    PAPER_CONSERVATIVE,
+    PAPER_DISK,
+    intersect_vs_read_report,
+    largest_intersectable_relation_bytes,
+)
+
+
+class TestDiskModel:
+    def test_revolution_is_about_17ms(self):
+        # "a moving-head disk rotates at about 3600 r.p.m., or about
+        # once every 17ms"
+        assert PAPER_DISK.revolution_seconds == pytest.approx(1 / 60)
+        assert 0.016 <= PAPER_DISK.revolution_seconds <= 0.017
+
+    def test_cylinder_rate(self):
+        # "a rate of about 500,000 bytes in 17ms"
+        assert PAPER_DISK.cylinder_bytes == 500_000
+        assert PAPER_DISK.bytes_per_second == pytest.approx(500_000 * 60)
+
+    def test_read_rounds_to_whole_revolutions(self):
+        assert PAPER_DISK.read_seconds(1) == PAPER_DISK.revolution_seconds
+        assert PAPER_DISK.read_seconds(500_001) == pytest.approx(
+            2 * PAPER_DISK.revolution_seconds
+        )
+        assert PAPER_DISK.read_seconds(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DiskModel(rpm=0)
+        with pytest.raises(ReproError):
+            PAPER_DISK.read_seconds(-5)
+
+
+class TestArrayVsDisk:
+    def test_two_megabyte_claim(self):
+        # "In a comparable period of time, our systolic array can
+        # process (for example, can intersect) two relations, each of
+        # about 2 million bytes."  Reading a 2 MB relation takes 4
+        # revolutions (~67 ms); intersecting two of them takes ~60 ms
+        # conservative / ~11 ms aggressive — comparable or faster.
+        report = intersect_vs_read_report(PAPER_CONSERVATIVE)
+        assert report["read_seconds"] == pytest.approx(4 / 60)
+        assert report["intersect_seconds"] <= report["read_seconds"]
+
+        aggressive = intersect_vs_read_report(PAPER_AGGRESSIVE)
+        assert aggressive["intersect_seconds"] < report["intersect_seconds"]
+
+    def test_largest_relation_within_reading_window(self):
+        # Within the time the disk needs to deliver 2 MB, the
+        # conservative array can intersect relations of ≥ 2 MB.
+        window = PAPER_DISK.read_seconds(2_000_000)
+        largest = largest_intersectable_relation_bytes(
+            PAPER_CONSERVATIVE, window
+        )
+        assert largest >= 2_000_000
+
+    def test_largest_scales_with_sqrt_of_window(self):
+        one = largest_intersectable_relation_bytes(PAPER_CONSERVATIVE, 0.01)
+        four = largest_intersectable_relation_bytes(PAPER_CONSERVATIVE, 0.04)
+        assert four / one == pytest.approx(2.0, rel=0.01)
+
+    def test_window_validation(self):
+        with pytest.raises(ReproError):
+            largest_intersectable_relation_bytes(PAPER_CONSERVATIVE, 0)
+
+
+class TestAreaModel:
+    def test_chip_count_for_word_array(self):
+        from repro.perf import estimate_array_area
+
+        estimate = estimate_array_area(
+            rows=5, cols=3, technology=PAPER_CONSERVATIVE, element_bits=32
+        )
+        assert estimate.bit_comparators == 5 * 3 * 32
+        assert estimate.chips == 1  # 480 comparators < 1000/chip
+        assert estimate.silicon_mm2 == pytest.approx(480 * 36_000 / 1e6)
+
+    def test_large_array_needs_many_chips(self):
+        from repro.perf import estimate_array_area
+
+        estimate = estimate_array_area(
+            rows=1999, cols=47, technology=PAPER_CONSERVATIVE,
+            element_bits=32,
+        )
+        assert estimate.chips == -(-estimate.bit_comparators // 1000)
+
+    def test_validation(self):
+        from repro.perf import estimate_array_area
+
+        with pytest.raises(ReproError):
+            estimate_array_area(rows=0, cols=1, technology=PAPER_CONSERVATIVE)

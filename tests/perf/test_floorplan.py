@@ -1,0 +1,87 @@
+"""Chip floorplanning: the two §8 constraints, area and pins."""
+
+import pytest
+
+from repro.errors import CapacityError, ReproError
+from repro.perf import PAPER_CONSERVATIVE
+from repro.perf.floorplan import ArrayFloorplan, ChipPackage, plan_array, plan_system
+
+
+@pytest.fixture
+def package():
+    return ChipPackage(PAPER_CONSERVATIVE)
+
+
+class TestChipPackage:
+    def test_signal_pins(self, package):
+        assert package.signal_pins == 112
+
+    def test_multiplexed_bandwidth(self, package):
+        # §8: ~10 bits per pin per comparison window (350/30 -> 11).
+        assert package.boundary_bits_per_pulse == 112 * 11
+
+    def test_comparator_budget_from_technology(self, package):
+        assert package.comparators == 1000
+
+    def test_validation(self):
+        with pytest.raises(ReproError, match="signal pins"):
+            ChipPackage(PAPER_CONSERVATIVE, pins=8, power_ground_pins=8)
+
+
+class TestPlanArray:
+    def test_small_array_fits_one_chip(self, package):
+        plan = plan_array(rows=5, cols=3, package=package, element_bits=4)
+        assert plan.chips == 1
+        assert not plan.area_limited
+        assert not plan.pin_limited
+
+    def test_area_limited_array(self, package):
+        # 8-bit elements, 4 columns: a row costs 32 comparators; area
+        # allows 31 rows/chip while pins allow hundreds.
+        plan = plan_array(rows=100, cols=4, package=package, element_bits=8)
+        assert plan.rows_per_chip == 1000 // 32
+        assert plan.chips == -(-100 // plan.rows_per_chip)
+        assert plan.area_limited
+        assert not plan.pin_limited
+
+    def test_pin_limited_array(self):
+        # A tiny-area but pin-starved package: 1-bit elements make rows
+        # cheap in area, so the result-bit pins bind first.
+        starved = ChipPackage(PAPER_CONSERVATIVE, pins=20, power_ground_pins=8)
+        plan = plan_array(rows=500, cols=2, package=starved, element_bits=1)
+        assert plan.pin_limited
+        assert not plan.area_limited
+        # budget 12 pins × 11 bits = 132; vertical 2·2·1 = 4; rows ≤ 64.
+        assert plan.rows_per_chip == (132 - 4) // 2
+
+    def test_row_too_wide_for_any_chip(self, package):
+        with pytest.raises(CapacityError, match="narrow the array"):
+            plan_array(rows=1, cols=100, package=package, element_bits=32)
+
+    def test_vertical_streams_exceed_pins(self):
+        starved = ChipPackage(PAPER_CONSERVATIVE, pins=10, power_ground_pins=8)
+        with pytest.raises(CapacityError, match="vertical streams"):
+            plan_array(rows=4, cols=8, package=starved, element_bits=32)
+
+    def test_bit_comparator_total(self, package):
+        plan = plan_array(rows=7, cols=2, package=package, element_bits=16)
+        assert plan.bit_comparators == 7 * 2 * 16
+
+    def test_geometry_validation(self, package):
+        with pytest.raises(ReproError):
+            plan_array(rows=0, cols=1, package=package)
+
+
+class TestPlanSystem:
+    def test_device_complement(self, package):
+        plans = plan_system(
+            [("intersect", 63, 8), ("join", 63, 2), ("divide", 16, 6)],
+            package, element_bits=8,
+        )
+        assert set(plans) == {"intersect", "join", "divide"}
+        assert all(isinstance(p, ArrayFloorplan) for p in plans.values())
+        assert plans["intersect"].chips >= plans["join"].chips
+
+    def test_duplicate_names_rejected(self, package):
+        with pytest.raises(ReproError, match="duplicate"):
+            plan_system([("x", 2, 2), ("x", 3, 3)], package)

@@ -1,0 +1,74 @@
+"""§8's intersection-time predictions (experiment E8)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf import (
+    PAPER_WORKLOAD,
+    RelationProfile,
+    intersection_bit_comparisons,
+    intersection_time_seconds,
+    paper_aggressive_prediction,
+    paper_conservative_prediction,
+    PAPER_CONSERVATIVE,
+)
+
+
+class TestWorkload:
+    def test_paper_tuple_is_about_200_characters(self):
+        # "A tuple is of size 1500 bits (or about 200 characters)."
+        assert PAPER_WORKLOAD.tuple_bits == 1500
+        assert 180 <= PAPER_WORKLOAD.tuple_bytes <= 200
+
+    def test_paper_relation_size(self):
+        assert PAPER_WORKLOAD.cardinality == 10_000
+        # 10^4 tuples × 187.5 B ≈ 1.9 MB — the "about 2 million bytes"
+        # §8 closes with.
+        assert PAPER_WORKLOAD.total_bytes == pytest.approx(1_875_000)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RelationProfile(tuple_bits=0)
+
+
+class TestBitComparisonCount:
+    def test_paper_count(self):
+        # "The intersection requires a total of 1.5 × 10^11 bit
+        # comparisons."
+        assert intersection_bit_comparisons(PAPER_WORKLOAD) == 150_000_000_000
+
+    def test_asymmetric_relations(self):
+        a = RelationProfile(tuple_bits=100, cardinality=10)
+        b = RelationProfile(tuple_bits=100, cardinality=20)
+        assert intersection_bit_comparisons(a, b) == 100 * 10 * 20
+
+    def test_width_mismatch_rejected(self):
+        a = RelationProfile(tuple_bits=100, cardinality=10)
+        b = RelationProfile(tuple_bits=200, cardinality=10)
+        with pytest.raises(ReproError, match="tuple width"):
+            intersection_bit_comparisons(a, b)
+
+
+class TestHeadlinePredictions:
+    def test_conservative_is_about_50ms(self):
+        # "(1.5 × 10^11 comparisons) × (350ns / 10^6 comparisons)
+        # ... about 50ms."  Strict arithmetic: 52.5 ms.
+        seconds = paper_conservative_prediction()
+        assert seconds == pytest.approx(0.0525)
+        assert 0.045 <= seconds <= 0.055  # "about 50ms"
+
+    def test_aggressive_is_10ms(self):
+        # "200ns/comparison, and 3000 chips ... about 10ms" — exact here.
+        assert paper_aggressive_prediction() == pytest.approx(0.010)
+
+    def test_time_scales_quadratically_with_cardinality(self):
+        half = RelationProfile(tuple_bits=1500, cardinality=5_000)
+        t_full = intersection_time_seconds(PAPER_CONSERVATIVE)
+        t_half = intersection_time_seconds(PAPER_CONSERVATIVE, half)
+        assert t_full / t_half == pytest.approx(4.0)
+
+    def test_time_scales_linearly_with_chips(self):
+        doubled = PAPER_CONSERVATIVE.scaled(chips=2000)
+        assert intersection_time_seconds(doubled) == pytest.approx(
+            paper_conservative_prediction() / 2
+        )

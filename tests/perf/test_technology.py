@@ -1,0 +1,69 @@
+"""The §8 NMOS technology model — every number the paper quotes."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf import PAPER_AGGRESSIVE, PAPER_CONSERVATIVE, TechnologyModel
+
+
+class TestPaperNumbers:
+    def test_comparators_per_chip_is_about_1000(self):
+        # "Division gives us about 1000 bit-comparators per chip."
+        assert PAPER_CONSERVATIVE.comparators_per_chip == 1000
+
+    def test_parallel_comparisons_is_a_million(self):
+        # "This gives us the capability of performing 10^6 comparisons
+        # in parallel."
+        assert PAPER_CONSERVATIVE.parallel_comparisons == 1_000_000
+
+    def test_pin_multiplexing_about_ten(self):
+        # "we can multiplex about 10 bits on a pin during a single
+        # comparison" (350 / 30 = 11.67 → 11).
+        assert 10 <= PAPER_CONSERVATIVE.bits_per_pin_multiplex <= 12
+
+    def test_comparator_area(self):
+        assert PAPER_CONSERVATIVE.bit_comparator_area_um2 == 240 * 150
+
+    def test_chip_area(self):
+        assert PAPER_CONSERVATIVE.chip_area_um2 == 6000 * 6000
+
+    def test_aggressive_point(self):
+        assert PAPER_AGGRESSIVE.comparison_time_ns == 200.0
+        assert PAPER_AGGRESSIVE.chips == 3000
+        assert PAPER_AGGRESSIVE.parallel_comparisons == 3_000_000
+
+
+class TestDerivedQuantities:
+    def test_throughput(self):
+        # 10^6 comparators / 350 ns ≈ 2.86 × 10^12 comparisons/s.
+        assert PAPER_CONSERVATIVE.comparisons_per_second == pytest.approx(
+            1e6 / 350e-9
+        )
+
+    def test_time_for_work(self):
+        model = PAPER_CONSERVATIVE
+        assert model.time_for_bit_comparisons(0) == 0
+        one_second_of_work = model.comparisons_per_second
+        assert model.time_for_bit_comparisons(one_second_of_work) == (
+            pytest.approx(1.0)
+        )
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ReproError):
+            PAPER_CONSERVATIVE.time_for_bit_comparisons(-1)
+
+    def test_pulses_to_seconds(self):
+        assert PAPER_CONSERVATIVE.pulses_to_seconds(1_000_000) == (
+            pytest.approx(0.35)
+        )
+
+    def test_scaled_override(self):
+        faster = PAPER_CONSERVATIVE.scaled(comparison_time_ns=100.0)
+        assert faster.comparison_time_ns == 100.0
+        assert faster.chips == PAPER_CONSERVATIVE.chips  # untouched
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TechnologyModel(chips=0)
+        with pytest.raises(ReproError):
+            TechnologyModel(comparison_time_ns=-1)

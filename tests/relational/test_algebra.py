@@ -1,0 +1,220 @@
+"""The software reference operators — §4–§7 semantics, CPU-side."""
+
+import pytest
+
+from repro.errors import SchemaError, UnionCompatibilityError
+from repro.relational import (
+    ComparisonCounter,
+    Domain,
+    MultiRelation,
+    Relation,
+    Schema,
+    algebra,
+)
+from repro.relational.algebra import (
+    nested_loop_divide,
+    nested_loop_intersection,
+    nested_loop_join,
+    nested_loop_remove_duplicates,
+)
+from repro.workloads import division_example
+
+
+class TestSetOperators:
+    def test_intersection(self, small_pair):
+        a, b = small_pair
+        assert algebra.intersection(a, b).tuples == ((3, 4), (7, 8))
+
+    def test_intersection_requires_compatibility(self, small_pair):
+        a, _ = small_pair
+        other = Relation(Schema.of(("q", Domain("other")), ("r", Domain("other"))),
+                         [(1, 1)])
+        with pytest.raises(UnionCompatibilityError):
+            algebra.intersection(a, other)
+
+    def test_difference(self, small_pair):
+        a, b = small_pair
+        assert algebra.difference(a, b).tuples == ((1, 2), (5, 6))
+
+    def test_difference_of_self_is_empty(self, small_pair):
+        a, _ = small_pair
+        assert len(algebra.difference(a, a)) == 0
+
+    def test_union_contains_both_without_duplicates(self, small_pair):
+        a, b = small_pair
+        u = algebra.union(a, b)
+        assert len(u) == len(a) + len(b) - 2
+        for t in list(a.tuples) + list(b.tuples):
+            assert t in u
+
+    def test_union_with_empty(self, small_pair, pair_schema):
+        a, _ = small_pair
+        assert algebra.union(a, Relation(pair_schema)) == a
+
+
+class TestDedupAndProjection:
+    def test_remove_duplicates_keeps_first(self, dup_multi):
+        assert algebra.remove_duplicates(dup_multi).tuples == (
+            (1, 1), (2, 2), (3, 3)
+        )
+
+    def test_project_multi_keeps_duplicates(self, small_pair):
+        a, _ = small_pair
+        schema = a.schema
+        r = Relation(schema, [(1, 2), (1, 3), (2, 2)])
+        multi = algebra.project_multi(r, ["x"])
+        assert len(multi) == 3  # (1,), (1,), (2,)
+
+    def test_project_dedups(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2), (1, 3), (2, 2)])
+        assert algebra.project(r, ["x"]).tuples == ((1,), (2,))
+
+    def test_project_reorders_columns(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2)])
+        assert algebra.project(r, ["y", "x"]).tuples == ((2, 1),)
+
+
+class TestJoin:
+    @pytest.fixture
+    def emp_dept(self):
+        depts = Domain("dept")
+        misc = Domain("misc")
+        emp = Relation.from_values(
+            Schema.of(("name", misc), ("dept", depts)),
+            [("ann", "sales"), ("bob", "eng"), ("cy", "sales")],
+        )
+        dept = Relation.from_values(
+            Schema.of(("dept", depts), ("budget", misc)),
+            [("sales", 100), ("eng", 200), ("hr", 50)],
+        )
+        return emp, dept
+
+    def test_equi_join_drops_redundant_column(self, emp_dept):
+        emp, dept = emp_dept
+        joined = algebra.join(emp, dept, [("dept", "dept")])
+        assert joined.schema.names == ("name", "dept", "budget")
+        assert sorted(joined.decoded()) == [
+            ("ann", "sales", 100), ("bob", "eng", 200), ("cy", "sales", 100),
+        ]
+
+    def test_join_requires_same_domain(self, emp_dept):
+        emp, dept = emp_dept
+        with pytest.raises(SchemaError, match="not well-defined"):
+            algebra.join(emp, dept, [("name", "dept")])
+
+    def test_join_needs_column_pairs(self, emp_dept):
+        emp, dept = emp_dept
+        with pytest.raises(SchemaError):
+            algebra.join(emp, dept, [])
+
+    def test_degenerate_join_is_cross_product_sized(self, pair_schema):
+        a = Relation(pair_schema, [(1, 10), (1, 20)])
+        b = Relation(pair_schema, [(1, 30), (1, 40), (1, 50)])
+        joined = algebra.join(a, b, [("x", "x")])
+        assert len(joined) == 6  # |A|·|B| upper bound reached (§6.2)
+
+    def test_theta_join_less_than(self, pair_schema):
+        a = Relation(pair_schema, [(1, 0), (5, 0)])
+        b = Relation(pair_schema, [(3, 0), (7, 0)])
+        joined = algebra.theta_join(a, b, [("x", "x")], ["<"])
+        # pairs with a.x < b.x: (1,3), (1,7), (5,7)
+        assert len(joined) == 3
+        assert joined.arity == 4  # both compared columns kept
+
+    def test_theta_join_ops_length_checked(self, pair_schema):
+        a = Relation(pair_schema, [(1, 0)])
+        with pytest.raises(SchemaError, match="one operator per"):
+            algebra.theta_join(a, a, [("x", "x")], ["<", ">"])
+
+    def test_theta_join_mixed_equality_drops_only_eq_columns(self, pair_schema):
+        a = Relation(pair_schema, [(1, 5)])
+        b = Relation(pair_schema, [(1, 9)])
+        joined = algebra.theta_join(a, b, [("x", "x"), ("y", "y")], ["==", "<"])
+        assert joined.arity == 3  # x kept once, both y's kept
+        assert joined.tuples == ((1, 5, 9),)
+
+
+class TestDivision:
+    def test_paper_example(self):
+        a, b, expected = division_example()
+        assert algebra.divide(a, b) == expected
+
+    def test_empty_divisor_yields_all_groups(self):
+        a, b, _ = division_example()
+        empty_b = Relation(b.schema)
+        quotient = algebra.divide(a, empty_b)
+        assert len(quotient) == 3  # i, j, k all vacuously qualify
+
+    def test_explicit_columns(self):
+        a, b, expected = division_example()
+        assert algebra.divide(a, b, a_value="A2", a_group="A1", b_value="B1") == expected
+
+    def test_group_equals_value_rejected(self):
+        a, b, _ = division_example()
+        with pytest.raises(SchemaError):
+            algebra.divide(a, b, a_value="A1", a_group="A1")
+
+    def test_domain_mismatch_rejected(self):
+        a, b, _ = division_example()
+        with pytest.raises(SchemaError, match="different domains"):
+            algebra.divide(a, b, a_value="A1", a_group="A2")
+
+
+class TestSelect:
+    def test_select_ge(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2), (5, 6), (9, 0)])
+        assert algebra.select(r, "x", ">=", 5).tuples == ((5, 6), (9, 0))
+
+    def test_select_unknown_op(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2)])
+        with pytest.raises(SchemaError):
+            algebra.select(r, "x", "~", 5)
+
+
+class TestNestedLoopBaselines:
+    """The instrumented sequential baselines agree with the oracles
+    and count the work the paper's §8 arithmetic counts."""
+
+    def test_intersection_agrees_and_counts(self, small_pair):
+        a, b = small_pair
+        counter = ComparisonCounter()
+        result = nested_loop_intersection(a, b, counter)
+        assert result == algebra.intersection(a, b)
+        assert counter.tuple_comparisons == len(a) * len(b)
+        assert counter.element_comparisons >= counter.tuple_comparisons
+
+    def test_bit_comparisons_scaling(self, small_pair):
+        a, b = small_pair
+        counter = ComparisonCounter()
+        nested_loop_intersection(a, b, counter)
+        assert counter.bit_comparisons(1500) == counter.element_comparisons * 1500
+
+    def test_join_agrees(self, pair_schema):
+        a = Relation(pair_schema, [(1, 10), (2, 20)])
+        b = Relation(pair_schema, [(1, 30), (3, 40)])
+        counter = ComparisonCounter()
+        assert nested_loop_join(a, b, [("x", "x")], counter) == algebra.join(
+            a, b, [("x", "x")]
+        )
+        assert counter.tuple_comparisons == 4
+
+    def test_dedup_agrees(self, dup_multi):
+        counter = ComparisonCounter()
+        assert nested_loop_remove_duplicates(dup_multi, counter) == (
+            algebra.remove_duplicates(dup_multi)
+        )
+
+    def test_divide_agrees(self):
+        a, b, expected = division_example()
+        counter = ComparisonCounter()
+        assert nested_loop_divide(a, b, counter) == expected
+        assert counter.element_comparisons > 0
+
+    def test_divide_requires_restricted_shape(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2)])
+        triple = Relation(
+            Schema.of(("a", Domain("q")), ("b", Domain("q")), ("c", Domain("q"))),
+            [(1, 2, 3)],
+        )
+        with pytest.raises(Exception, match="restricted"):
+            nested_loop_divide(triple, r, ComparisonCounter())

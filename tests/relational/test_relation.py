@@ -1,0 +1,163 @@
+"""Relations (sets) and multi-relations (bags) — §2.3, §2.5."""
+
+import pytest
+
+from repro.errors import RelationError
+from repro.relational import Domain, MultiRelation, Relation, Schema
+
+
+class TestRelationSetSemantics:
+    def test_duplicates_dropped_silently(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2), (1, 2), (3, 4)])
+        assert len(r) == 2
+        assert r.tuples == ((1, 2), (3, 4))
+
+    def test_insertion_order_preserved(self, pair_schema):
+        r = Relation(pair_schema, [(5, 6), (1, 2), (3, 4)])
+        assert r.tuples == ((5, 6), (1, 2), (3, 4))
+
+    def test_arity_checked(self, pair_schema):
+        with pytest.raises(RelationError, match="arity"):
+            Relation(pair_schema, [(1, 2, 3)])
+
+    def test_elements_must_be_ints(self, pair_schema):
+        with pytest.raises(RelationError, match="integer-encoded"):
+            Relation(pair_schema, [(1, "two")])
+        with pytest.raises(RelationError):
+            Relation(pair_schema, [(1, True)])
+
+    def test_membership(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2)])
+        assert (1, 2) in r
+        assert (2, 1) not in r
+        assert r.contains([1, 2])
+
+    def test_equality_is_set_equality(self, pair_schema):
+        a = Relation(pair_schema, [(1, 2), (3, 4)])
+        b = Relation(pair_schema, [(3, 4), (1, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_relations_never_equal_multirelations(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2)])
+        m = MultiRelation(pair_schema, [(1, 2)])
+        assert r != m
+
+    def test_cardinality_and_arity(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2), (3, 4)])
+        assert r.cardinality == 2
+        assert r.arity == 2
+
+    def test_bool(self, pair_schema):
+        assert not Relation(pair_schema)
+        assert Relation(pair_schema, [(1, 2)])
+
+
+class TestEncodingBoundary:
+    def test_from_values_encodes_and_decoded_roundtrips(self):
+        names = Domain("names")
+        schema = Schema.of(("first", names), ("last", names))
+        r = Relation.from_values(schema, [("ada", "lovelace"), ("alan", "turing")])
+        assert r.decoded() == [("ada", "lovelace"), ("alan", "turing")]
+        assert all(isinstance(v, int) for row in r.tuples for v in row)
+
+    def test_from_values_checks_arity(self):
+        schema = Schema.of(("x", Domain("d")))
+        with pytest.raises(RelationError, match="arity"):
+            Relation.from_values(schema, [("a", "b")])
+
+    def test_column_values(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2), (3, 4)])
+        assert r.column_values("y") == [2, 4]
+
+    def test_pretty_renders_headers_and_rows(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2)])
+        text = r.pretty()
+        assert "x" in text and "y" in text
+        assert "1" in text and "2" in text
+
+    def test_pretty_truncates(self, pair_schema):
+        r = Relation(pair_schema, [(i, i) for i in range(30)])
+        assert "more" in r.pretty(max_rows=5)
+
+
+class TestMultiRelation:
+    def test_duplicates_preserved(self, dup_multi):
+        assert len(dup_multi) == 6
+
+    def test_distinct_keeps_first_occurrences(self, dup_multi):
+        distinct = dup_multi.distinct()
+        assert distinct.tuples == ((1, 1), (2, 2), (3, 3))
+
+    def test_bag_equality_ignores_order_but_counts_multiplicity(self, pair_schema):
+        m1 = MultiRelation(pair_schema, [(1, 1), (2, 2), (1, 1)])
+        m2 = MultiRelation(pair_schema, [(2, 2), (1, 1), (1, 1)])
+        m3 = MultiRelation(pair_schema, [(1, 1), (2, 2)])
+        assert m1 == m2
+        assert m1 != m3
+
+    def test_concat(self, pair_schema):
+        m1 = MultiRelation(pair_schema, [(1, 1)])
+        m2 = MultiRelation(pair_schema, [(1, 1), (2, 2)])
+        combined = m1.concat(m2)
+        assert len(combined) == 3
+
+    def test_concat_requires_union_compatibility(self, pair_schema):
+        other_schema = Schema.of(("x", Domain("other")), ("y", Domain("other")))
+        m1 = MultiRelation(pair_schema, [(1, 1)])
+        m2 = MultiRelation(other_schema, [(1, 1)])
+        with pytest.raises(Exception, match="domain"):
+            m1.concat(m2)
+
+    def test_to_multi_roundtrip(self, pair_schema):
+        r = Relation(pair_schema, [(1, 2), (3, 4)])
+        assert r.to_multi().distinct() == r
+
+
+class TestSetOperatorSugar:
+    """Relation's &, |, -, <=, >= delegate to the reference algebra."""
+
+    def test_intersection_operator(self, pair_schema):
+        a = Relation(pair_schema, [(1, 2), (3, 4)])
+        b = Relation(pair_schema, [(3, 4), (5, 6)])
+        assert (a & b).tuples == ((3, 4),)
+
+    def test_union_operator(self, pair_schema):
+        a = Relation(pair_schema, [(1, 2)])
+        b = Relation(pair_schema, [(3, 4)])
+        assert len(a | b) == 2
+
+    def test_difference_operator(self, pair_schema):
+        a = Relation(pair_schema, [(1, 2), (3, 4)])
+        b = Relation(pair_schema, [(3, 4)])
+        assert (a - b).tuples == ((1, 2),)
+
+    def test_subset_superset(self, pair_schema):
+        small = Relation(pair_schema, [(1, 2)])
+        big = Relation(pair_schema, [(1, 2), (3, 4)])
+        assert small <= big
+        assert big >= small
+        assert not (big <= small)
+
+    def test_operators_check_compatibility(self, pair_schema):
+        from repro.relational import Domain, Schema
+
+        other = Relation(
+            Schema.of(("x", Domain("alien")), ("y", Domain("alien"))),
+            [(1, 2)],
+        )
+        a = Relation(pair_schema, [(1, 2)])
+        with pytest.raises(Exception, match="domain"):
+            a & other
+
+    def test_non_relation_operand_unsupported(self, pair_schema):
+        a = Relation(pair_schema, [(1, 2)])
+        with pytest.raises(TypeError):
+            a & {"not": "a relation"}
+
+    def test_matches_systolic_results(self, pair_schema):
+        from repro.arrays import systolic_intersection
+
+        a = Relation(pair_schema, [(1, 2), (3, 4), (5, 6)])
+        b = Relation(pair_schema, [(3, 4), (7, 8)])
+        assert (a & b) == systolic_intersection(a, b).relation

