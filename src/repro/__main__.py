@@ -57,7 +57,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     plan = parse(args.expression)
     if args.optimize:
         plan = optimize(plan)
-    result = execute_plan(plan, catalog, engine=args.engine)
+    result = execute_plan(
+        plan, catalog, engine=args.engine, backend=args.backend
+    )
     _emit(result, args.out)
     return 0
 
@@ -67,7 +69,8 @@ def _cmd_machine(args: argparse.Namespace) -> int:
 
     catalog = _load_relations(args.relation)
     machine = SystolicDatabaseMachine(
-        disk=MachineDisk(logic_per_track=args.logic_per_track)
+        disk=MachineDisk(logic_per_track=args.logic_per_track),
+        backend=args.backend,
     )
     for name, relation in catalog.items():
         machine.store(name, relation)
@@ -84,7 +87,7 @@ def _cmd_machine(args: argparse.Namespace) -> int:
 def _cmd_selftest(args: argparse.Namespace) -> int:
     from repro.selftest import run_selftest
 
-    report = run_selftest(seed=args.seed, size=args.size)
+    report = run_selftest(seed=args.seed, size=args.size, backend=args.backend)
     print(report.summary())
     return 0 if report.passed else 1
 
@@ -117,12 +120,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "elimination, subplan sharing) before execution",
         )
 
+    def backend_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", choices=("pulse", "lattice"), default="pulse",
+            help="array execution backend: cycle-accurate cell network "
+                 "(pulse, default) or vectorized wavefront evaluation "
+                 "(lattice) — results and pulse counts are identical",
+        )
+
     query = sub.add_parser("query", help="evaluate on an execution engine")
     common(query)
     query.add_argument(
         "--engine", choices=("systolic", "software"), default="systolic",
         help="pulse-level arrays (default) or the software reference",
     )
+    backend_option(query)
     query.set_defaults(handler=_cmd_query)
 
     machine = sub.add_parser(
@@ -133,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--logic-per-track", action="store_true",
         help="give the disk §9's logic-per-track selection capability",
     )
+    backend_option(machine)
     machine.set_defaults(handler=_cmd_machine)
 
     selftest = sub.add_parser(
@@ -144,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--size", type=int, default=8,
         help="relation cardinality used by the sweep (default 8)",
     )
+    backend_option(selftest)
     selftest.set_defaults(handler=_cmd_selftest)
 
     shell = sub.add_parser(

@@ -6,9 +6,13 @@ remove-duplicates + union + projection (§5), join in all its variants
 (Fig 6-1, §6.3), division (Fig 7-2), plus the §8 machinery: feeding
 schedules, the fixed-relation variant, and blocked decomposition for
 problems larger than the device.
+
+Every operator takes ``backend=`` — ``"pulse"`` (default, the
+cycle-accurate simulator) or ``"lattice"`` (vectorized wavefront
+evaluation, bit-identical outputs); see :mod:`repro.systolic.engine`.
 """
 
-from repro.arrays.base import ArrayRun
+from repro.arrays.base import ArrayRun, execute
 from repro.arrays.comparison_array import (
     ComparisonMatrixResult,
     build_comparison_array,
@@ -99,6 +103,7 @@ __all__ = [
     "build_remove_duplicates_array",
     "compare_all_pairs",
     "compare_tuples",
+    "execute",
     "hex_compare_all_pairs",
     "hex_matrix_product",
     "systolic_difference",

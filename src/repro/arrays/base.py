@@ -1,56 +1,54 @@
-"""Shared construction kit for the operator arrays.
+"""Shared execution kit for the operator arrays.
 
-The arrays of §3–§7 are all assembled from the same parts: a grid of
-processors (orthogonally connected, Fig 2-1a), column feeders that
-stagger tuple elements (§3.1), left-edge injectors for initial partial
-results, and an optional accumulation column (Fig 4-1).  This module
-builds those parts once so each operator module only states what is
-*different* about its array.
+The operator modules in this package describe each §3–§7 array as an
+:class:`~repro.systolic.engine.plan.ExecutionPlan` and hand it to
+:func:`execute`, which dispatches to a pluggable backend — the
+pulse-level reference simulator or the vectorized lattice engine (see
+:mod:`repro.systolic.engine`).  The network builders that used to live
+here moved to :mod:`repro.systolic.engine.materialize`; they are
+re-exported under their old names for callers that assemble networks
+directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional
 
-from repro.arrays.schedule import CounterStreamSchedule, FixedRelationSchedule
-from repro.errors import SimulationError
-from repro.systolic.cell import Cell
-from repro.systolic.cells import AccumulationCell, ComparisonCell
+from repro.systolic.engine import resolve_backend
+from repro.systolic.engine.materialize import (
+    CellFactory,
+    attach_accumulation_column,
+    attach_op_stream,
+    build_counter_stream_grid,
+    build_fixed_relation_grid,
+)
+from repro.systolic.engine.plan import (
+    EngineRun,
+    ExecutionPlan,
+    TInit,
+    acc_name,
+    check_tuples as _check_tuples_impl,
+    cmp_name,
+)
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.simulator import SystolicSimulator
-from repro.systolic.streams import ConstantFeeder, PeriodicFeeder, ScheduleFeeder
 from repro.systolic.trace import TraceRecorder
-from repro.systolic.values import Token
 from repro.systolic.wiring import Network
 
 __all__ = [
     "ArrayRun",
+    "execute",
     "build_counter_stream_grid",
     "build_fixed_relation_grid",
     "attach_accumulation_column",
+    "attach_op_stream",
     "run_array",
     "cmp_name",
     "acc_name",
+    "TInit",
+    "CellFactory",
 ]
-
-#: Chooses the initial t fed for pair (i, j): TRUE everywhere for
-#: intersection, lower-triangle-only for remove-duplicates (§5).
-TInit = Callable[[int, int], bool]
-
-#: Builds the processor for grid position (row, col) — ComparisonCell
-#: for the comparison array, ThetaCell for join columns.
-CellFactory = Callable[[str, int, int], Cell]
-
-
-def cmp_name(row: int, col: int) -> str:
-    """Canonical name of the comparator at grid position (row, col)."""
-    return f"cmp[{row},{col}]"
-
-
-def acc_name(row: int) -> str:
-    """Canonical name of the accumulation processor beside ``row``."""
-    return f"acc[{row}]"
 
 
 @dataclass
@@ -63,6 +61,8 @@ class ArrayRun:
     cells: int
     meter: Optional[ActivityMeter] = None
     trace: Optional[TraceRecorder] = None
+    #: which engine produced this run ("pulse", "lattice", ...)
+    backend: str = "pulse"
 
     @property
     def utilization(self) -> Optional[float]:
@@ -72,178 +72,19 @@ class ArrayRun:
         return self.meter.report(self.cells).utilization
 
 
-def _default_cell_factory(name: str, row: int, col: int) -> Cell:
-    return ComparisonCell(name)
+def execute(
+    plan: ExecutionPlan,
+    backend=None,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+) -> EngineRun:
+    """Run a plan on the chosen backend (default: the pulse simulator).
 
-
-def _element_token(
-    kind: str, tuple_index: int, col: int, value: int, tagged: bool
-) -> Token:
-    return Token(value, (kind, tuple_index, col) if tagged else None)
-
-
-def build_counter_stream_grid(
-    a_tuples: Sequence[Sequence[int]],
-    b_tuples: Sequence[Sequence[int]],
-    schedule: CounterStreamSchedule,
-    t_init: Optional[TInit] = None,
-    cell_factory: CellFactory = _default_cell_factory,
-    tagged: bool = False,
-    name: str = "comparison-array",
-) -> tuple[Network, dict[str, tuple[int, int]]]:
-    """Assemble the Fig 3-3 grid: A streams down, B streams up.
-
-    Returns the network and a layout (cell name → (row, col)) for the
-    trace renderer.  ``t_init`` installs the left-edge partial-result
-    injections; omit it for the join array, whose cells originate their
-    own ``t`` at the first column (§6.2).
+    ``backend`` is an engine name (``"pulse"``, ``"lattice"``), an
+    :class:`~repro.systolic.engine.plan.Engine` instance, or ``None``
+    for the default.
     """
-    rows, cols = schedule.rows, schedule.arity
-    _check_tuples(a_tuples, schedule.n_a, cols, "A")
-    _check_tuples(b_tuples, schedule.n_b, cols, "B")
-
-    network = Network(name)
-    layout: dict[str, tuple[int, int]] = {}
-    for row in range(rows):
-        for col in range(cols):
-            cell = cell_factory(cmp_name(row, col), row, col)
-            network.add(cell)
-            layout[cell.name] = (row, col)
-
-    for row in range(rows):
-        for col in range(cols):
-            if row + 1 < rows:
-                network.connect(cmp_name(row, col), "a_out",
-                                cmp_name(row + 1, col), "a_in")
-                network.connect(cmp_name(row + 1, col), "b_out",
-                                cmp_name(row, col), "b_in")
-            if col + 1 < cols:
-                network.connect(cmp_name(row, col), "t_out",
-                                cmp_name(row, col + 1), "t_in")
-
-    for col in range(cols):
-        a_stream = [
-            _element_token("a", i, col, row_values[col], tagged)
-            for i, row_values in enumerate(a_tuples)
-        ]
-        network.feed(cmp_name(0, col), "a_in",
-                     PeriodicFeeder(a_stream, start=col, period=2))
-        b_stream = [
-            _element_token("b", j, col, row_values[col], tagged)
-            for j, row_values in enumerate(b_tuples)
-        ]
-        network.feed(cmp_name(rows - 1, col), "b_in",
-                     PeriodicFeeder(b_stream, start=col, period=2))
-
-    if t_init is not None:
-        for row in range(rows):
-            injections = {
-                schedule.t_init_pulse(i, j): Token(
-                    bool(t_init(i, j)), ("t", i, j) if tagged else None
-                )
-                for i, j in schedule.row_pairs(row)
-            }
-            if injections:
-                network.feed(cmp_name(row, 0), "t_in",
-                             ScheduleFeeder(injections))
-    return network, layout
-
-
-def build_fixed_relation_grid(
-    a_tuples: Sequence[Sequence[int]],
-    b_tuples: Sequence[Sequence[int]],
-    schedule: FixedRelationSchedule,
-    t_init: Optional[TInit] = None,
-    cell_factory: CellFactory = _default_cell_factory,
-    tagged: bool = False,
-    name: str = "fixed-relation-array",
-) -> tuple[Network, dict[str, tuple[int, int]]]:
-    """Assemble the §8 variant: B preloaded (one tuple per row), A moves.
-
-    Preloading is realized by a constant feeder on each cell's ``b_in``
-    — the stored operand is simply always present, so the unmodified
-    comparison processor serves both designs.
-    """
-    rows, cols = schedule.rows, schedule.arity
-    _check_tuples(a_tuples, schedule.n_a, cols, "A")
-    _check_tuples(b_tuples, schedule.n_b, cols, "B")
-
-    network = Network(name)
-    layout: dict[str, tuple[int, int]] = {}
-    for row in range(rows):
-        for col in range(cols):
-            cell = cell_factory(cmp_name(row, col), row, col)
-            network.add(cell)
-            layout[cell.name] = (row, col)
-            network.feed(
-                cell.name, "b_in",
-                ConstantFeeder(
-                    _element_token("b", row, col, b_tuples[row][col], tagged)
-                ),
-            )
-
-    for row in range(rows):
-        for col in range(cols):
-            if row + 1 < rows:
-                network.connect(cmp_name(row, col), "a_out",
-                                cmp_name(row + 1, col), "a_in")
-            if col + 1 < cols:
-                network.connect(cmp_name(row, col), "t_out",
-                                cmp_name(row, col + 1), "t_in")
-
-    for col in range(cols):
-        a_stream = [
-            _element_token("a", i, col, row_values[col], tagged)
-            for i, row_values in enumerate(a_tuples)
-        ]
-        network.feed(cmp_name(0, col), "a_in",
-                     PeriodicFeeder(a_stream, start=col, period=1))
-
-    if t_init is not None:
-        for row in range(rows):
-            injections = {
-                schedule.t_init_pulse(i, row): Token(
-                    bool(t_init(i, row)), ("t", i, row) if tagged else None
-                )
-                for i in range(schedule.n_a)
-            }
-            network.feed(cmp_name(row, 0), "t_in", ScheduleFeeder(injections))
-    return network, layout
-
-
-def attach_accumulation_column(
-    network: Network,
-    schedule: CounterStreamSchedule | FixedRelationSchedule,
-    layout: Optional[dict[str, tuple[int, int]]] = None,
-    tagged: bool = False,
-    tap: str = "t_i",
-) -> None:
-    """Bolt the Fig 4-1 accumulation array onto a comparison grid.
-
-    One accumulation processor per row; each takes the row's final
-    ``t_ij`` from the left and the descending ``t_i`` from above.  The
-    descending value is seeded FALSE at the top on the schedule's seed
-    pulses and tapped at the bottom under ``tap``.
-    """
-    rows, cols = schedule.rows, schedule.arity
-    for row in range(rows):
-        network.add(AccumulationCell(acc_name(row)))
-        if layout is not None:
-            layout[acc_name(row)] = (row, cols)
-    for row in range(rows):
-        network.connect(cmp_name(row, cols - 1), "t_out",
-                        acc_name(row), "t_left")
-        if row + 1 < rows:
-            network.connect(acc_name(row), "t_bottom",
-                            acc_name(row + 1), "t_top")
-    seeds = {
-        schedule.accumulator_seed_pulse(i): Token(
-            False, ("acc", i) if tagged else None
-        )
-        for i in range(schedule.n_a)
-    }
-    network.feed(acc_name(0), "t_top", ScheduleFeeder(seeds))
-    network.tap(tap, acc_name(rows - 1), "t_bottom")
+    return resolve_backend(backend).run(plan, meter=meter, trace=trace)
 
 
 def run_array(
@@ -258,17 +99,5 @@ def run_array(
     return simulator
 
 
-def _check_tuples(
-    tuples: Sequence[Sequence[int]], expected_n: int, arity: int, label: str
-) -> None:
-    if len(tuples) != expected_n:
-        raise SimulationError(
-            f"relation {label} has {len(tuples)} tuples but the schedule "
-            f"expects {expected_n}"
-        )
-    for row_values in tuples:
-        if len(row_values) != arity:
-            raise SimulationError(
-                f"relation {label} tuple {tuple(row_values)!r} has arity "
-                f"{len(row_values)}, expected {arity}"
-            )
+def _check_tuples(tuples, expected_n, arity, label) -> None:
+    _check_tuples_impl(tuples, expected_n, arity, label)

@@ -22,10 +22,11 @@ from repro.arrays.base import (
     TInit,
     build_counter_stream_grid,
     cmp_name,
-    run_array,
+    execute,
 )
 from repro.arrays.schedule import CounterStreamSchedule
 from repro.errors import SimulationError
+from repro.systolic.engine import GridPlan
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.trace import TraceRecorder
 from repro.systolic.wiring import Network
@@ -78,22 +79,28 @@ def compare_all_pairs(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> ComparisonMatrixResult:
     """Run the 2-D array and collect the full boolean matrix ``T``.
 
     Collection uses the hardware discipline: each right-edge arrival is
     decoded to its (i, j) purely from (row, pulse) via the schedule.
     """
-    network, schedule, _ = build_comparison_array(
-        a_tuples, b_tuples, t_init=t_init, tagged=tagged
+    if not a_tuples or not b_tuples:
+        raise SimulationError("the comparison array needs non-empty relations")
+    schedule = CounterStreamSchedule(
+        n_a=len(a_tuples), n_b=len(b_tuples), arity=len(a_tuples[0])
     )
-    pulses = schedule.comparison_pulses
-    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
+    plan = GridPlan(
+        a_tuples, b_tuples, schedule, t_init=t_init, row_taps=True,
+        tagged=tagged, name="comparison-array",
+    )
+    result = execute(plan, backend=backend, meter=meter, trace=trace)
 
     t_matrix = [[False] * schedule.n_b for _ in range(schedule.n_a)]
     seen: set[tuple[int, int]] = set()
     for row in range(schedule.rows):
-        for pulse, token in simulator.collector(f"t_row[{row}]"):
+        for pulse, token in result.collector(f"t_row[{row}]"):
             i, j = schedule.pair_from_exit(row, pulse)
             if (i, j) in seen:
                 raise SimulationError(f"pair ({i}, {j}) exited twice")
@@ -109,12 +116,12 @@ def compare_all_pairs(
         raise SimulationError(
             f"only {len(seen)} of {expected} pair results exited the array"
         )
-    cells = schedule.rows * schedule.arity
     return ComparisonMatrixResult(
         t_matrix=t_matrix,
         schedule=schedule,
         run=ArrayRun(
-            pulses=pulses, rows=schedule.rows, cols=schedule.arity,
-            cells=cells, meter=meter, trace=trace,
+            pulses=result.pulses, rows=schedule.rows, cols=schedule.arity,
+            cells=result.cells, meter=meter, trace=trace,
+            backend=result.engine,
         ),
     )

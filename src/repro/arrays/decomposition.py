@@ -22,13 +22,14 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.arrays.comparison_array import compare_all_pairs
-from repro.arrays.division import build_division_array
-from repro.arrays.join import build_join_array, _collect_matches
-from repro.arrays.base import run_array
+from repro.arrays.join import _collect_matches
+from repro.arrays.base import execute
+from repro.arrays.schedule import CounterStreamSchedule
 from repro.errors import CapacityError, SimulationError
 from repro.relational.algebra import equi_join_layout, theta_join_layout
 from repro.relational.relation import MultiRelation, Relation
 from repro.relational.schema import ColumnRef
+from repro.systolic.engine import DivisionPlan, GridPlan
 
 __all__ = [
     "ArrayCapacity",
@@ -87,6 +88,7 @@ def blocked_pair_matrix(
     b_tuples: Sequence[Sequence[int]],
     capacity: ArrayCapacity,
     t_init: Callable[[int, int], bool] = lambda i, j: True,
+    backend=None,
 ) -> tuple[list[list[bool]], BlockedReport]:
     """The full T matrix, computed block by block on a bounded device.
 
@@ -126,7 +128,9 @@ def blocked_pair_matrix(
                 else:
                     def init(bi: int, bj: int) -> bool:
                         return True
-                result = compare_all_pairs(sub_a, sub_b, t_init=init)
+                result = compare_all_pairs(
+                    sub_a, sub_b, t_init=init, backend=backend
+                )
                 report.add_run(result.run.pulses)
                 if block is None:
                     block = result.t_matrix
@@ -147,20 +151,22 @@ def _membership_from_matrix(matrix: list[list[bool]]) -> list[bool]:
 
 
 def blocked_intersection(
-    a: Relation, b: Relation, capacity: ArrayCapacity
+    a: Relation, b: Relation, capacity: ArrayCapacity, backend=None
 ) -> tuple[Relation, BlockedReport]:
     """``A ∩ B`` on a device too small for the whole problem."""
     a.schema.require_union_compatible(b.schema)
     if not a or not b:
         return Relation(a.schema), BlockedReport()
-    matrix, report = blocked_pair_matrix(a.tuples, b.tuples, capacity)
+    matrix, report = blocked_pair_matrix(
+        a.tuples, b.tuples, capacity, backend=backend
+    )
     t_vector = _membership_from_matrix(matrix)
     members = (row for row, keep in zip(a.tuples, t_vector) if keep)
     return Relation(a.schema, members), report
 
 
 def blocked_difference(
-    a: Relation, b: Relation, capacity: ArrayCapacity
+    a: Relation, b: Relation, capacity: ArrayCapacity, backend=None
 ) -> tuple[Relation, BlockedReport]:
     """``A − B`` blocked: keep the FALSE rows of T (§4.3)."""
     a.schema.require_union_compatible(b.schema)
@@ -168,20 +174,23 @@ def blocked_difference(
         return Relation(a.schema), BlockedReport()
     if not b:
         return Relation(a.schema, a.tuples), BlockedReport()
-    matrix, report = blocked_pair_matrix(a.tuples, b.tuples, capacity)
+    matrix, report = blocked_pair_matrix(
+        a.tuples, b.tuples, capacity, backend=backend
+    )
     t_vector = _membership_from_matrix(matrix)
     members = (row for row, member in zip(a.tuples, t_vector) if not member)
     return Relation(a.schema, members), report
 
 
 def blocked_remove_duplicates(
-    a: MultiRelation, capacity: ArrayCapacity
+    a: MultiRelation, capacity: ArrayCapacity, backend=None
 ) -> tuple[Relation, BlockedReport]:
     """Remove-duplicates blocked: triangular mask via global t_init (§5)."""
     if not a:
         return Relation(a.schema), BlockedReport()
     matrix, report = blocked_pair_matrix(
-        a.tuples, a.tuples, capacity, t_init=lambda i, j: j < i
+        a.tuples, a.tuples, capacity, t_init=lambda i, j: j < i,
+        backend=backend,
     )
     drop = _membership_from_matrix(matrix)
     kept = (row for row, dropped in zip(a.tuples, drop) if not dropped)
@@ -189,11 +198,13 @@ def blocked_remove_duplicates(
 
 
 def blocked_union(
-    a: Relation, b: Relation, capacity: ArrayCapacity
+    a: Relation, b: Relation, capacity: ArrayCapacity, backend=None
 ) -> tuple[Relation, BlockedReport]:
     """``A ∪ B`` = blocked remove-duplicates of the concatenation (§5)."""
     a.schema.require_union_compatible(b.schema)
-    return blocked_remove_duplicates(a.to_multi().concat(b), capacity)
+    return blocked_remove_duplicates(
+        a.to_multi().concat(b), capacity, backend=backend
+    )
 
 
 def blocked_join(
@@ -202,6 +213,7 @@ def blocked_join(
     on: Sequence[tuple[ColumnRef, ColumnRef]],
     capacity: ArrayCapacity,
     ops: Optional[Sequence[str]] = None,
+    backend=None,
 ) -> tuple[Relation, BlockedReport]:
     """(θ-)join blocked over tuple blocks and join-column blocks.
 
@@ -239,12 +251,18 @@ def blocked_join(
                     tuple(b_columns[j][k] for k in col_range) for j in b_range
                 ]
                 sub_ops = [ops[k] for k in col_range]
-                network, schedule, _ = build_join_array(sub_a, sub_b, sub_ops)
-                simulator = run_array(network, pulses=schedule.comparison_pulses)
-                report.add_run(schedule.comparison_pulses)
+                schedule = CounterStreamSchedule(
+                    n_a=len(sub_a), n_b=len(sub_b), arity=len(sub_ops)
+                )
+                plan = GridPlan(
+                    sub_a, sub_b, schedule, ops=tuple(sub_ops),
+                    row_taps=True, name="join-array",
+                )
+                result = execute(plan, backend=backend)
+                report.add_run(result.pulses)
                 found = {
                     (a_range[bi], b_range[bj])
-                    for bi, bj in _collect_matches(simulator, schedule, False)
+                    for bi, bj in _collect_matches(result, schedule, False)
                 }
                 block_matches = (
                     found if block_matches is None else block_matches & found
@@ -267,6 +285,7 @@ def blocked_divide(
     a_value: ColumnRef = 1,
     a_group: ColumnRef | None = None,
     b_value: ColumnRef = 0,
+    backend=None,
 ) -> tuple[Relation, BlockedReport]:
     """``A ÷ B`` on a bounded device (§7 array + §8 decomposition).
 
@@ -332,13 +351,11 @@ def blocked_divide(
         sub_x = [distinct_x[r] for r in x_range]
         for divisor_range in divisor_ranges:
             sub_divisor = [divisor[s] for s in divisor_range]
-            network, schedule, _ = build_division_array(
-                pairs, sub_x, sub_divisor
-            )
-            simulator = run_array(network, pulses=schedule.total_pulses)
-            report.add_run(schedule.total_pulses)
+            plan = DivisionPlan(pairs, sub_x, sub_divisor)
+            result = execute(plan, backend=backend)
+            report.add_run(result.pulses)
             for local_row, global_row in enumerate(x_range):
-                records = simulator.collector(f"and_row[{local_row}]").records
+                records = result.collector(f"and_row[{local_row}]").records
                 if len(records) != 1:
                     raise SimulationError(
                         f"divisor row {local_row} produced {len(records)} "

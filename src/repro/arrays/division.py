@@ -24,15 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.arrays.base import ArrayRun, run_array
+from repro.arrays.base import ArrayRun, execute
+from repro.arrays.schedule import DivisionSchedule
 from repro.errors import SimulationError
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnRef
-from repro.systolic.cells import DividendGateCell, DividendMatchCell, DivisorCell
+from repro.systolic.engine import DivisionPlan
+from repro.systolic.engine.materialize import build_division_network
 from repro.systolic.metrics import ActivityMeter
-from repro.systolic.streams import PeriodicFeeder, ScheduleFeeder
 from repro.systolic.trace import TraceRecorder
-from repro.systolic.values import Token
 from repro.systolic.wiring import Network
 
 __all__ = [
@@ -42,63 +42,6 @@ __all__ = [
     "systolic_divide",
     "systolic_divide_general",
 ]
-
-
-@dataclass(frozen=True)
-class DivisionSchedule:
-    """Timing of the division array.
-
-    ``n_pairs`` dividend pairs stream through ``p_rows`` dividend rows;
-    each divisor row holds ``n_divisor`` processors.
-    """
-
-    n_pairs: int
-    p_rows: int
-    n_divisor: int
-
-    def __post_init__(self) -> None:
-        if min(self.n_pairs, self.p_rows, self.n_divisor) < 1:
-            raise SimulationError(
-                "the division array needs non-empty dividend and divisor"
-            )
-
-    def x_entry_pulse(self, q: int) -> int:
-        """Pulse at which pair q's ``x`` enters the bottom left processor."""
-        return q
-
-    def y_entry_pulse(self, q: int) -> int:
-        """Pulse at which pair q's ``y`` enters (one step behind its x)."""
-        return q + 1
-
-    def gate_pulse(self, q: int, row: int) -> int:
-        """Pulse at which pair q is gated at dividend row ``row``."""
-        return q + 1 + (self.p_rows - 1 - row)
-
-    def and_inject_pulse(self, row: int) -> int:
-        """Earliest pulse the AND sweep may enter divisor row ``row``.
-
-        One pulse behind the last gated ``y`` at the row's first
-        processor, so the sweep trails the dividend through every cell.
-        """
-        return self.n_pairs + 2 + (self.p_rows - 1 - row)
-
-    def result_pulse(self, row: int) -> int:
-        """Pulse at which row ``row``'s quotient bit leaves the right edge."""
-        return self.and_inject_pulse(row) + self.n_divisor - 1
-
-    def row_from_result(self, row: int, pulse: int) -> int:
-        """Sanity-check a result arrival; returns the row."""
-        if pulse != self.result_pulse(row):
-            raise SimulationError(
-                f"divisor row {row} produced its quotient bit on pulse "
-                f"{pulse}, expected {self.result_pulse(row)}"
-            )
-        return row
-
-    @property
-    def total_pulses(self) -> int:
-        """Pulses until the topmost row's quotient bit has exited."""
-        return self.result_pulse(0) + 1
 
 
 @dataclass
@@ -123,48 +66,9 @@ def build_division_array(
     schedule = DivisionSchedule(
         n_pairs=len(pairs), p_rows=len(distinct_x), n_divisor=len(divisor)
     )
-    network = Network("division-array")
-    layout: dict[str, tuple[int, int]] = {}
-    p_rows = schedule.p_rows
-
-    for row, stored in enumerate(distinct_x):
-        match_cell = network.add(DividendMatchCell(f"dm[{row}]", stored))
-        gate_cell = network.add(DividendGateCell(f"dg[{row}]"))
-        layout[match_cell.name] = (row, 0)
-        layout[gate_cell.name] = (row, 1)
-        network.connect(f"dm[{row}]", "t_out", f"dg[{row}]", "t_in")
-    for row in range(p_rows - 1, 0, -1):
-        network.connect(f"dm[{row}]", "x_out", f"dm[{row - 1}]", "x_in")
-        network.connect(f"dg[{row}]", "y_out", f"dg[{row - 1}]", "y_in")
-
-    for row in range(p_rows):
-        for s, stored in enumerate(divisor):
-            cell = network.add(DivisorCell(f"dv[{row},{s}]", stored))
-            layout[cell.name] = (row, 2 + s)
-        network.connect(f"dg[{row}]", "y_pass", f"dv[{row},0]", "y_in")
-        for s in range(len(divisor) - 1):
-            network.connect(f"dv[{row},{s}]", "y_out", f"dv[{row},{s + 1}]", "y_in")
-            network.connect(f"dv[{row},{s}]", "and_out", f"dv[{row},{s + 1}]", "and_in")
-        network.feed(
-            f"dv[{row},0]", "and_in",
-            ScheduleFeeder({
-                schedule.and_inject_pulse(row): Token(
-                    True, ("and", row) if tagged else None
-                )
-            }),
-        )
-        network.tap(f"and_row[{row}]", f"dv[{row},{len(divisor) - 1}]", "and_out")
-
-    x_stream = [
-        Token(x, ("pair", q) if tagged else None) for q, (x, _) in enumerate(pairs)
-    ]
-    y_stream = [
-        Token(y, ("pair", q) if tagged else None) for q, (_, y) in enumerate(pairs)
-    ]
-    network.feed(f"dm[{p_rows - 1}]", "x_in",
-                 PeriodicFeeder(x_stream, start=0, period=1))
-    network.feed(f"dg[{p_rows - 1}]", "y_in",
-                 PeriodicFeeder(y_stream, start=1, period=1))
+    network, layout = build_division_network(
+        pairs, distinct_x, divisor, schedule, tagged=tagged
+    )
     return network, schedule, layout
 
 
@@ -177,6 +81,7 @@ def systolic_divide(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> DivisionResult:
     """``A ÷ B`` on the division array (§7).
 
@@ -232,15 +137,12 @@ def systolic_divide(
             distinct_x, [True] * len(distinct_x), empty_run,
         )
 
-    network, schedule, _ = build_division_array(
-        pairs, distinct_x, divisor, tagged=tagged
-    )
-    simulator = run_array(
-        network, pulses=schedule.total_pulses, meter=meter, trace=trace
-    )
+    plan = DivisionPlan(pairs, distinct_x, divisor, tagged=tagged)
+    schedule = plan.schedule
+    result = execute(plan, backend=backend, meter=meter, trace=trace)
     quotient_bits: list[bool] = []
     for row in range(schedule.p_rows):
-        collector = simulator.collector(f"and_row[{row}]")
+        collector = result.collector(f"and_row[{row}]")
         records = collector.records
         if len(records) != 1:
             raise SimulationError(
@@ -253,11 +155,11 @@ def systolic_divide(
 
     members = [(x,) for x, keep in zip(distinct_x, quotient_bits) if keep]
     run = ArrayRun(
-        pulses=schedule.total_pulses,
+        pulses=result.pulses,
         rows=schedule.p_rows,
         cols=2 + schedule.n_divisor,
-        cells=schedule.p_rows * (2 + schedule.n_divisor),
-        meter=meter, trace=trace,
+        cells=result.cells,
+        meter=meter, trace=trace, backend=result.engine,
     )
     return DivisionResult(Relation(quotient_schema, members), distinct_x,
                           quotient_bits, run)
@@ -272,6 +174,7 @@ def systolic_divide_general(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> DivisionResult:
     """§7's general case on the array, via composite-domain encoding.
 
@@ -341,7 +244,7 @@ def systolic_divide_general(
 
     inner = systolic_divide(
         encoded_a, encoded_b, a_value=1, a_group=0, b_value=0,
-        tagged=tagged, meter=meter, trace=trace,
+        tagged=tagged, meter=meter, trace=trace, backend=backend,
     )
     quotient_schema = a.schema.project(list(a_group))
     members = (group_combos[code] for (code,) in inner.relation.tuples)

@@ -26,13 +26,14 @@ from repro.arrays.base import (
     attach_accumulation_column,
     build_counter_stream_grid,
     build_fixed_relation_grid,
-    run_array,
+    execute,
 )
 from repro.arrays.schedule import CounterStreamSchedule, FixedRelationSchedule
 from repro.errors import SimulationError
 from repro.relational.algebra import project_multi
 from repro.relational.relation import MultiRelation, Relation
 from repro.relational.schema import ColumnRef
+from repro.systolic.engine import GridPlan
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.trace import TraceRecorder
 from repro.systolic.wiring import Network
@@ -44,6 +45,10 @@ __all__ = [
     "systolic_union",
     "systolic_projection",
 ]
+
+
+def _masked(i: int, j: int) -> bool:
+    return j < i
 
 
 @dataclass
@@ -67,21 +72,18 @@ def build_remove_duplicates_array(
             "the remove-duplicates array needs a non-empty multi-relation"
         )
 
-    def masked(i: int, j: int) -> bool:
-        return j < i
-
     if variant == "counter":
         schedule: CounterStreamSchedule | FixedRelationSchedule = (
             CounterStreamSchedule(n_a=len(a), n_b=len(a), arity=a.arity)
         )
         network, layout = build_counter_stream_grid(
-            a.tuples, a.tuples, schedule, t_init=masked, tagged=tagged,
+            a.tuples, a.tuples, schedule, t_init=_masked, tagged=tagged,
             name="remove-duplicates-array",
         )
     elif variant == "fixed":
         schedule = FixedRelationSchedule(n_a=len(a), n_b=len(a), arity=a.arity)
         network, layout = build_fixed_relation_grid(
-            a.tuples, a.tuples, schedule, t_init=masked, tagged=tagged,
+            a.tuples, a.tuples, schedule, t_init=_masked, tagged=tagged,
             name="remove-duplicates-array-fixed",
         )
     else:
@@ -96,18 +98,29 @@ def systolic_remove_duplicates(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> DedupResult:
     """Collapse a multi-relation to a relation on the §5 array."""
     if not a:
         return DedupResult(
             Relation(a.schema), [], ArrayRun(pulses=0, rows=0, cols=0, cells=0)
         )
-    network, schedule, _ = build_remove_duplicates_array(
-        a, variant=variant, tagged=tagged
+    if variant == "counter":
+        schedule: CounterStreamSchedule | FixedRelationSchedule = (
+            CounterStreamSchedule(n_a=len(a), n_b=len(a), arity=a.arity)
+        )
+    elif variant == "fixed":
+        schedule = FixedRelationSchedule(n_a=len(a), n_b=len(a), arity=a.arity)
+    else:
+        raise SimulationError(f"unknown variant {variant!r}; use 'counter' or 'fixed'")
+    plan = GridPlan(
+        a.tuples, a.tuples, schedule, t_init=_masked, accumulate=True,
+        tagged=tagged,
+        name="remove-duplicates-array" if variant == "counter"
+        else "remove-duplicates-array-fixed",
     )
-    pulses = schedule.total_pulses
-    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
-    collector = simulator.collector("t_i")
+    result = execute(plan, backend=backend, meter=meter, trace=trace)
+    collector = result.collector("t_i")
 
     drop: list[Optional[bool]] = [None] * len(a)
     for pulse, token in collector:
@@ -122,8 +135,8 @@ def systolic_remove_duplicates(
         )
     kept = (row for row, dropped in zip(a.tuples, drop) if not dropped)
     run = ArrayRun(
-        pulses=pulses, rows=schedule.rows, cols=schedule.arity + 1,
-        cells=schedule.rows * (schedule.arity + 1), meter=meter, trace=trace,
+        pulses=result.pulses, rows=schedule.rows, cols=schedule.arity + 1,
+        cells=result.cells, meter=meter, trace=trace, backend=result.engine,
     )
     return DedupResult(Relation(a.schema, kept), [bool(v) for v in drop], run)
 
@@ -135,12 +148,14 @@ def systolic_union(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> DedupResult:
     """``A ∪ B`` = remove-duplicates over the concatenation A + B (§5)."""
     a.schema.require_union_compatible(b.schema)
     concatenation = a.to_multi().concat(b)
     return systolic_remove_duplicates(
-        concatenation, variant=variant, tagged=tagged, meter=meter, trace=trace
+        concatenation, variant=variant, tagged=tagged, meter=meter,
+        trace=trace, backend=backend,
     )
 
 
@@ -151,6 +166,7 @@ def systolic_projection(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> DedupResult:
     """Projection over ``columns`` (§5).
 
@@ -160,5 +176,6 @@ def systolic_projection(
     """
     reduced = project_multi(a, columns)
     return systolic_remove_duplicates(
-        reduced, variant=variant, tagged=tagged, meter=meter, trace=trace
+        reduced, variant=variant, tagged=tagged, meter=meter, trace=trace,
+        backend=backend,
     )

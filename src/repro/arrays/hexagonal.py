@@ -9,19 +9,10 @@ directions summing to zero, every cell computing
 
 The comparison matrix of §3.3 *is* a matrix product over the
 ``(AND, =)`` semiring: ``t_ij = AND_k (a_ik = b_jk)``.  This module
-implements the hex array generically over a :class:`Semiring` and
-instantiates it for tuple comparison, demonstrating §2.1's claim with
-the same pulse-level rigor as the orthogonal arrays.
-
-Schedule (α = β = γ = 1, δ = 0; derivation in the tests):
-
-* stream directions ``u_a = (1, 0)``, ``u_b = (0, 1)``,
-  ``u_c = (−1, −1)`` — the three hexagonal axes, summing to zero;
-* ``a[i][k]`` starts at ``i·(u_b − u_a) + k·(u_c − u_a)`` and moves
-  along ``u_a`` one cell per pulse (``b`` and ``c`` symmetrically);
-* the triple ``(i, j, k)`` coincides in one cell at pulse
-  ``i + j + k`` — and *only* scheduled triples ever coincide, so the
-  array needs no guards beyond "compute when all three are present".
+states the problem as a :class:`~repro.systolic.engine.plan.HexPlan`
+and reads the product off the final-meeting cells; the mesh geometry,
+:class:`Semiring` algebra, and :class:`HexCell` processor live in
+:mod:`repro.systolic.engine.hexmesh`, shared by both engines.
 
 As Kung–Leiserson note for the hex design, at most one third of the
 cells fire on any pulse — measured against the orthogonal array in
@@ -31,15 +22,26 @@ cells fire on any pulse — measured against the orthogonal array in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Sequence
 
-from repro.arrays.base import ArrayRun
+from repro.arrays.base import ArrayRun, execute
 from repro.errors import SimulationError
-from repro.systolic.cell import Cell, PortMap
-from repro.systolic.simulator import SystolicSimulator
-from repro.systolic.streams import ScheduleFeeder
-from repro.systolic.values import Token
-from repro.systolic.wiring import Network
+from repro.systolic.engine import HexPlan
+from repro.systolic.engine.hexmesh import (
+    BOOLEAN_SEMIRING,
+    COMPARISON_SEMIRING,
+    U_A,
+    U_B,
+    U_C,
+    HexCell,
+    Semiring,
+    hex_tap_name,
+    meeting_cell,
+)
+from repro.systolic.engine.hexmesh import a_start as _a_start
+from repro.systolic.engine.hexmesh import b_start as _b_start
+from repro.systolic.engine.hexmesh import c_start as _c_start
+from repro.systolic.engine.hexmesh import meeting_cell as _meeting_cell
 
 __all__ = [
     "Semiring",
@@ -50,123 +52,6 @@ __all__ = [
     "hex_matrix_product",
     "hex_compare_all_pairs",
 ]
-
-#: The three hexagonal stream directions (they sum to the zero vector).
-U_A = (1, 0)
-U_B = (0, 1)
-U_C = (-1, -1)
-
-
-@dataclass(frozen=True)
-class Semiring:
-    """The algebra a hex cell computes over: ``c ← combine(c, interact(a, b))``."""
-
-    name: str
-    combine: Callable[[Any, Any], Any]
-    interact: Callable[[Any, Any], Any]
-    identity: Any
-
-
-#: Tuple comparison: t_ij = AND_k (a_ik = b_jk); identity TRUE.
-COMPARISON_SEMIRING = Semiring(
-    name="comparison",
-    combine=lambda c, x: bool(c) and bool(x),
-    interact=lambda a, b: a == b,
-    identity=True,
-)
-
-#: Boolean matrix product (OR of ANDs) — e.g. one step of reachability.
-BOOLEAN_SEMIRING = Semiring(
-    name="boolean",
-    combine=lambda c, x: bool(c) or bool(x),
-    interact=lambda a, b: bool(a) and bool(b),
-    identity=False,
-)
-
-
-class HexCell(Cell):
-    """One hexagonal-mesh processor: three pass-through streams.
-
-    When tokens are present on all three inputs the cell performs the
-    semiring step on the ``c`` value; any other combination just
-    forwards what arrived (tokens passing through without a scheduled
-    meeting).
-    """
-
-    IN_PORTS = ("a_in", "b_in", "c_in")
-    OUT_PORTS = ("a_out", "b_out", "c_out")
-
-    def __init__(self, name: str, semiring: Semiring) -> None:
-        super().__init__(name)
-        self.semiring = semiring
-
-    def step(self, inputs: PortMap) -> dict[str, Optional[Token]]:
-        a = inputs.get("a_in")
-        b = inputs.get("b_in")
-        c = inputs.get("c_in")
-        outputs: dict[str, Optional[Token]] = {}
-        if a is not None:
-            outputs["a_out"] = a
-        if b is not None:
-            outputs["b_out"] = b
-        if c is not None:
-            if a is not None and b is not None:
-                self._check_tags(a, b, c)
-                updated = self.semiring.combine(
-                    c.value, self.semiring.interact(a.value, b.value)
-                )
-                outputs["c_out"] = Token(updated, c.tag)
-            else:
-                outputs["c_out"] = c
-        return outputs
-
-    def _check_tags(self, a: Token, b: Token, c: Token) -> None:
-        a_tag, b_tag, c_tag = a.tag, b.tag, c.tag
-        if not (
-            isinstance(a_tag, tuple) and len(a_tag) == 3 and a_tag[0] == "a"
-            and isinstance(b_tag, tuple) and len(b_tag) == 3 and b_tag[0] == "b"
-            and isinstance(c_tag, tuple) and len(c_tag) == 3 and c_tag[0] == "c"
-        ):
-            return
-        _, a_i, a_k = a_tag
-        _, b_k, b_j = b_tag
-        _, c_i, c_j = c_tag
-        if a_k != b_k or a_i != c_i or b_j != c_j:
-            raise self.protocol_error(
-                f"unscheduled triple met: a={a_tag!r} b={b_tag!r} c={c_tag!r}"
-            )
-
-
-def _vadd(p: tuple[int, int], q: tuple[int, int], scale: int = 1) -> tuple[int, int]:
-    return (p[0] + scale * q[0], p[1] + scale * q[1])
-
-
-def _vsub(p: tuple[int, int], q: tuple[int, int]) -> tuple[int, int]:
-    return (p[0] - q[0], p[1] - q[1])
-
-
-def _a_start(i: int, k: int) -> tuple[int, int]:
-    base = _vsub(U_B, U_A)
-    off = _vsub(U_C, U_A)
-    return (base[0] * i + off[0] * k, base[1] * i + off[1] * k)
-
-
-def _b_start(k: int, j: int) -> tuple[int, int]:
-    base = _vsub(U_A, U_B)
-    off = _vsub(U_C, U_B)
-    return (off[0] * k + base[0] * j, off[1] * k + base[1] * j)
-
-
-def _c_start(i: int, j: int) -> tuple[int, int]:
-    bi = _vsub(U_B, U_C)
-    bj = _vsub(U_A, U_C)
-    return (bi[0] * i + bj[0] * j, bi[1] * i + bj[1] * j)
-
-
-def _meeting_cell(i: int, j: int, k: int) -> tuple[int, int]:
-    """Where the (i, j, k) triple coincides, at pulse i + j + k."""
-    t = i + j + k
-    return _vadd(_a_start(i, k), U_A, t)
 
 
 @dataclass
@@ -184,114 +69,25 @@ def hex_matrix_product(
     b_cols: Sequence[Sequence[Any]],
     semiring: Semiring,
     tagged: bool = True,
+    backend=None,
 ) -> HexComparisonResult:
     """Compute ``C[i][j] = ⊕_k (A[i][k] ⊗ B[k][j])`` on the hex array.
 
     ``a_rows[i][k]`` and ``b_cols[j][k]`` index the operands (note B is
     given column-wise, matching tuple comparison where both operands
-    are tuples).  Every cell, wire, and pulse is simulated; results are
-    read off the cells of each ``c`` stream's final meeting.
+    are tuples).  Results are read off the cells of each ``c`` stream's
+    final meeting; with the default pulse backend every cell, wire, and
+    pulse is simulated.
     """
-    n_a, n_b = len(a_rows), len(b_cols)
-    if n_a == 0 or n_b == 0:
-        raise SimulationError("the hex array needs non-empty operands")
-    m = len(a_rows[0])
-    if m == 0 or any(len(r) != m for r in a_rows) or any(len(r) != m for r in b_cols):
-        raise SimulationError("operands must share a positive inner dimension")
-
-    # Every lattice cell any token ever occupies during the run.
-    horizon = (n_a - 1) + (n_b - 1) + (m - 1)
-    positions: set[tuple[int, int]] = set()
-    for i in range(n_a):
-        for k in range(m):
-            start = _a_start(i, k)
-            for t in range(horizon + 1):
-                positions.add(_vadd(start, U_A, t))
-    for j in range(n_b):
-        for k in range(m):
-            start = _b_start(k, j)
-            for t in range(horizon + 1):
-                positions.add(_vadd(start, U_B, t))
-    for i in range(n_a):
-        for j in range(n_b):
-            start = _c_start(i, j)
-            # c streams matter only until their last meeting.
-            for t in range(i + j + m):
-                positions.add(_vadd(start, U_C, t))
-
-    def cell_name(pos: tuple[int, int]) -> str:
-        return f"hex[{pos[0]},{pos[1]}]"
-
-    network = Network("hexagonal-array")
-    for pos in positions:
-        network.add(HexCell(cell_name(pos), semiring))
-    for pos in positions:
-        for direction, out_port, in_port in (
-            (U_A, "a_out", "a_in"), (U_B, "b_out", "b_in"), (U_C, "c_out", "c_in"),
-        ):
-            neighbour = _vadd(pos, direction)
-            if neighbour in positions:
-                network.connect(cell_name(pos), out_port,
-                                cell_name(neighbour), in_port)
-
-    # Feeders: every token is injected at its start cell on pulse 0.
-    # (Start positions are injective per stream — see the tests — so no
-    # two tokens contend for one feeder slot.)
-    a_sched: dict[tuple[str, str], dict[int, Token]] = {}
-
-    def schedule_injection(pos, port, token):
-        key = (cell_name(pos), port)
-        a_sched.setdefault(key, {})[0] = token
-
-    for i in range(n_a):
-        for k in range(m):
-            schedule_injection(
-                _a_start(i, k), "a_in",
-                Token(a_rows[i][k], ("a", i, k) if tagged else None),
-            )
-    for j in range(n_b):
-        for k in range(m):
-            schedule_injection(
-                _b_start(k, j), "b_in",
-                Token(b_cols[j][k], ("b", k, j) if tagged else None),
-            )
-    for i in range(n_a):
-        for j in range(n_b):
-            schedule_injection(
-                _c_start(i, j), "c_in",
-                Token(semiring.identity, ("c", i, j) if tagged else None),
-            )
-    for (name, port), schedule in a_sched.items():
-        network.feed(name, port, ScheduleFeeder(schedule), merge=True)
-
-    # Taps: the cell of each c stream's final meeting (k = m−1).
-    taps: dict[tuple[int, int], str] = {}
-    for i in range(n_a):
-        for j in range(n_b):
-            pos = _meeting_cell(i, j, m - 1)
-            if pos not in taps:
-                tap_name = f"c@{pos[0]},{pos[1]}"
-                network.tap(tap_name, cell_name(pos), "c_out")
-                taps[pos] = tap_name
-
-    firing_per_pulse: list[int] = []
-
-    def observer(pulse, inputs_by_cell, outputs_by_cell):
-        firing = sum(
-            1 for ports in inputs_by_cell.values()
-            if all(ports.get(p) is not None for p in ("a_in", "b_in", "c_in"))
-        )
-        firing_per_pulse.append(firing)
-
-    simulator = SystolicSimulator(network, observer=observer)
-    pulses = horizon + 1
-    simulator.run(pulses)
+    plan = HexPlan(a_rows, b_cols, semiring, tagged=tagged)
+    result = execute(plan, backend=backend)
+    n_a, n_b, m = plan.n_a, plan.n_b, plan.inner
 
     matrix: list[list[Any]] = [[None] * n_b for _ in range(n_a)]
     for i in range(n_a):
         for j in range(n_b):
-            pos = _meeting_cell(i, j, m - 1)
-            token = simulator.collector(taps[pos]).at(i + j + m - 1)
+            pos = meeting_cell(i, j, m - 1)
+            token = result.collector(hex_tap_name(pos)).at(i + j + m - 1)
             if token is None:
                 raise SimulationError(
                     f"c[{i}][{j}] did not exit its final meeting cell on "
@@ -305,8 +101,11 @@ def hex_matrix_product(
             matrix[i][j] = token.value
     return HexComparisonResult(
         t_matrix=matrix,
-        run=ArrayRun(pulses=pulses, rows=0, cols=0, cells=len(positions)),
-        peak_firing=max(firing_per_pulse, default=0),
+        run=ArrayRun(
+            pulses=result.pulses, rows=0, cols=0, cells=result.cells,
+            backend=result.engine,
+        ),
+        peak_firing=result.peak_firing or 0,
     )
 
 
@@ -314,8 +113,10 @@ def hex_compare_all_pairs(
     a_tuples: Sequence[Sequence[int]],
     b_tuples: Sequence[Sequence[int]],
     tagged: bool = True,
+    backend=None,
 ) -> HexComparisonResult:
     """The §3.3 comparison matrix on the hexagonal array (§2.1, [5])."""
     return hex_matrix_product(
-        a_tuples, b_tuples, COMPARISON_SEMIRING, tagged=tagged
+        a_tuples, b_tuples, COMPARISON_SEMIRING, tagged=tagged,
+        backend=backend,
     )

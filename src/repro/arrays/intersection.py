@@ -9,7 +9,9 @@ put an inverter on the output line of the accumulation array").
 Both the counter-streaming design of the figures and the §8
 fixed-relation variant are provided; they produce identical answers and
 differ only in geometry, pulse counts, and utilization (experiment
-E11).
+E11).  ``backend=`` selects the execution engine — ``"pulse"`` for the
+cycle-accurate simulator, ``"lattice"`` for the vectorized wavefront
+engine (bit-identical results; see :mod:`repro.systolic.engine`).
 """
 
 from __future__ import annotations
@@ -22,11 +24,12 @@ from repro.arrays.base import (
     attach_accumulation_column,
     build_counter_stream_grid,
     build_fixed_relation_grid,
-    run_array,
+    execute,
 )
 from repro.arrays.schedule import CounterStreamSchedule, FixedRelationSchedule
 from repro.errors import SimulationError
 from repro.relational.relation import Relation
+from repro.systolic.engine import GridPlan
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.trace import TraceRecorder
 from repro.systolic.wiring import Network
@@ -51,6 +54,16 @@ class MembershipResult:
     run: ArrayRun
 
 
+def _membership_schedule(
+    n_a: int, n_b: int, arity: int, variant: str
+) -> CounterStreamSchedule | FixedRelationSchedule:
+    if variant == "counter":
+        return CounterStreamSchedule(n_a=n_a, n_b=n_b, arity=arity)
+    if variant == "fixed":
+        return FixedRelationSchedule(n_a=n_a, n_b=n_b, arity=arity)
+    raise SimulationError(f"unknown variant {variant!r}; use 'counter' or 'fixed'")
+
+
 def build_intersection_array(
     a: Relation,
     b: Relation,
@@ -68,49 +81,44 @@ def build_intersection_array(
             "the intersection array needs non-empty operands; empty cases "
             "short-circuit in systolic_intersection"
         )
+    schedule = _membership_schedule(len(a), len(b), a.arity, variant)
     if variant == "counter":
-        schedule: CounterStreamSchedule | FixedRelationSchedule = (
-            CounterStreamSchedule(n_a=len(a), n_b=len(b), arity=a.arity)
-        )
         network, layout = build_counter_stream_grid(
             a.tuples, b.tuples, schedule,
             t_init=lambda i, j: True, tagged=tagged,
             name="intersection-array",
         )
-    elif variant == "fixed":
-        schedule = FixedRelationSchedule(n_a=len(a), n_b=len(b), arity=a.arity)
+    else:
         network, layout = build_fixed_relation_grid(
             a.tuples, b.tuples, schedule,
             t_init=lambda i, j: True, tagged=tagged,
             name="intersection-array-fixed",
         )
-    else:
-        raise SimulationError(f"unknown variant {variant!r}; use 'counter' or 'fixed'")
     attach_accumulation_column(network, schedule, layout, tagged=tagged)
     return network, schedule, layout
 
 
-def systolic_membership_vector(
-    a: Relation,
-    b: Relation,
-    variant: str = "counter",
-    tagged: bool = False,
-    meter: Optional[ActivityMeter] = None,
-    trace: Optional[TraceRecorder] = None,
+def _run_membership(
+    a_tuples,
+    b_tuples,
+    arity: int,
+    variant: str,
+    tagged: bool,
+    meter: Optional[ActivityMeter],
+    trace: Optional[TraceRecorder],
+    backend,
+    name: str,
 ) -> tuple[list[bool], ArrayRun]:
-    """Run the array and read off ``t_i = OR_j (a_i == b_j)`` for all i.
-
-    The vector is decoded from bottom-of-column arrival pulses alone,
-    exactly as hardware would.
-    """
-    network, schedule, _ = build_intersection_array(
-        a, b, variant=variant, tagged=tagged
+    """Plan, execute, and decode one Fig 4-1 membership run."""
+    schedule = _membership_schedule(len(a_tuples), len(b_tuples), arity, variant)
+    plan = GridPlan(
+        a_tuples, b_tuples, schedule,
+        t_init=lambda i, j: True, accumulate=True, tagged=tagged, name=name,
     )
-    pulses = schedule.total_pulses
-    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
-    collector = simulator.collector("t_i")
+    result = execute(plan, backend=backend, meter=meter, trace=trace)
+    collector = result.collector("t_i")
 
-    t_vector: list[Optional[bool]] = [None] * len(a)
+    t_vector: list[Optional[bool]] = [None] * len(a_tuples)
     for pulse, token in collector:
         i = schedule.tuple_from_accumulator_exit(pulse)
         if t_vector[i] is not None:
@@ -125,12 +133,38 @@ def systolic_membership_vector(
         raise SimulationError(
             f"tuples {missing[:8]} never exited the accumulation array"
         )
-    cells = schedule.rows * (schedule.arity + 1)  # + accumulation column
     run = ArrayRun(
-        pulses=pulses, rows=schedule.rows, cols=schedule.arity + 1,
-        cells=cells, meter=meter, trace=trace,
+        pulses=result.pulses, rows=schedule.rows, cols=schedule.arity + 1,
+        cells=result.cells, meter=meter, trace=trace, backend=result.engine,
     )
     return [bool(v) for v in t_vector], run
+
+
+def systolic_membership_vector(
+    a: Relation,
+    b: Relation,
+    variant: str = "counter",
+    tagged: bool = False,
+    meter: Optional[ActivityMeter] = None,
+    trace: Optional[TraceRecorder] = None,
+    backend=None,
+) -> tuple[list[bool], ArrayRun]:
+    """Run the array and read off ``t_i = OR_j (a_i == b_j)`` for all i.
+
+    The vector is decoded from bottom-of-column arrival pulses alone,
+    exactly as hardware would.
+    """
+    a.schema.require_union_compatible(b.schema)
+    if not a or not b:
+        raise SimulationError(
+            "the intersection array needs non-empty operands; empty cases "
+            "short-circuit in systolic_intersection"
+        )
+    return _run_membership(
+        a.tuples, b.tuples, a.arity, variant, tagged, meter, trace, backend,
+        name="intersection-array" if variant == "counter"
+        else "intersection-array-fixed",
+    )
 
 
 def _empty_run() -> ArrayRun:
@@ -144,13 +178,15 @@ def systolic_intersection(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> MembershipResult:
     """``A ∩ B`` on the intersection array (keep tuples with TRUE t_i)."""
     a.schema.require_union_compatible(b.schema)
     if not a or not b:
         return MembershipResult(Relation(a.schema), [], _empty_run())
     t_vector, run = systolic_membership_vector(
-        a, b, variant=variant, tagged=tagged, meter=meter, trace=trace
+        a, b, variant=variant, tagged=tagged, meter=meter, trace=trace,
+        backend=backend,
     )
     members = (row for row, keep in zip(a.tuples, t_vector) if keep)
     return MembershipResult(Relation(a.schema, members), t_vector, run)
@@ -163,6 +199,7 @@ def systolic_difference(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> MembershipResult:
     """``A − B``: same array, keep tuples with FALSE t_i (§4.3)."""
     a.schema.require_union_compatible(b.schema)
@@ -173,7 +210,8 @@ def systolic_difference(
             Relation(a.schema, a.tuples), [False] * len(a), _empty_run()
         )
     t_vector, run = systolic_membership_vector(
-        a, b, variant=variant, tagged=tagged, meter=meter, trace=trace
+        a, b, variant=variant, tagged=tagged, meter=meter, trace=trace,
+        backend=backend,
     )
     members = (row for row, member in zip(a.tuples, t_vector) if not member)
     return MembershipResult(Relation(a.schema, members), t_vector, run)
@@ -187,54 +225,18 @@ def _semijoin_membership(
     tagged: bool,
     meter,
     trace,
+    backend,
 ) -> tuple[list[bool], ArrayRun]:
     """Membership bits of A's join-column tuples among B's (§4 hardware)."""
-    from repro.arrays.base import (
-        attach_accumulation_column,
-        build_counter_stream_grid,
-        build_fixed_relation_grid,
-    )
     from repro.relational.algebra import equi_join_layout
 
     a_positions, b_positions, _, _ = equi_join_layout(a, b, on)
     a_keys = [tuple(row[p] for p in a_positions) for row in a.tuples]
     b_keys = [tuple(row[p] for p in b_positions) for row in b.tuples]
-    if variant == "counter":
-        schedule: CounterStreamSchedule | FixedRelationSchedule = (
-            CounterStreamSchedule(len(a_keys), len(b_keys), len(on))
-        )
-        network, _ = build_counter_stream_grid(
-            a_keys, b_keys, schedule, t_init=lambda i, j: True,
-            tagged=tagged, name="semijoin-array",
-        )
-    elif variant == "fixed":
-        schedule = FixedRelationSchedule(len(a_keys), len(b_keys), len(on))
-        network, _ = build_fixed_relation_grid(
-            a_keys, b_keys, schedule, t_init=lambda i, j: True,
-            tagged=tagged, name="semijoin-array-fixed",
-        )
-    else:
-        raise SimulationError(
-            f"unknown variant {variant!r}; use 'counter' or 'fixed'"
-        )
-    attach_accumulation_column(network, schedule, tagged=tagged)
-    simulator = run_array(
-        network, pulses=schedule.total_pulses, meter=meter, trace=trace
+    return _run_membership(
+        a_keys, b_keys, len(on), variant, tagged, meter, trace, backend,
+        name="semijoin-array" if variant == "counter" else "semijoin-array-fixed",
     )
-    bits: list[Optional[bool]] = [None] * len(a_keys)
-    for pulse, token in simulator.collector("t_i"):
-        bits[schedule.tuple_from_accumulator_exit(pulse)] = bool(token.value)
-    missing = [i for i, bit in enumerate(bits) if bit is None]
-    if missing:
-        raise SimulationError(
-            f"tuples {missing[:8]} never exited the accumulation array"
-        )
-    run = ArrayRun(
-        pulses=schedule.total_pulses, rows=schedule.rows,
-        cols=schedule.arity + 1,
-        cells=schedule.rows * (schedule.arity + 1), meter=meter, trace=trace,
-    )
-    return [bool(bit) for bit in bits], run
 
 
 def systolic_semijoin(
@@ -245,6 +247,7 @@ def systolic_semijoin(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> MembershipResult:
     """``A ⋉ B``: the §4 membership hardware fed with join columns only.
 
@@ -256,7 +259,9 @@ def systolic_semijoin(
     equi_join_layout(a, b, on)  # validates columns and domains
     if not a or not b:
         return MembershipResult(Relation(a.schema), [], _empty_run())
-    bits, run = _semijoin_membership(a, b, on, variant, tagged, meter, trace)
+    bits, run = _semijoin_membership(
+        a, b, on, variant, tagged, meter, trace, backend
+    )
     members = (row for row, keep in zip(a.tuples, bits) if keep)
     return MembershipResult(Relation(a.schema, members), bits, run)
 
@@ -269,6 +274,7 @@ def systolic_antijoin(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> MembershipResult:
     """``A ▷ B``: the same bits, kept where FALSE (§4.3's inverter)."""
     from repro.relational.algebra import equi_join_layout
@@ -280,6 +286,8 @@ def systolic_antijoin(
         return MembershipResult(
             Relation(a.schema, a.tuples), [False] * len(a), _empty_run()
         )
-    bits, run = _semijoin_membership(a, b, on, variant, tagged, meter, trace)
+    bits, run = _semijoin_membership(
+        a, b, on, variant, tagged, meter, trace, backend
+    )
     members = (row for row, member in zip(a.tuples, bits) if not member)
     return MembershipResult(Relation(a.schema, members), bits, run)

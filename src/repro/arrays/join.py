@@ -24,7 +24,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.arrays.base import ArrayRun, build_counter_stream_grid, build_fixed_relation_grid, cmp_name, run_array
+from repro.arrays.base import (
+    ArrayRun,
+    attach_op_stream,
+    build_counter_stream_grid,
+    build_fixed_relation_grid,
+    cmp_name,
+    execute,
+)
 from repro.arrays.schedule import CounterStreamSchedule, FixedRelationSchedule
 from repro.errors import SimulationError
 from repro.relational.algebra import equi_join_layout, theta_join_layout
@@ -32,6 +39,7 @@ from repro.relational.relation import Relation
 from repro.relational.schema import ColumnRef, Schema
 from repro.systolic.cell import Cell
 from repro.systolic.cells import ThetaCell
+from repro.systolic.engine import GridPlan
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.trace import TraceRecorder
 from repro.systolic.wiring import Network
@@ -54,6 +62,16 @@ class JoinResult:
     #: the TRUE entries of T as (i, j) pairs, in exit order
     matches: list[tuple[int, int]]
     run: ArrayRun
+
+
+def _join_schedule(
+    n_a: int, n_b: int, arity: int, variant: str
+) -> CounterStreamSchedule | FixedRelationSchedule:
+    if variant == "counter":
+        return CounterStreamSchedule(n_a=n_a, n_b=n_b, arity=arity)
+    if variant == "fixed":
+        return FixedRelationSchedule(n_a=n_a, n_b=n_b, arity=arity)
+    raise SimulationError(f"unknown variant {variant!r}; use 'counter' or 'fixed'")
 
 
 def build_join_array(
@@ -81,28 +99,19 @@ def build_join_array(
     def theta_factory(name: str, row: int, col: int) -> Cell:
         return ThetaCell(name, op=ops[col])
 
+    schedule = _join_schedule(len(a_columns), len(b_columns), len(ops), variant)
     if variant == "counter":
-        schedule: CounterStreamSchedule | FixedRelationSchedule = (
-            CounterStreamSchedule(
-                n_a=len(a_columns), n_b=len(b_columns), arity=len(ops)
-            )
-        )
         network, layout = build_counter_stream_grid(
             a_columns, b_columns, schedule,
             t_init=None, cell_factory=theta_factory, tagged=tagged,
             name="join-array",
         )
-    elif variant == "fixed":
-        schedule = FixedRelationSchedule(
-            n_a=len(a_columns), n_b=len(b_columns), arity=len(ops)
-        )
+    else:
         network, layout = build_fixed_relation_grid(
             a_columns, b_columns, schedule,
             t_init=None, cell_factory=theta_factory, tagged=tagged,
             name="join-array-fixed",
         )
-    else:
-        raise SimulationError(f"unknown variant {variant!r}; use 'counter' or 'fixed'")
     for row in range(schedule.rows):
         network.tap(f"t_row[{row}]", cmp_name(row, schedule.arity - 1), "t_out")
     return network, schedule, layout
@@ -111,7 +120,11 @@ def build_join_array(
 def _collect_matches(
     simulator, schedule, tagged: bool
 ) -> list[tuple[int, int]]:
-    """Decode right-edge arrivals into the TRUE (i, j) pairs."""
+    """Decode right-edge arrivals into the TRUE (i, j) pairs.
+
+    ``simulator`` is anything with a ``collector(name)`` method — the
+    pulse simulator or an :class:`~repro.systolic.engine.plan.EngineRun`.
+    """
     matches: list[tuple[int, int, int]] = []  # (pulse, i, j) for ordering
     seen: set[tuple[int, int]] = set()
     for row in range(schedule.rows):
@@ -148,6 +161,8 @@ def _run_join(
     tagged: bool,
     meter: Optional[ActivityMeter],
     trace: Optional[TraceRecorder],
+    backend=None,
+    dynamic_ops: bool = False,
 ) -> JoinResult:
     if not a or not b:
         return JoinResult(
@@ -155,19 +170,22 @@ def _run_join(
         )
     a_columns = [tuple(row[p] for p in a_positions) for row in a.tuples]
     b_columns = [tuple(row[p] for p in b_positions) for row in b.tuples]
-    network, schedule, _ = build_join_array(
-        a_columns, b_columns, ops, variant=variant, tagged=tagged
+    schedule = _join_schedule(len(a_columns), len(b_columns), len(ops), variant)
+    plan = GridPlan(
+        a_columns, b_columns, schedule,
+        ops=tuple(ops), dynamic_ops=dynamic_ops, row_taps=True, tagged=tagged,
+        name="dynamic-join-array" if dynamic_ops
+        else ("join-array" if variant == "counter" else "join-array-fixed"),
     )
-    pulses = schedule.comparison_pulses
-    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
-    matches = _collect_matches(simulator, schedule, tagged)
+    result = execute(plan, backend=backend, meter=meter, trace=trace)
+    matches = _collect_matches(result, schedule, tagged)
     rows = []
     for i, j in matches:
         row_b = b.tuples[j]
         rows.append(a.tuples[i] + tuple(row_b[p] for p in b_keep))
     run = ArrayRun(
-        pulses=pulses, rows=schedule.rows, cols=schedule.arity,
-        cells=schedule.rows * schedule.arity, meter=meter, trace=trace,
+        pulses=result.pulses, rows=schedule.rows, cols=schedule.arity,
+        cells=result.cells, meter=meter, trace=trace, backend=result.engine,
     )
     return JoinResult(Relation(schema, rows), matches, run)
 
@@ -180,6 +198,7 @@ def systolic_join(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> JoinResult:
     """Equi-join on the Fig 6-1 array (single or multiple columns)."""
     a_positions, b_positions, schema, b_keep = equi_join_layout(a, b, on)
@@ -187,6 +206,7 @@ def systolic_join(
     return _run_join(
         a, b, a_positions, b_positions, schema, b_keep, ops,
         variant=variant, tagged=tagged, meter=meter, trace=trace,
+        backend=backend,
     )
 
 
@@ -199,12 +219,14 @@ def systolic_theta_join(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> JoinResult:
     """θ-join on the array, processors preloaded with ``ops`` (§6.3.2)."""
     a_positions, b_positions, schema, b_keep = theta_join_layout(a, b, on, ops)
     return _run_join(
         a, b, a_positions, b_positions, schema, b_keep, ops,
         variant=variant, tagged=tagged, meter=meter, trace=trace,
+        backend=backend,
     )
 
 
@@ -222,8 +244,6 @@ def build_dynamic_join_array(
     (same staggering, same two-pulse tuple spacing).
     """
     from repro.systolic.cells import DynamicThetaCell
-    from repro.systolic.streams import PeriodicFeeder
-    from repro.systolic.values import Token
 
     if not a_columns or not b_columns:
         raise SimulationError("the join array needs non-empty relations")
@@ -244,14 +264,7 @@ def build_dynamic_join_array(
         t_init=None, cell_factory=dynamic_factory, tagged=tagged,
         name="dynamic-join-array",
     )
-    for row in range(schedule.rows - 1):
-        for col in range(schedule.arity):
-            network.connect(cmp_name(row, col), "op_out",
-                            cmp_name(row + 1, col), "op_in")
-    for col in range(schedule.arity):
-        op_stream = [Token(ops[col]) for _ in range(schedule.n_a)]
-        network.feed(cmp_name(0, col), "op_in",
-                     PeriodicFeeder(op_stream, start=col, period=2))
+    attach_op_stream(network, schedule, ops)
     for row in range(schedule.rows):
         network.tap(f"t_row[{row}]", cmp_name(row, schedule.arity - 1), "t_out")
     return network, schedule, layout
@@ -265,6 +278,7 @@ def systolic_dynamic_theta_join(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> JoinResult:
     """θ-join with the ops streamed alongside the data (§6.3.2).
 
@@ -273,24 +287,8 @@ def systolic_dynamic_theta_join(
     options for one piece of hardware.
     """
     a_positions, b_positions, schema, b_keep = theta_join_layout(a, b, on, ops)
-    if not a or not b:
-        return JoinResult(
-            Relation(schema), [], ArrayRun(pulses=0, rows=0, cols=0, cells=0)
-        )
-    a_columns = [tuple(row[p] for p in a_positions) for row in a.tuples]
-    b_columns = [tuple(row[p] for p in b_positions) for row in b.tuples]
-    network, schedule, _ = build_dynamic_join_array(
-        a_columns, b_columns, ops, tagged=tagged
+    return _run_join(
+        a, b, a_positions, b_positions, schema, b_keep, ops,
+        variant="counter", tagged=tagged, meter=meter, trace=trace,
+        backend=backend, dynamic_ops=True,
     )
-    pulses = schedule.comparison_pulses
-    simulator = run_array(network, pulses=pulses, meter=meter, trace=trace)
-    matches = _collect_matches(simulator, schedule, tagged)
-    rows = [
-        a.tuples[i] + tuple(b.tuples[j][p] for p in b_keep)
-        for i, j in matches
-    ]
-    run = ArrayRun(
-        pulses=pulses, rows=schedule.rows, cols=schedule.arity,
-        cells=schedule.rows * schedule.arity, meter=meter, trace=trace,
-    )
-    return JoinResult(Relation(schema, rows), matches, run)

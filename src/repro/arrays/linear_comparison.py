@@ -12,13 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.arrays.base import ArrayRun, run_array
+from repro.arrays.base import ArrayRun, execute
 from repro.errors import SimulationError
-from repro.systolic.cells import ComparisonCell
+from repro.systolic.engine import LinearPlan
+from repro.systolic.engine.materialize import build_linear_network
 from repro.systolic.metrics import ActivityMeter
-from repro.systolic.streams import ScheduleFeeder
 from repro.systolic.trace import TraceRecorder
-from repro.systolic.values import Token
 from repro.systolic.wiring import Network
 
 __all__ = ["LinearComparisonResult", "build_linear_comparison", "compare_tuples"]
@@ -40,36 +39,7 @@ def build_linear_comparison(
     tagged: bool = False,
 ) -> tuple[Network, dict[str, tuple[int, int]]]:
     """Assemble the Fig 3-1 array for one staggered tuple pair."""
-    if len(a) != len(b):
-        raise SimulationError(
-            f"tuples must have equal arity: {len(a)} vs {len(b)}"
-        )
-    if not a:
-        raise SimulationError("cannot compare zero-arity tuples")
-    arity = len(a)
-    network = Network("linear-comparison")
-    layout: dict[str, tuple[int, int]] = {}
-    for k in range(arity):
-        network.add(ComparisonCell(f"cmp[{k}]"))
-        layout[f"cmp[{k}]"] = (0, k)
-    for k in range(arity):
-        name = f"cmp[{k}]"
-        if k + 1 < arity:
-            network.connect(name, "t_out", f"cmp[{k + 1}]", "t_in")
-        network.feed(
-            name, "a_in",
-            ScheduleFeeder({k: Token(a[k], ("a", 0, k) if tagged else None)}),
-        )
-        network.feed(
-            name, "b_in",
-            ScheduleFeeder({k: Token(b[k], ("b", 0, k) if tagged else None)}),
-        )
-    network.feed(
-        "cmp[0]", "t_in",
-        ScheduleFeeder({0: Token(bool(seed), ("t", 0, 0) if tagged else None)}),
-    )
-    network.tap("t", f"cmp[{arity - 1}]", "t_out")
-    return network, layout
+    return build_linear_network(a, b, seed=seed, tagged=tagged)
 
 
 def compare_tuples(
@@ -79,13 +49,13 @@ def compare_tuples(
     tagged: bool = False,
     meter: Optional[ActivityMeter] = None,
     trace: Optional[TraceRecorder] = None,
+    backend=None,
 ) -> LinearComparisonResult:
     """Compare two tuples on the linear array; ``m`` pulses end to end."""
-    network, _ = build_linear_comparison(a, b, seed=seed, tagged=tagged)
-    arity = len(a)
-    simulator = run_array(network, pulses=arity, meter=meter, trace=trace)
-    collector = simulator.collector("t")
-    expected_pulse = arity - 1
+    plan = LinearPlan(a, b, seed=seed, tagged=tagged)
+    result = execute(plan, backend=backend, meter=meter, trace=trace)
+    collector = result.collector("t")
+    expected_pulse = plan.arity - 1
     token = collector.at(expected_pulse)
     if token is None:
         raise SimulationError(
@@ -96,7 +66,7 @@ def compare_tuples(
         equal=bool(token.value),
         result_pulse=expected_pulse,
         run=ArrayRun(
-            pulses=arity, rows=1, cols=arity, cells=arity,
-            meter=meter, trace=trace,
+            pulses=result.pulses, rows=1, cols=plan.arity, cells=result.cells,
+            meter=meter, trace=trace, backend=result.engine,
         ),
     )

@@ -48,22 +48,29 @@ def execute_plan(
     plan: PlanNode,
     catalog: Mapping[str, Relation],
     engine: str = "software",
+    backend=None,
 ) -> Relation:
     """Evaluate a plan against named relations.
 
     ``engine`` selects ``"software"`` (reference algebra) or
-    ``"systolic"`` (pulse-level simulated arrays).
+    ``"systolic"`` (simulated arrays).  For the systolic engine,
+    ``backend`` picks the array execution backend — ``"pulse"``
+    (cycle-accurate cell network, the default) or ``"lattice"``
+    (vectorized wavefront evaluation with identical results).
     """
     if engine not in ("software", "systolic"):
         raise PlanError(
             f"unknown engine {engine!r}; use 'software' or 'systolic' "
             f"(or run the plan on a SystolicDatabaseMachine)"
         )
-    return _evaluate(plan, catalog, engine)
+    return _evaluate(plan, catalog, engine, backend)
 
 
 def _evaluate(
-    node: PlanNode, catalog: Mapping[str, Relation], engine: str
+    node: PlanNode,
+    catalog: Mapping[str, Relation],
+    engine: str,
+    backend=None,
 ) -> Relation:
     if isinstance(node, Base):
         try:
@@ -73,10 +80,12 @@ def _evaluate(
                 f"no relation named {node.name!r} in the catalog; "
                 f"have {sorted(catalog)}"
             ) from None
-    inputs = [_evaluate(child, catalog, engine) for child in node.children]
+    inputs = [
+        _evaluate(child, catalog, engine, backend) for child in node.children
+    ]
     if engine == "software":
         return _software_step(node, inputs)
-    return _systolic_step(node, inputs)
+    return _systolic_step(node, inputs, backend)
 
 
 def _software_step(node: PlanNode, inputs: list[Relation]) -> Relation:
@@ -106,27 +115,41 @@ def _software_step(node: PlanNode, inputs: list[Relation]) -> Relation:
     raise PlanError(f"no software implementation for {node.describe()}")
 
 
-def _systolic_step(node: PlanNode, inputs: list[Relation]) -> Relation:
+def _systolic_step(
+    node: PlanNode, inputs: list[Relation], backend=None
+) -> Relation:
     if isinstance(node, Intersect):
-        return systolic_intersection(inputs[0], inputs[1]).relation
+        return systolic_intersection(
+            inputs[0], inputs[1], backend=backend
+        ).relation
     if isinstance(node, Difference):
-        return systolic_difference(inputs[0], inputs[1]).relation
+        return systolic_difference(
+            inputs[0], inputs[1], backend=backend
+        ).relation
     if isinstance(node, Union):
-        return systolic_union(inputs[0], inputs[1]).relation
+        return systolic_union(inputs[0], inputs[1], backend=backend).relation
     if isinstance(node, Dedup):
-        return systolic_remove_duplicates(inputs[0].to_multi()).relation
+        return systolic_remove_duplicates(
+            inputs[0].to_multi(), backend=backend
+        ).relation
     if isinstance(node, Project):
-        return systolic_projection(inputs[0], list(node.columns)).relation
+        return systolic_projection(
+            inputs[0], list(node.columns), backend=backend
+        ).relation
     if isinstance(node, Join):
         if node.ops is None:
-            return systolic_join(inputs[0], inputs[1], list(node.on)).relation
+            return systolic_join(
+                inputs[0], inputs[1], list(node.on), backend=backend
+            ).relation
         return systolic_theta_join(
-            inputs[0], inputs[1], list(node.on), list(node.ops)
+            inputs[0], inputs[1], list(node.on), list(node.ops),
+            backend=backend,
         ).relation
     if isinstance(node, Divide):
         return systolic_divide(
             inputs[0], inputs[1],
             a_value=node.a_value, a_group=node.a_group, b_value=node.b_value,
+            backend=backend,
         ).relation
     if isinstance(node, Select):
         # Selection is not an array operation in the paper (§9: CPU or
@@ -139,8 +162,9 @@ def query(
     source: str,
     catalog: Mapping[str, Relation],
     engine: str = "systolic",
+    backend=None,
 ) -> Relation:
     """Parse and execute an expression in one call."""
     from repro.lang.parser import parse
 
-    return execute_plan(parse(source), catalog, engine=engine)
+    return execute_plan(parse(source), catalog, engine=engine, backend=backend)

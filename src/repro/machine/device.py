@@ -67,6 +67,7 @@ class SystolicDevice:
         kind: str,
         capacity: ArrayCapacity = ArrayCapacity(max_rows=63, max_cols=8),
         technology: TechnologyModel = PAPER_CONSERVATIVE,
+        backend=None,
     ) -> None:
         if kind not in (DEVICE_COMPARISON, DEVICE_JOIN, DEVICE_DIVISION):
             raise PlanError(
@@ -77,6 +78,9 @@ class SystolicDevice:
         self.kind = kind
         self.capacity = capacity
         self.technology = technology
+        #: execution engine for block runs ("pulse", "lattice", or an
+        #: Engine instance); pulse counts and results are identical.
+        self.backend = backend
 
     def execute(self, node: PlanNode, inputs: list[Relation]) -> DeviceRun:
         """Run one plan node's operation on this device."""
@@ -96,31 +100,41 @@ class SystolicDevice:
                 f"device {self.name!r} ({self.kind}) cannot execute "
                 f"{node.describe()} ({node.device_kind})"
             )
+        backend = self.backend
         if isinstance(node, Intersect):
-            return blocked_intersection(inputs[0], inputs[1], self.capacity)
+            return blocked_intersection(
+                inputs[0], inputs[1], self.capacity, backend=backend
+            )
         if isinstance(node, Difference):
-            return blocked_difference(inputs[0], inputs[1], self.capacity)
+            return blocked_difference(
+                inputs[0], inputs[1], self.capacity, backend=backend
+            )
         if isinstance(node, Union):
-            return blocked_union(inputs[0], inputs[1], self.capacity)
+            return blocked_union(
+                inputs[0], inputs[1], self.capacity, backend=backend
+            )
         if isinstance(node, Dedup):
             return blocked_remove_duplicates(
-                inputs[0].to_multi(), self.capacity
+                inputs[0].to_multi(), self.capacity, backend=backend
             )
         if isinstance(node, Project):
             # The column drop happens during retrieval (§5); the array
             # only deduplicates the reduced multi-relation.
             reduced = algebra.project_multi(inputs[0], list(node.columns))
-            return blocked_remove_duplicates(reduced, self.capacity)
+            return blocked_remove_duplicates(
+                reduced, self.capacity, backend=backend
+            )
         if isinstance(node, Join):
             return blocked_join(
                 inputs[0], inputs[1], list(node.on), self.capacity,
                 ops=list(node.ops) if node.ops is not None else None,
+                backend=backend,
             )
         if isinstance(node, Divide):
             return blocked_divide(
                 inputs[0], inputs[1], self.capacity,
                 a_value=node.a_value, a_group=node.a_group,
-                b_value=node.b_value,
+                b_value=node.b_value, backend=backend,
             )
         raise PlanError(
             f"device {self.name!r} has no implementation for {node.describe()}"

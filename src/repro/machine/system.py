@@ -60,6 +60,7 @@ class SystolicDatabaseMachine:
         disk: Optional[MachineDisk] = None,
         memory_bytes: int = 4 * 1024 * 1024,
         element_bits: int = 32,
+        backend=None,
     ) -> None:
         if memories < 2:
             raise CapacityError(
@@ -81,6 +82,7 @@ class SystolicDatabaseMachine:
                     SystolicDevice(
                         f"{kind}{index}", kind,
                         capacity=capacity, technology=technology,
+                        backend=backend,
                     )
                 )
         self.devices.append(CpuDevice("cpu"))

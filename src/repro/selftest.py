@@ -79,8 +79,14 @@ def _check(
         report.checks.append(CheckResult(name, False, f"{type(exc).__name__}: {exc}"))
 
 
-def run_selftest(seed: int = 0, size: int = 8) -> SelfTestReport:
-    """Run the sweep; deterministic per (seed, size)."""
+def run_selftest(
+    seed: int = 0, size: int = 8, backend=None
+) -> SelfTestReport:
+    """Run the sweep; deterministic per (seed, size).
+
+    ``backend`` selects the array execution backend for every systolic
+    operator (``"pulse"`` default, or ``"lattice"``).
+    """
     report = SelfTestReport()
     a, b = overlapping_pair(size, size, size // 2, arity=3, seed=seed)
     multi = relation_with_duplicates(size, 2.0, arity=2, seed=seed + 1)
@@ -97,46 +103,59 @@ def run_selftest(seed: int = 0, size: int = 8) -> SelfTestReport:
 
     for variant in ("counter", "fixed"):
         _check(report, f"intersection [{variant}]", lambda v=variant: agree(
-            systolic_intersection(a, b, variant=v, tagged=True).relation,
+            systolic_intersection(
+                a, b, variant=v, tagged=True, backend=backend
+            ).relation,
             algebra.intersection(a, b),
         ))
         _check(report, f"difference [{variant}]", lambda v=variant: agree(
-            systolic_difference(a, b, variant=v, tagged=True).relation,
+            systolic_difference(
+                a, b, variant=v, tagged=True, backend=backend
+            ).relation,
             algebra.difference(a, b),
         ))
         _check(report, f"remove-duplicates [{variant}]", lambda v=variant: agree(
-            systolic_remove_duplicates(multi, variant=v, tagged=True).relation,
+            systolic_remove_duplicates(
+                multi, variant=v, tagged=True, backend=backend
+            ).relation,
             algebra.remove_duplicates(multi),
         ))
     _check(report, "union", lambda: agree(
-        systolic_union(a, b, tagged=True).relation, algebra.union(a, b),
+        systolic_union(a, b, tagged=True, backend=backend).relation,
+        algebra.union(a, b),
     ))
     _check(report, "projection", lambda: agree(
-        systolic_projection(a, ["c0", "c1"], tagged=True).relation,
+        systolic_projection(
+            a, ["c0", "c1"], tagged=True, backend=backend
+        ).relation,
         algebra.project(a, ["c0", "c1"]),
     ))
     _check(report, "equi-join", lambda: agree(
-        systolic_join(ja, jb, [("key", "key")], tagged=True).relation,
+        systolic_join(
+            ja, jb, [("key", "key")], tagged=True, backend=backend
+        ).relation,
         algebra.join(ja, jb, [("key", "key")]),
     ))
     _check(report, "theta-join (preloaded <)", lambda: agree(
-        systolic_theta_join(ja, jb, [("key", "key")], ["<"], tagged=True).relation,
+        systolic_theta_join(
+            ja, jb, [("key", "key")], ["<"], tagged=True, backend=backend
+        ).relation,
         algebra.theta_join(ja, jb, [("key", "key")], ["<"]),
     ))
     _check(report, "theta-join (streamed ops)", lambda: agree(
         systolic_dynamic_theta_join(
-            ja, jb, [("key", "key")], ["<="], tagged=True
+            ja, jb, [("key", "key")], ["<="], tagged=True, backend=backend
         ).relation,
         algebra.theta_join(ja, jb, [("key", "key")], ["<="]),
     ))
     _check(report, "division", lambda: agree(
-        systolic_divide(da, db, tagged=True).relation,
+        systolic_divide(da, db, tagged=True, backend=backend).relation,
         algebra.divide(da, db),
         extra=f" (expected quotient {quotient_size})",
     ))
     _check(report, "hexagonal comparison", lambda: agree_matrix(
-        hex_compare_all_pairs(a.tuples, b.tuples).t_matrix,
-        compare_all_pairs(a.tuples, b.tuples).t_matrix,
+        hex_compare_all_pairs(a.tuples, b.tuples, backend=backend).t_matrix,
+        compare_all_pairs(a.tuples, b.tuples, backend=backend).t_matrix,
     ))
     _check(report, "pattern-match chip", _pattern_check)
     return report

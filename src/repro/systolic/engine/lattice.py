@@ -1,0 +1,350 @@
+"""The lattice engine: whole anti-diagonal wavefronts as bulk numpy ops.
+
+The pulse simulator moves every token one cell per pulse; this engine
+observes that the *schedule arithmetic is closed-form* — for any pair
+``(i, j)`` the meeting row, exit pulse, and travelling-``t`` value are
+known without simulating — and evaluates entire wavefronts of meetings
+as vectorized numpy operations.  All observable outputs are
+reconstructed exactly:
+
+* **collector records** — same tap names, pulse stamps, payload values
+  (Python bools), and ghost tags as the pulse engine;
+* **pulse counts** — the plan's schedule-derived run length;
+* **activity metrics** — per-cell busy-pulse counts derived from the
+  token families' occupancy (a cell is busy on a pulse iff at least
+  one token arrives, the simulator's definition), folded into the
+  caller's :class:`~repro.systolic.metrics.ActivityMeter` via
+  :meth:`~repro.systolic.metrics.ActivityMeter.absorb`.
+
+The derivations mirror the schedules: an ``a`` element fed to column
+``k`` at pulse ``e`` occupies row ``r`` at pulse ``e + r``; a ``b``
+element climbing from the bottom row occupies row ``R − 1 − s`` at its
+entry pulse plus ``s``; travelling ``t`` tokens and streamed op codes
+always ride *with* a scheduled meeting, so they add no busy slots of
+their own; the descending accumulator of tuple ``i`` visits
+``acc[row]`` at its seed pulse plus ``row``, and each row result
+merges exactly on one of those visits.
+
+Limits: trace recording and hex-mesh metering genuinely require the
+cell network — both raise, pointing at ``backend="pulse"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.systolic.engine.hexmesh import (
+    U_C,
+    c_start,
+    hex_positions,
+    hex_tap_name,
+    meeting_cell,
+)
+from repro.systolic.engine.plan import (
+    DivisionPlan,
+    EngineRun,
+    ExecutionPlan,
+    GridPlan,
+    HexPlan,
+    LinearPlan,
+    acc_name,
+    cmp_name,
+)
+from repro.systolic.metrics import ActivityMeter
+from repro.systolic.streams import Collector
+from repro.systolic.values import Token
+
+__all__ = ["LatticeEngine"]
+
+#: Comparison op code → numpy ufunc, matching
+#: :data:`repro.relational.algebra.COMPARISON_OPS` element-wise.
+_OP_UFUNCS = {
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _op_ufunc(op: str):
+    try:
+        return _OP_UFUNCS[op]
+    except KeyError:
+        raise SimulationError(
+            f"unknown comparison operator {op!r}; have {sorted(_OP_UFUNCS)}"
+        ) from None
+
+
+def _int_matrix(tuples, n: int, m: int, label: str) -> np.ndarray:
+    try:
+        return np.asarray([tuple(row) for row in tuples],
+                          dtype=np.int64).reshape(n, m)
+    except (ValueError, TypeError, OverflowError) as exc:
+        raise SimulationError(
+            f"the lattice engine needs integer-encoded {label} elements "
+            f"(see §2.3 domain encoding): {exc}"
+        ) from None
+
+
+def _make_collectors(
+    records: dict[str, list[tuple[int, Token]]]
+) -> dict[str, Collector]:
+    collectors: dict[str, Collector] = {}
+    for name, recs in records.items():
+        collector = Collector(name)
+        for pulse, token in sorted(recs, key=lambda pt: pt[0]):
+            collector.record(pulse, token)
+        collectors[name] = collector
+    return collectors
+
+
+class LatticeEngine:
+    """Bulk wavefront execution of the same plans the simulator runs."""
+
+    name = "lattice"
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        meter: Optional[ActivityMeter] = None,
+        trace: Optional[Any] = None,
+    ) -> EngineRun:
+        if trace is not None:
+            raise SimulationError(
+                "trace recording needs the pulse-level cell network; run "
+                "this plan with backend='pulse'"
+            )
+        if isinstance(plan, GridPlan):
+            return self._run_grid(plan, meter)
+        if isinstance(plan, DivisionPlan):
+            return self._run_division(plan, meter)
+        if isinstance(plan, LinearPlan):
+            return self._run_linear(plan, meter)
+        if isinstance(plan, HexPlan):
+            return self._run_hex(plan, meter)
+        raise SimulationError(f"unknown plan type {type(plan).__name__}")
+
+    def __repr__(self) -> str:
+        return "LatticeEngine()"
+
+    # -- the rectangular grid (Figs 3-3, 4-1, 6-1) -------------------------
+
+    def _run_grid(self, plan: GridPlan, meter: Optional[ActivityMeter]) -> EngineRun:
+        sched = plan.schedule
+        n_a, n_b, m = sched.n_a, sched.n_b, sched.arity
+        A = _int_matrix(plan.a_tuples, n_a, m, "A")
+        B = _int_matrix(plan.b_tuples, n_b, m, "B")
+
+        # V[i, j] = the t value pair (i, j) exits with, evaluated in
+        # bulk (row-chunked to bound the n_a × n_b × m intermediate).
+        V = np.empty((n_a, n_b), dtype=bool)
+        chunk = max(1, 2_000_000 // max(1, n_b * m))
+        for lo in range(0, n_a, chunk):
+            hi = min(n_a, lo + chunk)
+            if plan.ops is None:
+                V[lo:hi] = (A[lo:hi, None, :] == B[None, :, :]).all(axis=2)
+            else:
+                acc = np.ones((hi - lo, n_b), dtype=bool)
+                for k, op in enumerate(plan.ops):
+                    acc &= _op_ufunc(op)(A[lo:hi, k][:, None], B[None, :, k])
+                V[lo:hi] = acc
+        if plan.t_init is not None:
+            t_init = plan.t_init
+            for i in range(n_a):
+                V[i] &= np.fromiter(
+                    (bool(t_init(i, j)) for j in range(n_b)), bool, n_b
+                )
+
+        records: dict[str, list[tuple[int, Token]]] = {
+            name: [] for name in plan.tap_names()
+        }
+        counter = plan.variant == "counter"
+        if plan.row_taps:
+            for i in range(n_a):
+                for j in range(n_b):
+                    row = sched.meeting_row(i, j) if counter else j
+                    records[f"t_row[{row}]"].append((
+                        sched.t_exit_pulse(i, j),
+                        Token(bool(V[i, j]),
+                              ("t", i, j) if plan.tagged else None),
+                    ))
+        if plan.accumulate:
+            t_vec = V.any(axis=1)
+            records["t_i"] = [
+                (
+                    sched.accumulator_exit_pulse(i),
+                    Token(bool(t_vec[i]), ("acc", i) if plan.tagged else None),
+                )
+                for i in range(n_a)
+            ]
+
+        if meter is not None:
+            meter.absorb(self._grid_busy(plan), plan.pulses, plan.cells)
+        return EngineRun(
+            engine=self.name, pulses=plan.pulses, cells=plan.cells,
+            collectors=_make_collectors(records), meter=meter,
+        )
+
+    def _grid_busy(self, plan: GridPlan) -> dict[str, int]:
+        sched = plan.schedule
+        R, m, P = sched.rows, sched.arity, plan.pulses
+        busy: dict[str, int] = {}
+        if plan.variant == "fixed":
+            # The preloaded operand is always present (ConstantFeeder):
+            # every comparator is busy on every pulse of the run (§8).
+            for r in range(R):
+                for c in range(m):
+                    busy[cmp_name(r, c)] = P
+        else:
+            i = np.arange(sched.n_a)
+            j = np.arange(sched.n_b)
+            for r in range(R):
+                s = R - 1 - r  # steps b has climbed to reach row r
+                for c in range(m):
+                    arrivals = np.concatenate((2 * i + c + r, 2 * j + c + s))
+                    count = int(np.unique(arrivals[arrivals < P]).size)
+                    if count:
+                        busy[cmp_name(r, c)] = count
+        if plan.accumulate:
+            i = np.arange(sched.n_a)
+            for row in range(R):
+                seeds = np.fromiter(
+                    (sched.accumulator_seed_pulse(ii) for ii in i),
+                    np.int64, len(i),
+                )
+                count = int(((seeds + row) < P).sum())
+                if count:
+                    busy[acc_name(row)] = count
+        return busy
+
+    # -- the division array (Fig 7-2) --------------------------------------
+
+    def _run_division(
+        self, plan: DivisionPlan, meter: Optional[ActivityMeter]
+    ) -> EngineRun:
+        sched = plan.schedule
+        xs = np.asarray([x for x, _ in plan.pairs], dtype=np.int64)
+        ys = np.asarray([y for _, y in plan.pairs], dtype=np.int64)
+        divisor = np.asarray(plan.divisor, dtype=np.int64)
+
+        records: dict[str, list[tuple[int, Token]]] = {}
+        for row, stored in enumerate(plan.distinct_x):
+            # Row `row` sees exactly the y values gated by its stored x;
+            # its quotient bit is "divisor ⊆ that set".
+            gated = ys[xs == stored]
+            bit = bool(np.isin(divisor, gated).all())
+            records[f"and_row[{row}]"] = [(
+                sched.result_pulse(row),
+                Token(bit, ("and", row) if plan.tagged else None),
+            )]
+
+        if meter is not None:
+            meter.absorb(self._division_busy(plan), plan.pulses, plan.cells)
+        return EngineRun(
+            engine=self.name, pulses=plan.pulses, cells=plan.cells,
+            collectors=_make_collectors(records), meter=meter,
+        )
+
+    def _division_busy(self, plan: DivisionPlan) -> dict[str, int]:
+        sched = plan.schedule
+        P = plan.pulses
+        n_pairs, p_rows, n_div = sched.n_pairs, sched.p_rows, sched.n_divisor
+        busy: dict[str, int] = {}
+        for row in range(p_rows):
+            lift = p_rows - 1 - row  # pulses to climb from the entry row
+            # x arrivals at dm[row]: q + lift; y (+ match bit) at
+            # dg[row]: one pulse later; the gated stream reaches
+            # dv[row,s] after 1 + s more, and the AND sweep follows.
+            busy[f"dm[{row}]"] = int(min(n_pairs, max(0, P - lift)))
+            busy[f"dg[{row}]"] = int(min(n_pairs, max(0, P - lift - 1)))
+            for s in range(n_div):
+                count = min(n_pairs, max(0, P - lift - 2 - s))
+                if sched.and_inject_pulse(row) + s < P:
+                    count += 1
+                busy[f"dv[{row},{s}]"] = int(count)
+        return busy
+
+    # -- the linear array (Fig 3-1) -----------------------------------------
+
+    def _run_linear(
+        self, plan: LinearPlan, meter: Optional[ActivityMeter]
+    ) -> EngineRun:
+        equal = bool(plan.seed)
+        for x, y in zip(plan.a, plan.b):
+            equal = equal and (x == y)
+        records = {"t": [(
+            plan.arity - 1,
+            Token(equal, ("t", 0, 0) if plan.tagged else None),
+        )]}
+        if meter is not None:
+            # cmp[k] sees its staggered a, b, and travelling t exactly
+            # on pulse k.
+            meter.absorb(
+                {f"cmp[{k}]": 1 for k in range(plan.arity)},
+                plan.pulses, plan.cells,
+            )
+        return EngineRun(
+            engine=self.name, pulses=plan.pulses, cells=plan.cells,
+            collectors=_make_collectors(records), meter=meter,
+        )
+
+    # -- the hexagonal mesh (§2.1, [5]) -------------------------------------
+
+    def _run_hex(self, plan: HexPlan, meter: Optional[ActivityMeter]) -> EngineRun:
+        if meter is not None:
+            raise SimulationError(
+                "activity metering on the hexagonal mesh needs the "
+                "pulse-level cell network; run this plan with "
+                "backend='pulse'"
+            )
+        n_a, n_b, m = plan.n_a, plan.n_b, plan.inner
+        semiring = plan.semiring
+        positions = hex_positions(n_a, n_b, m)
+        tapped = {
+            meeting_cell(i, j, m - 1)
+            for i in range(n_a) for j in range(n_b)
+        }
+        records: dict[str, list[tuple[int, Token]]] = {
+            name: [] for name in plan.tap_names()
+        }
+        # Walk each c token down its U_C line: its value folds in one
+        # (a, b) interaction per scheduled meeting (pulse i + j + k),
+        # passes through every other cell unchanged, and a tap records
+        # its c_out on every pulse it crosses a tapped cell — including
+        # other pairs' final-meeting cells — until it leaves the mesh.
+        for i in range(n_a):
+            a_row = plan.a_rows[i]
+            for j in range(n_b):
+                b_col = plan.b_cols[j]
+                value = semiring.identity
+                tag = ("c", i, j) if plan.tagged else None
+                pos = c_start(i, j)
+                for p in range(plan.pulses):
+                    if pos not in positions:
+                        break
+                    k = p - (i + j)
+                    if 0 <= k < m:
+                        value = semiring.combine(
+                            value, semiring.interact(a_row[k], b_col[k])
+                        )
+                    if pos in tapped:
+                        records[hex_tap_name(pos)].append(
+                            (p, Token(value, tag))
+                        )
+                    pos = (pos[0] + U_C[0], pos[1] + U_C[1])
+        # firing(p) = #{(i, j, k) : i + j + k = p} — a triple convolution.
+        firing = np.convolve(
+            np.convolve(np.ones(n_a, dtype=np.int64),
+                        np.ones(n_b, dtype=np.int64)),
+            np.ones(m, dtype=np.int64),
+        )
+        return EngineRun(
+            engine=self.name, pulses=plan.pulses, cells=plan.cells,
+            collectors=_make_collectors(records),
+            peak_firing=int(firing.max()),
+        )

@@ -1,0 +1,338 @@
+"""Execution plans: what an array computes, separated from how.
+
+A plan captures the *geometry and schedule* of one array run — the
+operand tuples, the timing discipline, the taps to read — with no
+commitment to pulse-by-pulse simulation.  An
+:class:`Engine` turns a plan into an :class:`EngineRun`:
+
+* :class:`~repro.systolic.engine.pulse.PulseEngine` materializes the
+  cell network and drives the reference
+  :class:`~repro.systolic.simulator.SystolicSimulator`;
+* :class:`~repro.systolic.engine.lattice.LatticeEngine` evaluates the
+  same schedule arithmetic as bulk anti-diagonal wavefronts.
+
+Both produce bit-identical collector records, pulse counts, and
+activity metrics; the differential harness in
+``tests/systolic/test_engine_equivalence.py`` is the contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.systolic.engine.hexmesh import (
+    Semiring,
+    hex_horizon,
+    hex_positions,
+    hex_tap_name,
+    meeting_cell,
+)
+from repro.systolic.engine.schedule import (
+    CounterStreamSchedule,
+    DivisionSchedule,
+    FixedRelationSchedule,
+)
+from repro.systolic.metrics import ActivityMeter
+from repro.systolic.streams import Collector
+
+__all__ = [
+    "TInit",
+    "GridPlan",
+    "DivisionPlan",
+    "LinearPlan",
+    "HexPlan",
+    "ExecutionPlan",
+    "EngineRun",
+    "Engine",
+    "check_tuples",
+    "cmp_name",
+    "acc_name",
+]
+
+#: Chooses the initial t fed for pair (i, j): TRUE everywhere for
+#: intersection, lower-triangle-only for remove-duplicates (§5).
+TInit = Callable[[int, int], bool]
+
+
+def cmp_name(row: int, col: int) -> str:
+    """Canonical name of the comparator at grid position (row, col)."""
+    return f"cmp[{row},{col}]"
+
+
+def acc_name(row: int) -> str:
+    """Canonical name of the accumulation processor beside ``row``."""
+    return f"acc[{row}]"
+
+
+def check_tuples(
+    tuples: Sequence[Sequence[int]], expected_n: int, arity: int, label: str
+) -> None:
+    """Validate operand shape against the schedule's expectations."""
+    if len(tuples) != expected_n:
+        raise SimulationError(
+            f"relation {label} has {len(tuples)} tuples but the schedule "
+            f"expects {expected_n}"
+        )
+    for row_values in tuples:
+        if len(row_values) != arity:
+            raise SimulationError(
+                f"relation {label} tuple {tuple(row_values)!r} has arity "
+                f"{len(row_values)}, expected {arity}"
+            )
+
+
+@dataclass
+class GridPlan:
+    """One run of the rectangular comparison/join grid (Figs 3-3, 4-1, 6-1).
+
+    The schedule instance selects the geometry variant:
+    :class:`CounterStreamSchedule` is the figures' counter-streaming
+    design, :class:`FixedRelationSchedule` the §8 preloaded-B variant.
+
+    Exactly one of ``t_init`` (comparison grid: travelling partial
+    results injected at the left edge) or ``ops`` (join grid: θ-cells
+    originate their own t at column 0) must be given.  ``dynamic_ops``
+    streams the op codes down the columns alongside relation A
+    (§6.3.2) instead of preloading them — same answers, different
+    hardware programmability story.
+    """
+
+    a_tuples: Sequence[Sequence[int]]
+    b_tuples: Sequence[Sequence[int]]
+    schedule: Union[CounterStreamSchedule, FixedRelationSchedule]
+    t_init: Optional[TInit] = None
+    ops: Optional[tuple[str, ...]] = None
+    dynamic_ops: bool = False
+    accumulate: bool = False
+    row_taps: bool = False
+    tagged: bool = False
+    name: str = "grid-array"
+
+    def __post_init__(self) -> None:
+        check_tuples(self.a_tuples, self.schedule.n_a, self.schedule.arity, "A")
+        check_tuples(self.b_tuples, self.schedule.n_b, self.schedule.arity, "B")
+        if (self.t_init is None) == (self.ops is None):
+            raise SimulationError(
+                "a grid plan needs exactly one of t_init (comparison grid) "
+                "or ops (join grid)"
+            )
+        if self.ops is not None and len(self.ops) != self.schedule.arity:
+            raise SimulationError(
+                f"need one operator per column: {len(self.ops)} ops for "
+                f"arity {self.schedule.arity}"
+            )
+        if self.dynamic_ops:
+            if self.ops is None:
+                raise SimulationError("dynamic_ops requires ops")
+            if self.variant != "counter":
+                raise SimulationError(
+                    "op streaming is defined for the counter-streaming "
+                    "grid only"
+                )
+        if not (self.accumulate or self.row_taps):
+            raise SimulationError(
+                "a grid plan with no accumulator and no row taps computes "
+                "nothing observable"
+            )
+
+    @property
+    def variant(self) -> str:
+        """``"counter"`` or ``"fixed"``, from the schedule type."""
+        if isinstance(self.schedule, CounterStreamSchedule):
+            return "counter"
+        return "fixed"
+
+    @property
+    def rows(self) -> int:
+        return self.schedule.rows
+
+    @property
+    def cols(self) -> int:
+        return self.schedule.arity
+
+    @property
+    def pulses(self) -> int:
+        """Run length: through the accumulator when one is attached."""
+        if self.accumulate:
+            return self.schedule.total_pulses
+        return self.schedule.comparison_pulses
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols + (self.rows if self.accumulate else 0)
+
+    def tap_names(self) -> list[str]:
+        """Every collector the run produces (possibly with no records)."""
+        names: list[str] = []
+        if self.row_taps:
+            names.extend(f"t_row[{row}]" for row in range(self.rows))
+        if self.accumulate:
+            names.append("t_i")
+        return names
+
+
+@dataclass
+class DivisionPlan:
+    """One run of the Fig 7-2 division array (§7)."""
+
+    pairs: Sequence[tuple[int, int]]
+    distinct_x: Sequence[int]
+    divisor: Sequence[int]
+    tagged: bool = False
+
+    def __post_init__(self) -> None:
+        self.schedule  # validates non-emptiness
+
+    @property
+    def schedule(self) -> DivisionSchedule:
+        return DivisionSchedule(
+            n_pairs=len(self.pairs),
+            p_rows=len(self.distinct_x),
+            n_divisor=len(self.divisor),
+        )
+
+    @property
+    def pulses(self) -> int:
+        return self.schedule.total_pulses
+
+    @property
+    def cells(self) -> int:
+        return len(self.distinct_x) * (2 + len(self.divisor))
+
+    def tap_names(self) -> list[str]:
+        return [f"and_row[{row}]" for row in range(len(self.distinct_x))]
+
+
+@dataclass
+class LinearPlan:
+    """One tuple comparison on the Fig 3-1 linear array."""
+
+    a: Sequence[int]
+    b: Sequence[int]
+    seed: bool = True
+    tagged: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.a) != len(self.b):
+            raise SimulationError(
+                f"tuples must have equal arity: {len(self.a)} vs {len(self.b)}"
+            )
+        if not self.a:
+            raise SimulationError("cannot compare zero-arity tuples")
+
+    @property
+    def arity(self) -> int:
+        return len(self.a)
+
+    @property
+    def pulses(self) -> int:
+        return self.arity
+
+    @property
+    def cells(self) -> int:
+        return self.arity
+
+    def tap_names(self) -> list[str]:
+        return ["t"]
+
+
+@dataclass
+class HexPlan:
+    """One semiring matrix product on the hexagonal mesh (§2.1, [5])."""
+
+    a_rows: Sequence[Sequence[Any]]
+    b_cols: Sequence[Sequence[Any]]
+    semiring: Semiring
+    tagged: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.a_rows or not self.b_cols:
+            raise SimulationError("the hex array needs non-empty operands")
+        m = len(self.a_rows[0])
+        if m == 0 or any(len(r) != m for r in self.a_rows) or any(
+            len(r) != m for r in self.b_cols
+        ):
+            raise SimulationError(
+                "operands must share a positive inner dimension"
+            )
+
+    @property
+    def n_a(self) -> int:
+        return len(self.a_rows)
+
+    @property
+    def n_b(self) -> int:
+        return len(self.b_cols)
+
+    @property
+    def inner(self) -> int:
+        return len(self.a_rows[0])
+
+    @property
+    def pulses(self) -> int:
+        return hex_horizon(self.n_a, self.n_b, self.inner) + 1
+
+    @property
+    def cells(self) -> int:
+        return len(hex_positions(self.n_a, self.n_b, self.inner))
+
+    def tap_names(self) -> list[str]:
+        names: list[str] = []
+        seen: set[tuple[int, int]] = set()
+        for i in range(self.n_a):
+            for j in range(self.n_b):
+                pos = meeting_cell(i, j, self.inner - 1)
+                if pos not in seen:
+                    seen.add(pos)
+                    names.append(hex_tap_name(pos))
+        return names
+
+
+ExecutionPlan = Union[GridPlan, DivisionPlan, LinearPlan, HexPlan]
+
+
+@dataclass
+class EngineRun:
+    """What executing a plan produced, independent of the engine used."""
+
+    engine: str
+    pulses: int
+    cells: int
+    collectors: dict[str, Collector]
+    meter: Optional[ActivityMeter] = None
+    trace: Optional[Any] = None
+    #: peak number of hex cells firing on one pulse (HexPlan runs only)
+    peak_firing: Optional[int] = None
+
+    def collector(self, name: str) -> Collector:
+        """Look up a collector by tap name (mirrors the simulator API)."""
+        try:
+            return self.collectors[name]
+        except KeyError:
+            raise SimulationError(
+                f"no tap named {name!r}; have {sorted(self.collectors)}"
+            ) from None
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """An execution backend: turns plans into runs.
+
+    Implementations must honour the schedule arithmetic exactly — the
+    equivalence harness asserts collector records (pulse stamps,
+    values, ghost tags), pulse counts, and per-cell busy counts all
+    match the pulse-level reference.
+    """
+
+    name: str
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        meter: Optional[ActivityMeter] = None,
+        trace: Optional[Any] = None,
+    ) -> EngineRun:
+        """Execute ``plan`` and return its observable outcome."""
+        ...

@@ -1,0 +1,68 @@
+"""The reference engine: materialize and simulate pulse by pulse.
+
+This is the paper's semantics verbatim — every cell, wire, latch, and
+pulse of the array exists and is driven by the two-phase
+:class:`~repro.systolic.simulator.SystolicSimulator`.  Everything the
+faster engines produce is defined as "whatever this engine produces".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.systolic.engine.materialize import materialize
+from repro.systolic.engine.plan import EngineRun, ExecutionPlan, HexPlan
+from repro.systolic.metrics import ActivityMeter
+from repro.systolic.simulator import SystolicSimulator
+
+__all__ = ["PulseEngine"]
+
+
+class PulseEngine:
+    """Cycle-accurate execution on the simulated cell network."""
+
+    name = "pulse"
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        meter: Optional[ActivityMeter] = None,
+        trace: Optional[Any] = None,
+    ) -> EngineRun:
+        network = materialize(plan)
+        peak_firing: Optional[int] = None
+        observer = trace
+        firing_per_pulse: list[int] = []
+        if isinstance(plan, HexPlan):
+            observer = _hex_observer(firing_per_pulse, trace)
+        simulator = SystolicSimulator(network, meter=meter, observer=observer)
+        simulator.run(plan.pulses)
+        if isinstance(plan, HexPlan):
+            peak_firing = max(firing_per_pulse, default=0)
+        return EngineRun(
+            engine=self.name,
+            pulses=plan.pulses,
+            cells=len(network.cells),
+            collectors=simulator.collectors,
+            meter=meter,
+            trace=trace,
+            peak_firing=peak_firing,
+        )
+
+    def __repr__(self) -> str:
+        return "PulseEngine()"
+
+
+def _hex_observer(firing_per_pulse: list[int], trace: Optional[Any]):
+    """Count triple-coincidences per pulse, chaining any trace observer."""
+
+    def observer(pulse, inputs_by_cell, outputs_by_cell):
+        firing = sum(
+            1 for ports in inputs_by_cell.values()
+            if all(ports.get(p) is not None for p in ("a_in", "b_in", "c_in"))
+        )
+        firing_per_pulse.append(firing)
+        if trace is not None:
+            trace(pulse, inputs_by_cell, outputs_by_cell)
+
+    return observer

@@ -1,0 +1,316 @@
+"""Feeding-schedule arithmetic for the paper's arrays (§3.1–§3.2, §8).
+
+"To make this all work, all of the data must be in the right place at
+the right time" (§3.1).  This module is the closed-form answer to
+*when* and *where*: entry pulses for staggered elements, meeting
+rows/pulses for tuple pairs, exit pulses for results, and the inverse
+maps a hardware result-collector would use to turn an arrival
+``(row, pulse)`` back into tuple indices.
+
+Schedules are pure arithmetic — no cells, no wires — which is what
+lets an :class:`~repro.systolic.engine.Engine` evaluate them either
+pulse-by-pulse (the reference simulator) or as bulk wavefronts.
+
+Three disciplines are covered:
+
+* :class:`CounterStreamSchedule` — the design of Fig 3-3: relation A
+  streams top-to-bottom and B bottom-to-top, tuples two pulses apart,
+  elements staggered one pulse.  Every pair ``(a_i, b_j)`` meets in
+  exactly one row.  Needs ``R = 2·max(n_A, n_B) − 1`` rows (and R must
+  be odd, or counter-moving tuples would swap between cells without
+  ever co-residing).
+* :class:`FixedRelationSchedule` — the §8 optimization: B is held
+  still (one tuple per row, elements preloaded) and only A moves, so
+  tuples can follow each other one pulse apart and every processor
+  compares on every pulse once the pipeline fills.
+* :class:`DivisionSchedule` — the Fig 7-2 division array (§7):
+  dividend pairs stream up the two dividend columns, gated ``y``
+  values flow along the divisor rows, and an AND token sweeps each row
+  one pulse behind the last ``y``.
+
+All pulse numbers follow the simulator convention: a feeder value at
+pulse ``p`` is processed by its cell during pulse ``p``; the cell's
+output is processed by the downstream neighbour during pulse ``p+1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "CounterStreamSchedule",
+    "FixedRelationSchedule",
+    "DivisionSchedule",
+]
+
+
+@dataclass(frozen=True)
+class CounterStreamSchedule:
+    """Timing of the counter-streaming two-dimensional array (§3.2).
+
+    Parameters: ``n_a`` and ``n_b`` are the relation cardinalities,
+    ``arity`` the tuple length ``m`` (= number of processor columns).
+    """
+
+    n_a: int
+    n_b: int
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.n_a < 1 or self.n_b < 1:
+            raise SimulationError(
+                f"schedules need non-empty relations (n_a={self.n_a}, "
+                f"n_b={self.n_b}); empty operands short-circuit upstream"
+            )
+        if self.arity < 1:
+            raise SimulationError(f"arity must be >= 1, got {self.arity}")
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Processor rows needed so every pair meets: 2·max − 1 (odd)."""
+        return 2 * max(self.n_a, self.n_b) - 1
+
+    @property
+    def mid(self) -> int:
+        """The central row index M = max(n_a, n_b) − 1 where a₀ meets b₀."""
+        return max(self.n_a, self.n_b) - 1
+
+    # -- input schedule ------------------------------------------------------
+
+    def a_entry_pulse(self, i: int, k: int) -> int:
+        """Pulse at which element ``a[i][k]`` enters the top of column k."""
+        return 2 * i + k
+
+    def b_entry_pulse(self, j: int, k: int) -> int:
+        """Pulse at which element ``b[j][k]`` enters the bottom of column k."""
+        return 2 * j + k
+
+    def t_init_pulse(self, i: int, j: int) -> int:
+        """Pulse at which the initial t for pair (i, j) enters column 0."""
+        return self.mid + i + j
+
+    def row_pairs(self, row: int) -> list[tuple[int, int]]:
+        """All pairs (i, j) that meet in ``row``, in meeting order.
+
+        A row hosts a fixed index difference ``d = j − i = row − M``;
+        successive pairs meet two pulses apart.
+        """
+        d = row - self.mid
+        lo = max(0, -d)
+        hi = min(self.n_a, self.n_b - d)
+        return [(i, i + d) for i in range(lo, hi)]
+
+    # -- meetings ------------------------------------------------------------
+
+    def meeting_row(self, i: int, j: int) -> int:
+        """The row in which tuples a_i and b_j cross (M + j − i)."""
+        return self.mid + j - i
+
+    def meeting_pulse(self, i: int, j: int, k: int = 0) -> int:
+        """Pulse at which elements a[i][k] and b[j][k] co-reside."""
+        return self.mid + i + j + k
+
+    # -- output schedule -------------------------------------------------------
+
+    def t_exit_pulse(self, i: int, j: int) -> int:
+        """Pulse at which t_ij leaves the last comparator of its row."""
+        return self.mid + i + j + self.arity - 1
+
+    def pair_from_exit(self, row: int, pulse: int) -> tuple[int, int]:
+        """Invert :meth:`t_exit_pulse`: which pair produced this arrival."""
+        d = row - self.mid
+        total = pulse - self.arity + 1 - self.mid  # i + j
+        if (total - d) % 2:
+            raise SimulationError(
+                f"arrival (row={row}, pulse={pulse}) matches no pair "
+                f"in the schedule"
+            )
+        i = (total - d) // 2
+        j = i + d
+        if not (0 <= i < self.n_a and 0 <= j < self.n_b):
+            raise SimulationError(
+                f"arrival (row={row}, pulse={pulse}) decodes to pair "
+                f"({i}, {j}) outside the relations"
+            )
+        return i, j
+
+    # -- accumulation column (Fig 4-1) ----------------------------------------
+
+    def accumulator_seed_pulse(self, i: int) -> int:
+        """Pulse at which t_i^initial = FALSE enters the top accumulator."""
+        return 2 * i + self.arity
+
+    def accumulator_exit_pulse(self, i: int) -> int:
+        """Pulse at which the final t_i leaves the bottom accumulator."""
+        return 2 * i + self.arity + self.rows - 1
+
+    def tuple_from_accumulator_exit(self, pulse: int) -> int:
+        """Invert :meth:`accumulator_exit_pulse`."""
+        offset = pulse - self.arity - self.rows + 1
+        if offset < 0 or offset % 2:
+            raise SimulationError(
+                f"accumulator arrival at pulse {pulse} matches no tuple"
+            )
+        i = offset // 2
+        if i >= self.n_a:
+            raise SimulationError(
+                f"accumulator arrival at pulse {pulse} decodes to tuple "
+                f"{i} outside relation A"
+            )
+        return i
+
+    # -- run length --------------------------------------------------------------
+
+    @property
+    def comparison_pulses(self) -> int:
+        """Pulses until the last t_ij has left the comparison array."""
+        return self.t_exit_pulse(self.n_a - 1, self.n_b - 1) + 1
+
+    @property
+    def total_pulses(self) -> int:
+        """Pulses until the last accumulated t_i has left the bottom."""
+        return self.accumulator_exit_pulse(self.n_a - 1) + 1
+
+
+@dataclass(frozen=True)
+class FixedRelationSchedule:
+    """Timing of the §8 fixed-relation variant.
+
+    Relation B is preloaded, one tuple per row (``rows = n_b``); A
+    streams downward with tuples only **one** pulse apart, so in steady
+    state every processor compares on every pulse — the utilization fix
+    §8 describes.
+    """
+
+    n_a: int
+    n_b: int
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.n_a < 1 or self.n_b < 1:
+            raise SimulationError(
+                f"schedules need non-empty relations (n_a={self.n_a}, "
+                f"n_b={self.n_b})"
+            )
+        if self.arity < 1:
+            raise SimulationError(f"arity must be >= 1, got {self.arity}")
+
+    @property
+    def rows(self) -> int:
+        """One processor row per stored B tuple."""
+        return self.n_b
+
+    def a_entry_pulse(self, i: int, k: int) -> int:
+        """Pulse at which element a[i][k] enters the top of column k."""
+        return i + k
+
+    def t_init_pulse(self, i: int, row: int) -> int:
+        """Pulse at which the initial t for (a_i, b_row) enters column 0."""
+        return i + row
+
+    def meeting_pulse(self, i: int, row: int, k: int = 0) -> int:
+        """Pulse at which a[i][k] visits the stored b[row][k]."""
+        return i + row + k
+
+    def t_exit_pulse(self, i: int, row: int) -> int:
+        """Pulse at which t_{i,row} leaves the last comparator of ``row``."""
+        return i + row + self.arity - 1
+
+    def pair_from_exit(self, row: int, pulse: int) -> tuple[int, int]:
+        """Invert :meth:`t_exit_pulse`."""
+        i = pulse - row - self.arity + 1
+        if not (0 <= i < self.n_a and 0 <= row < self.n_b):
+            raise SimulationError(
+                f"arrival (row={row}, pulse={pulse}) decodes to tuple "
+                f"{i} outside relation A"
+            )
+        return i, row
+
+    def accumulator_seed_pulse(self, i: int) -> int:
+        """Pulse at which t_i^initial = FALSE enters the top accumulator."""
+        return i + self.arity
+
+    def accumulator_exit_pulse(self, i: int) -> int:
+        """Pulse at which the final t_i leaves the bottom accumulator."""
+        return i + self.arity + self.rows - 1
+
+    def tuple_from_accumulator_exit(self, pulse: int) -> int:
+        """Invert :meth:`accumulator_exit_pulse`."""
+        i = pulse - self.arity - self.rows + 1
+        if not 0 <= i < self.n_a:
+            raise SimulationError(
+                f"accumulator arrival at pulse {pulse} decodes to tuple "
+                f"{i} outside relation A"
+            )
+        return i
+
+    @property
+    def comparison_pulses(self) -> int:
+        """Pulses until the last t has left the comparison rows."""
+        return self.t_exit_pulse(self.n_a - 1, self.n_b - 1) + 1
+
+    @property
+    def total_pulses(self) -> int:
+        """Pulses until the last accumulated t_i has left the bottom."""
+        return self.accumulator_exit_pulse(self.n_a - 1) + 1
+
+
+@dataclass(frozen=True)
+class DivisionSchedule:
+    """Timing of the division array.
+
+    ``n_pairs`` dividend pairs stream through ``p_rows`` dividend rows;
+    each divisor row holds ``n_divisor`` processors.
+    """
+
+    n_pairs: int
+    p_rows: int
+    n_divisor: int
+
+    def __post_init__(self) -> None:
+        if min(self.n_pairs, self.p_rows, self.n_divisor) < 1:
+            raise SimulationError(
+                "the division array needs non-empty dividend and divisor"
+            )
+
+    def x_entry_pulse(self, q: int) -> int:
+        """Pulse at which pair q's ``x`` enters the bottom left processor."""
+        return q
+
+    def y_entry_pulse(self, q: int) -> int:
+        """Pulse at which pair q's ``y`` enters (one step behind its x)."""
+        return q + 1
+
+    def gate_pulse(self, q: int, row: int) -> int:
+        """Pulse at which pair q is gated at dividend row ``row``."""
+        return q + 1 + (self.p_rows - 1 - row)
+
+    def and_inject_pulse(self, row: int) -> int:
+        """Earliest pulse the AND sweep may enter divisor row ``row``.
+
+        One pulse behind the last gated ``y`` at the row's first
+        processor, so the sweep trails the dividend through every cell.
+        """
+        return self.n_pairs + 2 + (self.p_rows - 1 - row)
+
+    def result_pulse(self, row: int) -> int:
+        """Pulse at which row ``row``'s quotient bit leaves the right edge."""
+        return self.and_inject_pulse(row) + self.n_divisor - 1
+
+    def row_from_result(self, row: int, pulse: int) -> int:
+        """Sanity-check a result arrival; returns the row."""
+        if pulse != self.result_pulse(row):
+            raise SimulationError(
+                f"divisor row {row} produced its quotient bit on pulse "
+                f"{pulse}, expected {self.result_pulse(row)}"
+            )
+        return row
+
+    @property
+    def total_pulses(self) -> int:
+        """Pulses until the topmost row's quotient bit has exited."""
+        return self.result_pulse(0) + 1

@@ -40,6 +40,28 @@ class TestQueryCommand:
             outputs.append(capsys.readouterr().out)
         assert outputs[0] == outputs[1]
 
+    def test_backends_agree(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        outputs = []
+        for backend in ("pulse", "lattice"):
+            assert main([
+                "query", "project(join(EMP, DEPT, dept == dept), name, budget)",
+                "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+                "--backend", backend,
+            ]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert "(3 tuples)" in outputs[1]
+
+    def test_unknown_backend_rejected(self, csv_pair, capsys):
+        emp, _ = csv_pair
+        with pytest.raises(SystemExit):
+            main([
+                "query", "dedup(EMP)", "-r", f"EMP={emp}",
+                "--backend", "warp",
+            ])
+        assert "invalid choice" in capsys.readouterr().err
+
     def test_output_file(self, csv_pair, tmp_path, capsys):
         emp, dept = csv_pair
         out_file = tmp_path / "result.csv"
@@ -81,6 +103,18 @@ class TestMachineCommand:
         assert "makespan" in out
         assert "join0" in out
         assert "load EMP" in out
+
+    def test_machine_backend_flag(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        code = main([
+            "machine", "join(EMP, DEPT, dept == dept)",
+            "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+            "--backend", "lattice",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(3 tuples)" in out
+        assert "join0" in out
 
     def test_logic_per_track_flag(self, csv_pair, capsys):
         emp, _ = csv_pair

@@ -1,0 +1,358 @@
+"""Differential equivalence: the lattice engine equals the pulse engine.
+
+The :class:`~repro.systolic.engine.LatticeEngine` promises bit-identical
+edge outputs, pulse counts, and utilization without simulating cells.
+Hypothesis drives randomized workloads through every plan type and
+through every operator, running each on both engines and comparing the
+complete observable surface: collector dumps (pulse, value, tag),
+pulses, cells, busy counts, utilization, and hex peak firing.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays import (
+    ArrayCapacity,
+    blocked_divide,
+    blocked_intersection,
+    blocked_join,
+    blocked_remove_duplicates,
+    compare_all_pairs,
+    compare_tuples,
+    hex_compare_all_pairs,
+    hex_matrix_product,
+    systolic_difference,
+    systolic_divide,
+    systolic_dynamic_theta_join,
+    systolic_intersection,
+    systolic_join,
+    systolic_remove_duplicates,
+    systolic_theta_join,
+    systolic_union,
+)
+from repro.arrays.hexagonal import BOOLEAN_SEMIRING, COMPARISON_SEMIRING
+from repro.arrays.intersection import systolic_antijoin, systolic_semijoin
+from repro.arrays.schedule import (
+    CounterStreamSchedule,
+    DivisionSchedule,
+    FixedRelationSchedule,
+)
+from repro.errors import SimulationError
+from repro.relational import Domain, MultiRelation, Relation, Schema
+from repro.systolic.engine import (
+    DivisionPlan,
+    GridPlan,
+    HexPlan,
+    LatticeEngine,
+    LinearPlan,
+    PulseEngine,
+    resolve_backend,
+)
+from repro.systolic.metrics import ActivityMeter
+
+SMALL = settings(max_examples=25, deadline=None)
+FEWER = settings(max_examples=10, deadline=None)
+
+_DOMAIN = Domain("eq", values=range(4))
+_SCHEMA2 = Schema.of(("x", _DOMAIN), ("y", _DOMAIN))
+
+tuples2 = st.tuples(st.integers(0, 3), st.integers(0, 3))
+tuple_lists = st.lists(tuples2, min_size=1, max_size=5)
+relations = st.lists(tuples2, min_size=0, max_size=6).map(
+    lambda rows: Relation(_SCHEMA2, rows)
+)
+multis = st.lists(tuples2, min_size=0, max_size=7).map(
+    lambda rows: MultiRelation(_SCHEMA2, rows)
+)
+ops_strategy = st.lists(
+    st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+    min_size=2, max_size=2,
+)
+
+
+def run_both(plan):
+    """Run one plan on both engines (fresh meters) and return both runs."""
+    # The lattice engine declines to meter the hexagonal mesh (it needs
+    # the cell network), so hex equivalence is checked meterless.
+    meterable = not isinstance(plan, HexPlan)
+    runs = []
+    for engine in (PulseEngine(), LatticeEngine()):
+        meter = ActivityMeter() if meterable else None
+        runs.append((engine.run(plan, meter=meter), meter))
+    return runs
+
+
+def dump(run):
+    """Every collector as {tap: [(pulse, value, tag), ...]}."""
+    return {
+        name: [(p, t.value, t.tag) for p, t in collector]
+        for name, collector in sorted(run.collectors.items())
+    }
+
+
+def assert_identical(plan):
+    (pulse_run, pulse_meter), (lattice_run, lattice_meter) = run_both(plan)
+    assert dump(lattice_run) == dump(pulse_run)
+    assert lattice_run.pulses == pulse_run.pulses
+    assert lattice_run.cells == pulse_run.cells
+    if pulse_meter is not None:
+        assert lattice_meter.busy_pulses == pulse_meter.busy_pulses
+        assert lattice_meter.pulses_observed == pulse_meter.pulses_observed
+        assert (lattice_meter.report().utilization
+                == pulse_meter.report().utilization)
+    assert lattice_run.peak_firing == pulse_run.peak_firing
+    return pulse_run, lattice_run
+
+
+def grid_schedule(variant, n_a, n_b, arity):
+    if variant == "counter":
+        return CounterStreamSchedule(n_a=n_a, n_b=n_b, arity=arity)
+    return FixedRelationSchedule(n_a=n_a, n_b=n_b, arity=arity)
+
+
+class TestGridPlans:
+    @SMALL
+    @given(
+        a=tuple_lists, b=tuple_lists,
+        variant=st.sampled_from(["counter", "fixed"]),
+        accumulate=st.booleans(),
+        row_taps=st.booleans(),
+        triangular=st.booleans(),
+        tagged=st.booleans(),
+    )
+    def test_comparison_grids(
+        self, a, b, variant, accumulate, row_taps, triangular, tagged
+    ):
+        schedule = grid_schedule(variant, len(a), len(b), 2)
+        t_init = (lambda i, j: j < i) if triangular else (lambda i, j: True)
+        plan = GridPlan(
+            a, b, schedule, t_init=t_init, accumulate=accumulate,
+            row_taps=row_taps or not accumulate, tagged=tagged,
+        )
+        assert_identical(plan)
+
+    @SMALL
+    @given(a=tuple_lists, b=tuple_lists, ops=ops_strategy,
+           dynamic=st.booleans(), tagged=st.booleans())
+    def test_join_grids(self, a, b, ops, dynamic, tagged):
+        schedule = CounterStreamSchedule(n_a=len(a), n_b=len(b), arity=2)
+        plan = GridPlan(
+            a, b, schedule, ops=tuple(ops), dynamic_ops=dynamic,
+            row_taps=True, tagged=tagged,
+        )
+        assert_identical(plan)
+
+
+class TestDivisionPlans:
+    @SMALL
+    @given(
+        pairs=st.lists(tuples2, min_size=1, max_size=6),
+        divisor=st.lists(st.integers(0, 3), min_size=1, max_size=3,
+                         unique=True),
+        tagged=st.booleans(),
+    )
+    def test_division(self, pairs, divisor, tagged):
+        distinct_x = sorted({x for x, _ in pairs})
+        plan = DivisionPlan(pairs, distinct_x, divisor, tagged=tagged)
+        assert_identical(plan)
+
+
+class TestLinearPlans:
+    @SMALL
+    @given(
+        a=st.lists(st.integers(0, 3), min_size=1, max_size=5),
+        b_same=st.booleans(),
+        seed=st.booleans(),
+        tagged=st.booleans(),
+    )
+    def test_linear(self, a, b_same, seed, tagged):
+        b = list(a) if b_same else [(v + 1) % 4 for v in a]
+        plan = LinearPlan(a, b, seed=seed, tagged=tagged)
+        assert_identical(plan)
+
+
+class TestHexPlans:
+    @FEWER
+    @given(
+        a=st.lists(st.lists(st.integers(0, 3), min_size=2, max_size=2),
+                   min_size=1, max_size=4),
+        b=st.lists(st.lists(st.integers(0, 3), min_size=2, max_size=2),
+                   min_size=1, max_size=4),
+        semiring=st.sampled_from([COMPARISON_SEMIRING, BOOLEAN_SEMIRING]),
+        tagged=st.booleans(),
+    )
+    def test_hex(self, a, b, semiring, tagged):
+        if semiring is BOOLEAN_SEMIRING:
+            a = [[bool(v % 2) for v in row] for row in a]
+            b = [[bool(v % 2) for v in row] for row in b]
+        plan = HexPlan(a, b, semiring, tagged=tagged)
+        pulse_run, _ = assert_identical(plan)
+        assert pulse_run.peak_firing is not None
+
+
+class TestOperatorsAcrossBackends:
+    """Operator-level: identical relations and run stats per backend."""
+
+    def _pair(self, op, *args, **kwargs):
+        return [
+            op(*args, backend=backend, **kwargs)
+            for backend in ("pulse", "lattice")
+        ]
+
+    @SMALL
+    @given(a=relations, b=relations,
+           variant=st.sampled_from(["counter", "fixed"]))
+    def test_set_operators(self, a, b, variant):
+        for op in (systolic_intersection, systolic_difference):
+            pulse, lattice = self._pair(op, a, b, variant=variant, tagged=True)
+            assert lattice.relation == pulse.relation
+            assert lattice.run.pulses == pulse.run.pulses
+            assert lattice.t_vector == pulse.t_vector
+
+    @SMALL
+    @given(a=relations, b=relations)
+    def test_union(self, a, b):
+        pulse, lattice = self._pair(systolic_union, a, b, tagged=True)
+        assert lattice.relation == pulse.relation
+        assert lattice.run.pulses == pulse.run.pulses
+
+    @SMALL
+    @given(multi=multis, variant=st.sampled_from(["counter", "fixed"]))
+    def test_remove_duplicates(self, multi, variant):
+        pulse, lattice = self._pair(
+            systolic_remove_duplicates, multi, variant=variant, tagged=True
+        )
+        assert lattice.relation == pulse.relation
+        assert lattice.drop_vector == pulse.drop_vector
+
+    @SMALL
+    @given(a=relations, b=relations)
+    def test_semijoin_antijoin(self, a, b):
+        on = [("x", "x"), ("y", "y")]
+        for op in (systolic_semijoin, systolic_antijoin):
+            pulse, lattice = self._pair(op, a, b, on, tagged=True)
+            assert lattice.relation == pulse.relation
+
+    @SMALL
+    @given(a=relations, b=relations, ops=ops_strategy)
+    def test_joins(self, a, b, ops):
+        on = [("x", "x"), ("y", "y")]
+        for op, extra in (
+            (systolic_join, ()),
+            (systolic_theta_join, (ops,)),
+            (systolic_dynamic_theta_join, (ops,)),
+        ):
+            pulse, lattice = self._pair(op, a, b, on, *extra, tagged=True)
+            assert lattice.relation == pulse.relation
+            assert lattice.run.pulses == pulse.run.pulses
+
+    @SMALL
+    @given(a=relations, b=st.lists(st.integers(0, 3), min_size=0,
+                                   max_size=3, unique=True))
+    def test_division(self, a, b):
+        divisor = Relation(
+            Schema.of(("y", _DOMAIN)), [(value,) for value in b]
+        )
+        pulse, lattice = self._pair(systolic_divide, a, divisor, tagged=True)
+        assert lattice.relation == pulse.relation
+        assert lattice.run.pulses == pulse.run.pulses
+
+    @SMALL
+    @given(a=tuple_lists, b=tuple_lists)
+    def test_comparison_matrices(self, a, b):
+        pulse, lattice = self._pair(compare_all_pairs, a, b, tagged=True)
+        assert lattice.t_matrix == pulse.t_matrix
+        hex_pulse, hex_lattice = self._pair(
+            hex_compare_all_pairs, a, b, tagged=True
+        )
+        assert hex_lattice.t_matrix == hex_pulse.t_matrix
+        assert hex_lattice.peak_firing == hex_pulse.peak_firing
+        assert hex_lattice.t_matrix == lattice.t_matrix
+
+    @SMALL
+    @given(a=tuples2, b=tuples2, seed=st.booleans())
+    def test_linear_comparison(self, a, b, seed):
+        pulse, lattice = self._pair(compare_tuples, a, b, seed=seed)
+        assert lattice.equal == pulse.equal
+        assert lattice.run.pulses == pulse.run.pulses
+
+
+class TestBlockedAcrossBackends:
+    CAP = ArrayCapacity(max_rows=5, max_cols=2)
+
+    @FEWER
+    @given(a=relations, b=relations)
+    def test_blocked_set_ops(self, a, b):
+        runs = [
+            blocked_intersection(a, b, self.CAP, backend=backend)
+            for backend in ("pulse", "lattice")
+        ]
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1].total_pulses == runs[1][1].total_pulses
+        assert runs[0][1].block_runs == runs[1][1].block_runs
+
+    @FEWER
+    @given(multi=multis)
+    def test_blocked_dedup(self, multi):
+        runs = [
+            blocked_remove_duplicates(multi, self.CAP, backend=backend)
+            for backend in ("pulse", "lattice")
+        ]
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1].total_pulses == runs[1][1].total_pulses
+
+    @FEWER
+    @given(a=relations, b=relations)
+    def test_blocked_join(self, a, b):
+        on = [("x", "x")]
+        runs = [
+            blocked_join(a, b, on, self.CAP, backend=backend)
+            for backend in ("pulse", "lattice")
+        ]
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1].total_pulses == runs[1][1].total_pulses
+
+    @FEWER
+    @given(a=relations, b=st.lists(st.integers(0, 3), min_size=1,
+                                   max_size=3, unique=True))
+    def test_blocked_divide(self, a, b):
+        divisor = Relation(
+            Schema.of(("y", _DOMAIN)), [(value,) for value in b]
+        )
+        capacity = ArrayCapacity(max_rows=5, max_cols=4)
+        runs = [
+            blocked_divide(a, divisor, capacity, backend=backend)
+            for backend in ("pulse", "lattice")
+        ]
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1].total_pulses == runs[1][1].total_pulses
+
+
+class TestBackendResolution:
+    def test_default_is_pulse(self):
+        assert resolve_backend(None).name == "pulse"
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_backend("pulse"), PulseEngine)
+        assert isinstance(resolve_backend("lattice"), LatticeEngine)
+
+    def test_engine_instances_pass_through(self):
+        engine = LatticeEngine()
+        assert resolve_backend(engine) is engine
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(SimulationError, match="lattice"):
+            resolve_backend("warp")
+
+    def test_lattice_refuses_trace(self):
+        from repro.systolic.trace import TraceRecorder
+
+        schedule = CounterStreamSchedule(n_a=1, n_b=1, arity=2)
+        plan = GridPlan(
+            [(0, 1)], [(0, 1)], schedule, t_init=lambda i, j: True,
+            accumulate=True,
+        )
+        with pytest.raises(SimulationError, match="pulse"):
+            LatticeEngine().run(plan, trace=TraceRecorder())

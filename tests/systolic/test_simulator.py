@@ -86,6 +86,38 @@ class TestRunUntilQuiet:
         with pytest.raises(SimulationError, match="did not quiesce"):
             simulator.run_until_quiet(limit=50)
 
+    def test_limit_error_names_the_network(self):
+        network = Network("noisy")
+        network.add(LatchCell("l0"))
+        network.feed("l0", "d_in", ConstantFeeder(tok(1)))
+        simulator = SystolicSimulator(network)
+        with pytest.raises(SimulationError, match="noisy"):
+            simulator.run_until_quiet(limit=7)
+        # The simulator is still usable after the failed drain.
+        simulator.run(1)
+
+    def test_empty_network_quiesces_immediately(self):
+        simulator = SystolicSimulator(Network("empty"))
+        assert simulator.run_until_quiet(settle=3) == 3
+        assert simulator.pulse == 3
+
+    def test_idle_network_runs_exactly_settle_pulses(self):
+        simulator = SystolicSimulator(delay_line(2, {}))
+        assert simulator.run_until_quiet(settle=5) == 5
+
+    def test_small_settle_stops_inside_a_stream_gap(self):
+        # Tokens at pulses 0 and 3 leave two idle pulses in between; a
+        # 1-pulse settle declares quiescence inside the gap and misses
+        # the second token, while the default rides it out.
+        schedule = {0: tok("x"), 3: tok("y")}
+        early = SystolicSimulator(delay_line(1, schedule))
+        early.run_until_quiet(settle=1)
+        assert early.collector("out").values() == ["x"]
+
+        patient = SystolicSimulator(delay_line(1, schedule))
+        patient.run_until_quiet(settle=4)
+        assert patient.collector("out").values() == ["x", "y"]
+
 
 class _BadCell(Cell):
     IN_PORTS = ("d_in",)
