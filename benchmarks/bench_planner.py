@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""E18 — the cost-based physical planner on a 3-op transaction.
+
+``divide(project(join(JA, JB)), D)`` compiles to a PhysicalPlan whose
+three array stages fuse into one §9 pipelined chain: intermediates
+stream device → switch → device and never touch a memory.  The chain's
+simulated span must match ``machine.pipelining.analyze_chain``'s
+Σ fill + max stream law exactly, and beat the store-and-forward
+discipline where every stage runs to completion before the next.
+
+Run standalone to (re)generate ``BENCH_planner.json`` at the repo
+root — CI's benchmark smoke job does exactly this::
+
+    python benchmarks/bench_planner.py [--out BENCH_planner.json]
+
+or run under pytest-benchmark with the rest of the experiment suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.machine import (
+    Base,
+    Divide,
+    Join,
+    Project,
+    StageCost,
+    SystolicDatabaseMachine,
+    analyze_chain,
+)
+from repro.machine.physical import actual_cost
+from repro.relational import algebra
+from repro.workloads import join_pair
+
+CHAIN_LABELS = ("join[key==key]", "project[a0,b0]", "divide")
+
+
+def _scenario(n_a: int, n_b: int, n_keys: int, seed: int):
+    ja, jb = join_pair(n_a, n_b, n_keys, seed=seed)
+    catalog = {"JA": ja, "JB": jb, "D": algebra.project(jb, ["b0"])}
+    plan = Divide(
+        Project(Join(Base("JA"), Base("JB"), on=(("key", "key"),)),
+                ("a0", "b0")),
+        Base("D"), a_value="b0", a_group="a0",
+    )
+    return catalog, plan
+
+
+def _machine(catalog):
+    machine = SystolicDatabaseMachine()
+    for name, relation in catalog.items():
+        machine.preload(name, relation)
+    return machine
+
+
+def _law_stages(machine, catalog, plan, report):
+    """Independent stage costs: stand-alone times from the
+    store-and-forward run, fills from the schedule arithmetic."""
+    joined = algebra.join(catalog["JA"], catalog["JB"], [("key", "key")])
+    inputs = {
+        CHAIN_LABELS[0]: [catalog["JA"], catalog["JB"]],
+        CHAIN_LABELS[1]: [joined],
+        CHAIN_LABELS[2]: [algebra.project(joined, ["a0", "b0"]),
+                          catalog["D"]],
+    }
+    nodes = {
+        CHAIN_LABELS[0]: plan.left.child,
+        CHAIN_LABELS[1]: plan.left,
+        CHAIN_LABELS[2]: plan,
+    }
+    stages = []
+    for label in CHAIN_LABELS:
+        [step] = [s for s in report.steps if s.label == label]
+        device = next(d for d in machine.devices if d.name == step.device)
+        cost = actual_cost(nodes[label], inputs[label],
+                           device.capacity.max_rows, device.capacity.max_cols)
+        fill = min(device.technology.pulses_to_seconds(cost.fill_pulses),
+                   step.duration)
+        stages.append(StageCost(name=label, fill=fill,
+                                stream=step.duration - fill))
+    return stages
+
+
+def run_scenario(n_a: int, n_b: int, n_keys: int, seed: int) -> dict:
+    """Run the transaction both ways; check the E17 law holds for real."""
+    catalog, plan = _scenario(n_a, n_b, n_keys, seed)
+
+    pipelined = _machine(catalog)
+    physical = pipelined.compile(plan)
+    (result_p,), report_p = pipelined.run_physical(physical)
+
+    forward = _machine(catalog)
+    result_s, report_s = forward.run(plan, pipeline=False)
+
+    expected = algebra.divide(
+        algebra.project(
+            algebra.join(catalog["JA"], catalog["JB"], [("key", "key")]),
+            ["a0", "b0"],
+        ),
+        catalog["D"], a_value="b0", a_group="a0",
+    )
+    assert result_p == expected and result_s == expected
+
+    timing = analyze_chain(_law_stages(forward, catalog, plan, report_s))
+    chain_steps = [s for s in report_p.steps if s.device != "disk"]
+    chain_span = (max(s.end for s in chain_steps)
+                  - min(s.start for s in chain_steps))
+    assert abs(chain_span - timing.pipelined) < 1e-12, (
+        f"chain span {chain_span} != law {timing.pipelined}"
+    )
+    assert report_p.makespan < report_s.makespan
+
+    fused = max((len(c) for c in physical.chains), default=1)
+    return {
+        "n_a": n_a, "n_b": n_b, "n_keys": n_keys,
+        "chain_stages": fused,
+        "pipelined_ms": round(report_p.makespan * 1e3, 6),
+        "store_and_forward_ms": round(report_s.makespan * 1e3, 6),
+        "law_pipelined_ms": round(timing.pipelined * 1e3, 6),
+        "predicted_ms": round(physical.predicted_makespan * 1e3, 6),
+        "speedup": round(report_s.makespan / report_p.makespan, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_planner.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    entries = [
+        run_scenario(40, 35, 20, seed=5),
+        run_scenario(80, 70, 40, seed=6),
+        run_scenario(160, 140, 80, seed=7),
+    ]
+    report = {
+        "description": "cost-based physical planner: pipelined chain vs "
+                       "store-and-forward on divide(project(join)) "
+                       "(see docs/PLANNER.md)",
+        "entries": entries,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for e in entries:
+        print(f"E18 |JA|={e['n_a']:>3}  chain={e['chain_stages']} stages  "
+              f"s&f {e['store_and_forward_ms']:>8.3f} ms  "
+              f"pipelined {e['pipelined_ms']:>8.3f} ms  "
+              f"{e['speedup']:.2f}x  (law {e['law_pipelined_ms']:.3f} ms)")
+    print(f"wrote {args.out}")
+    assert all(e["speedup"] > 1.0 for e in entries)
+    return 0
+
+
+def test_planner_pipelines_the_transaction(benchmark, experiment_report):
+    """E18: compiled chain obeys Σ fill + max stream and beats s&f."""
+    entry = run_scenario(40, 35, 20, seed=5)
+    catalog, plan = _scenario(40, 35, 20, seed=5)
+    machine = _machine(catalog)
+    benchmark(lambda: machine.compile(plan))
+    experiment_report(
+        "E18 cost-based planner: 3-op transaction, pipelined vs s&f",
+        [
+            ("fused chain", "3 array stages", f"{entry['chain_stages']} stages"),
+            ("store-and-forward", "Σ (fill + stream)",
+             f"{entry['store_and_forward_ms']:.3f} ms"),
+            ("pipelined chain", "Σ fill + max stream",
+             f"{entry['pipelined_ms']:.3f} ms"),
+            ("law (analyze_chain)", "== simulated span",
+             f"{entry['law_pipelined_ms']:.3f} ms"),
+            ("speedup", "> 1x", f"{entry['speedup']:.2f}x"),
+        ],
+    )
+    assert entry["chain_stages"] == 3
+    assert entry["speedup"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""E18 — skewed workloads: §6.2's degenerate-output warning, measured.
+"""E18a — skewed workloads: §6.2's degenerate-output warning, measured.
 
 "The size of the join, |C|, might be as large as the product |A||B|.
 (This happens in the degenerate case where all tuples in A match all
@@ -20,7 +20,7 @@ from repro.workloads import skewed_join_pair, zipf_relation
 
 
 def test_join_output_vs_skew(benchmark, experiment_report):
-    """E18: output size explodes with skew; pulses don't."""
+    """E18a: output size explodes with skew; pulses don't."""
     n = 24
     rows = []
     for skew in (4.0, 2.0, 1.3):
@@ -34,7 +34,7 @@ def test_join_output_vs_skew(benchmark, experiment_report):
         ))
     a, b = skewed_join_pair(n, n, skew=1.3, seed=13)
     benchmark(lambda: systolic_join(a, b, [("key", "key")]))
-    experiment_report("E18 §6.2 join output vs key skew (n = 24 each side)",
+    experiment_report("E18a §6.2 join output vs key skew (n = 24 each side)",
                       rows)
 
 

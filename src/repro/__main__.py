@@ -11,9 +11,15 @@ Examples::
     python -m repro machine "project(join(E, D, dept == dept), name)" \\
         -r E=employees.csv -r D=departments.csv
 
+    python -m repro query "divide(project(join(A, B, k == k), x, y), D)" \\
+        -r A=a.csv -r B=b.csv -r D=d.csv --machine --explain
+
 ``query`` evaluates on the pulse-level systolic arrays (default) or the
-software reference engine; ``machine`` runs the plan on the Fig 9-1
-integrated database machine and prints the scheduled timeline.
+software reference engine; ``machine`` (or ``query --machine``) runs
+the plan on the Fig 9-1 integrated database machine and prints the
+scheduled timeline.  ``--explain`` additionally shows the compiled
+physical plan: per-operator device assignments, §8 block counts, fused
+pipeline chains, and the predicted vs simulated makespan.
 
 Columns with the same name across files share a domain, so they are
 join/union-compatible automatically.
@@ -53,35 +59,55 @@ def _emit(relation: Relation, out: str | None) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.machine:
+        return _run_on_machine(args)
     catalog = _load_relations(args.relation)
-    plan = parse(args.expression)
-    if args.optimize:
-        plan = optimize(plan)
     result = execute_plan(
-        plan, catalog, engine=args.engine, backend=args.backend
+        parse(args.expression), catalog,
+        engine=args.engine, backend=args.backend, optimize=args.optimize,
     )
     _emit(result, args.out)
     return 0
 
 
-def _cmd_machine(args: argparse.Namespace) -> int:
+def _run_on_machine(args: argparse.Namespace) -> int:
+    """Shared body of ``machine`` and ``query --machine``."""
     from repro.machine import MachineDisk, SystolicDatabaseMachine
 
     catalog = _load_relations(args.relation)
     machine = SystolicDatabaseMachine(
-        disk=MachineDisk(logic_per_track=args.logic_per_track),
+        disk=MachineDisk(
+            logic_per_track=getattr(args, "logic_per_track", False)
+        ),
         backend=args.backend,
     )
     for name, relation in catalog.items():
         machine.store(name, relation)
     plan = parse(args.expression)
     if args.optimize:
-        plan = optimize(plan)
-    result, report = machine.run(plan)
+        plan = optimize(
+            plan, schemas={n: r.schema for n, r in catalog.items()}
+        )
+    physical = machine.compile(
+        plan, pipeline=not getattr(args, "store_and_forward", False)
+    )
+    if args.explain:
+        print(physical.explain())
+        print()
+    (result,), report = machine.run_physical(physical)
     _emit(result, args.out)
     print()
     print(report.timeline())
+    if args.explain:
+        print(
+            f"predicted makespan {physical.predicted_makespan * 1e3:.3f} ms, "
+            f"simulated {report.makespan * 1e3:.3f} ms"
+        )
     return 0
+
+
+def _cmd_machine(args: argparse.Namespace) -> int:
+    return _run_on_machine(args)
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
@@ -115,9 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--out", "-o", help="write the result to a CSV file")
         p.add_argument(
-            "--optimize", action="store_true",
-            help="apply algebraic rewrites (selection pushdown, dedup "
-                 "elimination, subplan sharing) before execution",
+            "--optimize", action="store_true", default=True,
+            help="apply algebraic rewrites (selection pushdown incl. "
+                 "joins, dedup elimination, subplan sharing) before "
+                 "execution (the default)",
+        )
+        p.add_argument(
+            "--no-optimize", dest="optimize", action="store_false",
+            help="execute the plan exactly as written",
         )
 
     def backend_option(p: argparse.ArgumentParser) -> None:
@@ -128,12 +159,26 @@ def build_parser() -> argparse.ArgumentParser:
                  "(lattice) — results and pulse counts are identical",
         )
 
+    def explain_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--explain", action="store_true",
+            help="print the compiled physical plan (device assignments, "
+                 "block counts, fused chains) and the predicted vs "
+                 "simulated makespan",
+        )
+
     query = sub.add_parser("query", help="evaluate on an execution engine")
     common(query)
     query.add_argument(
         "--engine", choices=("systolic", "software"), default="systolic",
         help="pulse-level arrays (default) or the software reference",
     )
+    query.add_argument(
+        "--machine", action="store_true",
+        help="run on the Fig 9-1 integrated database machine instead "
+             "(timed physical plan; implies a machine-resident catalog)",
+    )
+    explain_option(query)
     backend_option(query)
     query.set_defaults(handler=_cmd_query)
 
@@ -145,6 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--logic-per-track", action="store_true",
         help="give the disk §9's logic-per-track selection capability",
     )
+    machine.add_argument(
+        "--store-and-forward", action="store_true",
+        help="disable §9 chain pipelining: every operation runs to "
+             "completion before its consumer starts",
+    )
+    explain_option(machine)
     backend_option(machine)
     machine.set_defaults(handler=_cmd_machine)
 

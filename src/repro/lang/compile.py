@@ -49,6 +49,7 @@ def execute_plan(
     catalog: Mapping[str, Relation],
     engine: str = "software",
     backend=None,
+    optimize: bool = True,
 ) -> Relation:
     """Evaluate a plan against named relations.
 
@@ -57,11 +58,23 @@ def execute_plan(
     ``backend`` picks the array execution backend — ``"pulse"``
     (cycle-accurate cell network, the default) or ``"lattice"``
     (vectorized wavefront evaluation with identical results).
+
+    With ``optimize=True`` (the default) the plan is first rewritten by
+    :func:`repro.lang.optimize.optimize` — with the catalog's schemas,
+    so schema-aware rules like join pushdown fire.  All rewrites
+    preserve set semantics; pass ``optimize=False`` to execute the plan
+    exactly as written.
     """
     if engine not in ("software", "systolic"):
         raise PlanError(
             f"unknown engine {engine!r}; use 'software' or 'systolic' "
             f"(or run the plan on a SystolicDatabaseMachine)"
+        )
+    if optimize:
+        from repro.lang.optimize import optimize as optimize_plan
+
+        plan = optimize_plan(
+            plan, schemas={name: rel.schema for name, rel in catalog.items()}
         )
     return _evaluate(plan, catalog, engine, backend)
 
@@ -163,8 +176,12 @@ def query(
     catalog: Mapping[str, Relation],
     engine: str = "systolic",
     backend=None,
+    optimize: bool = True,
 ) -> Relation:
     """Parse and execute an expression in one call."""
     from repro.lang.parser import parse
 
-    return execute_plan(parse(source), catalog, engine=engine, backend=backend)
+    return execute_plan(
+        parse(source), catalog, engine=engine, backend=backend,
+        optimize=optimize,
+    )

@@ -8,8 +8,9 @@ classic algebraic rewrites pay off directly:
   deduplicates, §5), ``X ∩ X → X``, ``X ∪ X → X``;
 * **projection composition** — ``project(project(X, f), g) →
   project(X, f∘g)`` when the composition is statically resolvable;
-* **selection pushdown** — σ commutes with ∩, ∪, −, and dedup, so
-  selections sink toward the base relations, where a logic-per-track
+* **selection pushdown** — σ commutes with ∩, ∪, −, and dedup, and
+  sinks through a join to whichever side owns the selected column, so
+  selections approach the base relations, where a logic-per-track
   disk (§9, ref [8]) applies them *during the read, for free*;
 * **common-subplan sharing** — structurally identical subtrees become
   one object, which the machine computes exactly once.
@@ -20,8 +21,10 @@ optimized plans on random catalogs and compare.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
+from repro.errors import ReproError
+from repro.machine.inference import infer_schema
 from repro.machine.plan import (
     Base,
     Dedup,
@@ -34,38 +37,53 @@ from repro.machine.plan import (
     Select,
     Union,
 )
-from repro.relational.schema import ColumnRef
+from repro.relational import algebra
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnRef, Schema
 
 __all__ = ["optimize", "share_common_subplans"]
 
 
-def optimize(plan: PlanNode) -> PlanNode:
-    """Apply every rewrite bottom-up to a fixpoint, then share subtrees."""
+def optimize(
+    plan: PlanNode,
+    schemas: Optional[Mapping[str, Schema]] = None,
+) -> PlanNode:
+    """Apply every rewrite bottom-up to a fixpoint, then share subtrees.
+
+    ``schemas`` (base-relation name → schema) enables the rewrites that
+    need static typing — pushing a selection through a join requires
+    knowing which side owns the selected column.  Without it those
+    rules simply don't fire.
+    """
     changed = True
     while changed:
-        plan, changed = _rewrite(plan)
+        plan, changed = _rewrite(plan, schemas)
     return share_common_subplans(plan)
 
 
-def _rewrite(node: PlanNode) -> tuple[PlanNode, bool]:
+def _rewrite(
+    node: PlanNode, schemas: Optional[Mapping[str, Schema]]
+) -> tuple[PlanNode, bool]:
     """One bottom-up pass; returns (node, anything_changed)."""
     changed = False
-    rebuilt = _rebuild_children(node)
+    rebuilt = _rebuild_children(node, schemas)
     if rebuilt is not None:
         node, changed = rebuilt, True
 
-    replacement = _rewrite_here(node)
+    replacement = _rewrite_here(node, schemas)
     if replacement is not None:
         return replacement, True
     return node, changed
 
 
-def _rebuild_children(node: PlanNode) -> Optional[PlanNode]:
+def _rebuild_children(
+    node: PlanNode, schemas: Optional[Mapping[str, Schema]]
+) -> Optional[PlanNode]:
     """Rewrite children; return a rebuilt node if any changed."""
     new_children = []
     any_changed = False
     for child in node.children:
-        new_child, changed = _rewrite(child)
+        new_child, changed = _rewrite(child, schemas)
         new_children.append(new_child)
         any_changed = any_changed or changed
     if not any_changed:
@@ -95,7 +113,9 @@ def _with_children(node: PlanNode, children: list[PlanNode]) -> PlanNode:
     return node  # Base has no children
 
 
-def _rewrite_here(node: PlanNode) -> Optional[PlanNode]:
+def _rewrite_here(
+    node: PlanNode, schemas: Optional[Mapping[str, Schema]]
+) -> Optional[PlanNode]:
     """Try each local rule once; None when nothing applies."""
     # Idempotence of set operators on identical (structural) inputs.
     if isinstance(node, (Intersect, Union)) and node.left == node.right:
@@ -118,7 +138,7 @@ def _rewrite_here(node: PlanNode) -> Optional[PlanNode]:
             return Project(node.child.child, composed)
     # Selection pushdown.
     if isinstance(node, Select):
-        pushed = _push_select(node)
+        pushed = _push_select(node, schemas)
         if pushed is not None:
             return pushed
     return None
@@ -142,7 +162,9 @@ def _compose_projections(
     return tuple(composed)
 
 
-def _push_select(node: Select) -> Optional[PlanNode]:
+def _push_select(
+    node: Select, schemas: Optional[Mapping[str, Schema]]
+) -> Optional[PlanNode]:
     child = node.child
 
     def selected(target: PlanNode) -> Select:
@@ -162,7 +184,49 @@ def _push_select(node: Select) -> Optional[PlanNode]:
     # σ(dedup(X)) = dedup(σ(X)).
     if isinstance(child, Dedup):
         return Dedup(selected(child.child))
+    # σ(A ⋈ B): the predicate names exactly one output column, which the
+    # join layout traces to a column of A or of B — filter that side
+    # before it ever streams through the join array.
+    if isinstance(child, Join) and schemas is not None:
+        return _push_select_through_join(node, child, schemas)
     return None
+
+
+def _push_select_through_join(
+    node: Select, child: Join, schemas: Mapping[str, Schema]
+) -> Optional[PlanNode]:
+    try:
+        left_schema = infer_schema(child.left, schemas)
+        right_schema = infer_schema(child.right, schemas)
+        out_schema = infer_schema(child, schemas)
+        position = out_schema.resolve(node.column)
+    except ReproError:
+        return None  # ill-typed here; leave it for execution to report
+    if position < len(left_schema):
+        # Output columns [0, |A|) are A's columns in order.
+        return Join(
+            Select(child.left, column=position, op=node.op, value=node.value),
+            child.right, on=child.on, ops=child.ops,
+        )
+    # The remaining output columns are B's *kept* columns (equi-join
+    # drops B's join columns, θ-join only the ``==`` ones) — map the
+    # output position back to B's own column position.
+    left_empty = Relation(left_schema)
+    right_empty = Relation(right_schema)
+    if child.ops is None:
+        _, _, _, b_keep = algebra.equi_join_layout(
+            left_empty, right_empty, list(child.on)
+        )
+    else:
+        _, _, _, b_keep = algebra.theta_join_layout(
+            left_empty, right_empty, list(child.on), list(child.ops)
+        )
+    b_position = b_keep[position - len(left_schema)]
+    return Join(
+        child.left,
+        Select(child.right, column=b_position, op=node.op, value=node.value),
+        on=child.on, ops=child.ops,
+    )
 
 
 def share_common_subplans(plan: PlanNode) -> PlanNode:

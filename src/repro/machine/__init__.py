@@ -23,13 +23,25 @@ from repro.machine.plan import (
     Union,
     walk,
 )
+from repro.machine.inference import estimate_rows, infer_schema
+from repro.machine.physical import (
+    PhysicalOp,
+    PhysicalPlan,
+    PhysicalPlanner,
+    PipelinedChain,
+)
 from repro.machine.pipelining import ChainTiming, StageCost, analyze_chain
 from repro.machine.report_export import (
     report_to_csv,
     report_to_dict,
     report_to_json,
 )
-from repro.machine.scheduler import ExecutionReport, ScheduledStep, gantt
+from repro.machine.scheduler import (
+    DeviceRoster,
+    ExecutionReport,
+    ScheduledStep,
+    gantt,
+)
 from repro.machine.system import SystolicDatabaseMachine
 from repro.machine.tree_machine import TreeMachine, TreeRun
 
@@ -39,6 +51,7 @@ __all__ = [
     "CpuDevice",
     "CrossbarSwitch",
     "Dedup",
+    "DeviceRoster",
     "DeviceRun",
     "Difference",
     "Divide",
@@ -48,6 +61,10 @@ __all__ = [
     "Link",
     "MachineDisk",
     "MemoryModule",
+    "PhysicalOp",
+    "PhysicalPlan",
+    "PhysicalPlanner",
+    "PipelinedChain",
     "PlanNode",
     "Project",
     "ScheduledStep",
@@ -59,7 +76,9 @@ __all__ = [
     "TreeRun",
     "Union",
     "analyze_chain",
+    "estimate_rows",
     "gantt",
+    "infer_schema",
     "relation_bytes",
     "report_to_csv",
     "report_to_dict",

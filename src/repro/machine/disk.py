@@ -51,6 +51,20 @@ class MachineDisk:
         """Whether a base relation exists."""
         return name in self._catalog
 
+    def relation(self, name: str) -> Relation:
+        """The stored relation itself, without modelling a timed read.
+
+        The physical planner uses this to learn exact base sizes and
+        schemas while costing a plan; :meth:`read` remains the only way
+        data *moves* off the disk.
+        """
+        try:
+            return self._catalog[name]
+        except KeyError:
+            raise PlanError(
+                f"no base relation named {name!r}; have {self.names()}"
+            ) from None
+
     def relation_bytes(self, relation: Relation) -> int:
         """On-disk size of a relation under this disk's element width."""
         if len(relation) == 0:

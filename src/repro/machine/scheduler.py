@@ -17,6 +17,7 @@ opens with).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import PlanError
 from repro.machine.crossbar import CrossbarSwitch
@@ -24,7 +25,7 @@ from repro.machine.device import CpuDevice, DeviceRun, SystolicDevice
 from repro.machine.memory import MemoryModule
 from repro.machine.plan import PlanNode
 
-__all__ = ["ScheduledStep", "ExecutionReport", "gantt"]
+__all__ = ["ScheduledStep", "ExecutionReport", "DeviceRoster", "gantt"]
 
 
 @dataclass
@@ -97,8 +98,15 @@ class ExecutionReport:
         return "\n".join(lines)
 
 
-class DeviceTimeline:
-    """Tracks when each device instance becomes free."""
+class DeviceRoster:
+    """Tracks when each device instance becomes free.
+
+    With per-device predicted ``durations``, :meth:`pick` is
+    **cost-aware**: it minimizes completion time (queueing delay plus
+    predicted run time), so a heterogeneous roster routes a large
+    relation to the big array even when a small one frees up first.
+    Without durations it degrades to the first-free rule.
+    """
 
     def __init__(self, devices: list[SystolicDevice | CpuDevice]) -> None:
         if not devices:
@@ -108,23 +116,47 @@ class DeviceTimeline:
         for device in devices:
             self._by_kind.setdefault(device.kind, []).append(device)
 
+    def free_at(self, name: str) -> float:
+        """When a device becomes free."""
+        try:
+            return self._free_at[name]
+        except KeyError:
+            raise PlanError(f"unknown device {name!r}") from None
+
     def pick(
-        self, kind: str, ready: float
+        self,
+        kind: str,
+        ready: float,
+        durations: Optional[dict[str, float]] = None,
     ) -> tuple[SystolicDevice | CpuDevice, float]:
-        """The device of ``kind`` usable earliest at or after ``ready``."""
+        """The device of ``kind`` that *finishes* earliest after ``ready``.
+
+        ``durations`` maps device names to predicted run seconds; a
+        missing entry (or ``None``) costs zero, reducing the choice to
+        earliest availability.  Ties break by device name, keeping the
+        assignment deterministic.
+        """
         candidates = self._by_kind.get(kind)
         if not candidates:
             raise PlanError(
                 f"no device of kind {kind!r} is attached to the machine"
             )
-        best = min(
-            candidates, key=lambda d: (max(ready, self._free_at[d.name]), d.name)
-        )
+        durations = durations or {}
+
+        def completion(device) -> tuple[float, str]:
+            start = max(ready, self._free_at[device.name])
+            return start + durations.get(device.name, 0.0), device.name
+
+        best = min(candidates, key=completion)
         return best, max(ready, self._free_at[best.name])
 
     def occupy(self, name: str, until: float) -> None:
         """Mark a device busy until ``until``."""
         self._free_at[name] = until
+
+
+#: Backwards-compatible alias — the roster used to be a bare timeline.
+DeviceTimeline = DeviceRoster
 
 
 def gantt(report: ExecutionReport, width: int = 60) -> str:

@@ -11,6 +11,12 @@ to the crossbar structure, several operations may be run concurrently."
 
 :class:`SystolicDatabaseMachine` executes query plans exactly that way
 and returns a timed :class:`~repro.machine.scheduler.ExecutionReport`.
+
+Logical plans are first lowered into a
+:class:`~repro.machine.physical.PhysicalPlan` (device assignments by
+the :mod:`repro.perf.cost` model, §8 block decomposition, §9 chain
+fusion) — :meth:`SystolicDatabaseMachine.compile` exposes the lowering,
+``run``/``run_many`` apply it implicitly.
 """
 
 from __future__ import annotations
@@ -24,16 +30,22 @@ from repro.machine.crossbar import CrossbarSwitch
 from repro.machine.device import CpuDevice, SystolicDevice
 from repro.machine.disk import MachineDisk
 from repro.machine.memory import MemoryModule, relation_bytes
+from repro.machine.physical import (
+    OP_LOAD,
+    OP_RESIDENT,
+    PhysicalOp,
+    PhysicalPlan,
+    PhysicalPlanner,
+    actual_cost,
+)
+from repro.machine.pipelining import StageCost
 from repro.machine.plan import (
     DEVICE_COMPARISON,
     DEVICE_DIVISION,
     DEVICE_JOIN,
-    Base,
     PlanNode,
-    Select,
-    walk,
 )
-from repro.machine.scheduler import DeviceTimeline, ExecutionReport, ScheduledStep
+from repro.machine.scheduler import DeviceRoster, ExecutionReport, ScheduledStep
 from repro.perf.technology import PAPER_CONSERVATIVE, TechnologyModel
 from repro.relational.relation import Relation
 
@@ -76,12 +88,19 @@ class SystolicDatabaseMachine:
             for m in range(memories)
         ]
         self.devices: list[SystolicDevice | CpuDevice] = []
-        for kind, count in devices:
-            for index in range(count):
+        kind_index: dict[str, itertools.count] = {}
+        for spec in devices:
+            # (kind, count) or (kind, count, ArrayCapacity) — the third
+            # element gives one roster heterogeneous array sizes, which
+            # is what makes cost-aware device choice interesting.
+            kind, count = spec[0], spec[1]
+            device_capacity = spec[2] if len(spec) > 2 else capacity
+            indices = kind_index.setdefault(kind, itertools.count())
+            for _ in range(count):
                 self.devices.append(
                     SystolicDevice(
-                        f"{kind}{index}", kind,
-                        capacity=capacity, technology=technology,
+                        f"{kind}{next(indices)}", kind,
+                        capacity=device_capacity, technology=technology,
                         backend=backend,
                     )
                 )
@@ -125,17 +144,40 @@ class SystolicDatabaseMachine:
         memory.store(key, relation, nbytes)
         self._resident[name] = (key, relation, 0.0, memory.name)
 
+    # -- compilation ------------------------------------------------------------
+
+    def compile(
+        self,
+        plans: Sequence[PlanNode] | PlanNode,
+        arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
+    ) -> PhysicalPlan:
+        """Lower logical plans into a :class:`PhysicalPlan` for this machine.
+
+        Pure — nothing is loaded, stored, or timed on the machine
+        itself, so a plan can be compiled, inspected (``explain()``),
+        and then handed to :meth:`run_physical`.  With
+        ``pipeline=False`` no chains are fused and execution is
+        store-and-forward, §9's simplest reading.
+        """
+        if isinstance(plans, PlanNode):
+            plans = [plans]
+        return PhysicalPlanner(self).compile(plans, arrivals, pipeline=pipeline)
+
     # -- execution -------------------------------------------------------------
 
-    def run(self, plan: PlanNode) -> tuple[Relation, ExecutionReport]:
+    def run(
+        self, plan: PlanNode, pipeline: bool = True
+    ) -> tuple[Relation, ExecutionReport]:
         """Execute one plan; returns (result, timed report)."""
-        results, report = self.run_many([plan])
+        results, report = self.run_many([plan], pipeline=pipeline)
         return results[0], report
 
     def run_many(
         self,
         plans: Sequence[PlanNode],
         arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
     ) -> tuple[list[Relation], ExecutionReport]:
         """Execute a transaction of several plans on one shared timeline.
 
@@ -144,89 +186,62 @@ class SystolicDatabaseMachine:
         optional per-plan release times (seconds): nothing belonging to
         a plan starts before its arrival — §9's "set of transactions"
         submitted over time.
+
+        Each logical plan is lowered through :meth:`compile` first;
+        producer→consumer systolic stages fuse into pipelined chains
+        unless ``pipeline=False``.
         """
-        if not plans:
-            raise PlanError("a transaction needs at least one plan")
-        if arrivals is None:
-            arrivals = [0.0] * len(plans)
-        if len(arrivals) != len(plans):
-            raise PlanError(
-                f"need one arrival per plan: {len(arrivals)} arrivals, "
-                f"{len(plans)} plans"
-            )
-        if any(t < 0 for t in arrivals):
-            raise PlanError("arrival times must be non-negative")
+        physical = self.compile(plans, arrivals, pipeline=pipeline)
+        return self.run_physical(physical)
+
+    def run_physical(
+        self, physical: PhysicalPlan
+    ) -> tuple[list[Relation], ExecutionReport]:
+        """Execute an already-compiled physical plan.
+
+        Returns one result per original plan (``physical.outputs``
+        order) and the executed timeline.  The report is the ground
+        truth; ``physical.predicted_makespan`` is the planner's
+        port-blind forecast of the same schedule.
+        """
         report = ExecutionReport()
-        timeline = DeviceTimeline(self.devices)
+        roster = DeviceRoster(self.devices)
         disk_free = 0.0
-        #: node id -> (result key, relation, ready time, memory name)
+        #: op id -> (result key, relation, ready time, memory name)
         produced: dict[int, tuple[str, Relation, float, str]] = {}
-
-        order: list[PlanNode] = []
-        release: dict[int, float] = {}
-        seen: set[int] = set()
-        for plan, arrival in sorted(
-            zip(plans, arrivals), key=lambda pair: pair[1]
-        ):
-            for node in walk(plan):
-                if id(node) not in seen:
-                    seen.add(id(node))
-                    order.append(node)
-                    release[id(node)] = arrival
-
-        # §9/[8]: simple selections over a base relation ride the disk
-        # read for free on a logic-per-track disk.  Only fuse when the
-        # base relation is not shared with any other operation.
-        parent_count: dict[int, int] = {}
-        for node in order:
-            for child in node.children:
-                parent_count[id(child)] = parent_count.get(id(child), 0) + 1
-        fused: dict[int, Select] = {}
-        if self.disk.logic_per_track:
-            for node in order:
-                if (
-                    isinstance(node, Select)
-                    and isinstance(node.child, Base)
-                    and parent_count.get(id(node.child), 0) == 1
-                ):
-                    fused[id(node.child)] = node
-
-        #: base-relation name -> produced record, so two plans naming the
-        #: same relation share one disk read.
-        loaded_bases: dict[str, tuple[str, Relation, float, str]] = {}
-        for node in order:
-            if id(node) in produced:
+        for op in physical.ops:
+            if op.op_id in produced:
                 continue
-            if isinstance(node, Base):
-                if node.name in self._resident:
-                    produced[id(node)] = self._resident[node.name]
+            if op.kind == OP_RESIDENT:
+                produced[op.op_id] = self._resident[op.node.name]
+                continue
+            if op.kind == OP_LOAD:
+                disk_free = self._run_load(op, produced, report, disk_free)
+                continue
+            chain = physical.chain_of(op)
+            if chain is not None and len(chain) > 1:
+                members = [physical[i] for i in chain.op_ids]
+                if members[-1].op_id != op.op_id:
+                    # Chains execute as a unit once the machine reaches
+                    # the last member: by then every external input of
+                    # every stage has been produced (topological order).
                     continue
-                select = fused.get(id(node))
-                if select is None and node.name in loaded_bases:
-                    produced[id(node)] = loaded_bases[node.name]
-                    continue
-                released = max(disk_free, release[id(node)])
-                if select is not None:
-                    disk_free = self._load_base(
-                        node, produced, report, released,
-                        selection=(select.column, select.op, select.value),
-                        fused_as=select,
-                    )
-                else:
-                    disk_free = self._load_base(
-                        node, produced, report, released
-                    )
-                    loaded_bases[node.name] = produced[id(node)]
+                self._run_chain(members, produced, report, roster)
             else:
-                self._execute_op(node, produced, report, timeline,
-                                 release=release[id(node)])
-        final = [produced[id(plan)][1] for plan in plans]
-        return final, report
+                self._run_singleton(op, produced, report, roster)
+        results = [produced[op_id][1] for op_id in physical.outputs]
+        return results, report
 
     # -- internals ------------------------------------------------------------
 
     def _new_key(self, node: PlanNode) -> str:
         return f"n{next(self._step_counter)}:{node.describe()}"
+
+    def _device(self, name: str) -> SystolicDevice | CpuDevice:
+        for device in self.devices:
+            if device.name == name:
+                return device
+        raise PlanError(f"unknown device {name!r}")
 
     def _choose_memory(
         self, nbytes: int, avoid: set[str], ready: float, duration: float
@@ -247,59 +262,60 @@ class SystolicDatabaseMachine:
             )
         return best[2], best[0]
 
-    def _load_base(
+    def _run_load(
         self,
-        node: Base,
+        op: PhysicalOp,
         produced: dict[int, tuple[str, Relation, float, str]],
         report: ExecutionReport,
         disk_free: float,
-        selection: Optional[tuple] = None,
-        fused_as: Optional[PlanNode] = None,
     ) -> float:
-        relation, read_seconds = self.disk.read(node.name, selection=selection)
+        """One serial disk read (selection possibly fused on-track)."""
+        released = max(disk_free, op.release)
+        relation, read_seconds = self.disk.read(
+            op.base_name, selection=op.selection
+        )
         nbytes = relation_bytes(relation, self.element_bits)
         memory, start = self._choose_memory(
-            nbytes, avoid=set(), ready=disk_free, duration=read_seconds
+            nbytes, avoid=set(), ready=released, duration=read_seconds
         )
         end = start + read_seconds
-        key = self._new_key(fused_as if fused_as is not None else node)
+        key = self._new_key(
+            op.fused_select if op.fused_select is not None else op.node
+        )
         memory.store(key, relation, nbytes)
         self.crossbar.establish(memory.name, "disk", start, end)
-        label = node.name if fused_as is None else fused_as.describe()
         report.steps.append(ScheduledStep(
-            label=f"load {label}",
+            label=op.label,
             device="disk",
             start=start, end=end,
             output_key=key, output_memory=memory.name,
             nbytes_out=nbytes,
         ))
-        target = fused_as if fused_as is not None else node
-        produced[id(target)] = (key, relation, end, memory.name)
-        if fused_as is not None:
-            produced[id(node)] = produced[id(target)]
+        produced[op.op_id] = (key, relation, end, memory.name)
         return end
 
-    def _execute_op(
+    def _run_singleton(
         self,
-        node: PlanNode,
+        op: PhysicalOp,
         produced: dict[int, tuple[str, Relation, float, str]],
         report: ExecutionReport,
-        timeline: DeviceTimeline,
-        release: float = 0.0,
+        roster: DeviceRoster,
     ) -> None:
+        """One store-and-forward operation on its assigned device."""
         inputs = []
         input_keys = []
         input_memories = []
-        ready = release
-        for child in node.children:
-            key, relation, child_ready, memory_name = produced[id(child)]
+        ready = op.release
+        for input_id in op.inputs:
+            key, relation, child_ready, memory_name = produced[input_id]
             inputs.append(relation)
             input_keys.append(key)
             input_memories.append(memory_name)
             ready = max(ready, child_ready)
 
-        device, device_ready = timeline.pick(node.device_kind, ready)
-        run = device.execute(node, inputs)
+        device = self._device(op.device)
+        device_ready = max(ready, roster.free_at(device.name))
+        run = device.execute(op.node, inputs)
         nbytes_out = relation_bytes(run.relation, self.element_bits)
 
         # An operation runs at the pace of its slowest stream: any input
@@ -340,15 +356,15 @@ class SystolicDatabaseMachine:
             start = adjusted
         end = start + duration
 
-        key = self._new_key(node)
+        key = self._new_key(op.node)
         out_memory.store(key, run.relation, nbytes_out)
         for memory_name in set(input_memories):
             self.crossbar.establish(memory_name, device.name, start, end)
         if out_memory.name not in set(input_memories):
             self.crossbar.establish(out_memory.name, device.name, start, end)
-        timeline.occupy(device.name, end)
+        roster.occupy(device.name, end)
         report.steps.append(ScheduledStep(
-            label=node.describe(),
+            label=op.label,
             device=device.name,
             start=start, end=end,
             output_key=key, output_memory=out_memory.name,
@@ -356,7 +372,180 @@ class SystolicDatabaseMachine:
             pulses=run.pulses, block_runs=run.block_runs,
             nbytes_out=nbytes_out,
         ))
-        produced[id(node)] = (key, run.relation, end, out_memory.name)
+        produced[op.op_id] = (key, run.relation, end, out_memory.name)
+
+    def _run_chain(
+        self,
+        members: list[PhysicalOp],
+        produced: dict[int, tuple[str, Relation, float, str]],
+        report: ExecutionReport,
+        roster: DeviceRoster,
+    ) -> None:
+        """Execute a fused chain under the Σ fill + max stream law (§9).
+
+        Stage *k* starts once the k−1 upstream fills have elapsed and
+        holds its device until its last result emerges; intermediate
+        results stream device→switch→device, so the consumer takes no
+        extra port on the producer's output memory.
+        """
+        internal = {m.op_id for m in members}
+
+        # All stage windows overlap, so a memory port can serve only one
+        # stage device for the chain's whole span.  If two stages need
+        # externals out of the same memory, the ports cannot be
+        # disentangled — fall back to store-and-forward for this chain.
+        device_of_port: dict[str, str] = {}
+        for member in members:
+            for input_id in member.inputs:
+                if input_id in internal:
+                    continue
+                memory_name = produced[input_id][3]
+                claimed = device_of_port.setdefault(memory_name, member.device)
+                if claimed != member.device:
+                    for fallback in members:
+                        self._run_singleton(fallback, produced, report, roster)
+                    return
+
+        # Compute every stage's result and its actual fill latency.
+        runs = []
+        fills = []
+        externals: list[list[tuple[str, str]]] = []  # (key, memory) pairs
+        chain_local: dict[int, Relation] = {}
+        for member in members:
+            inputs = []
+            external = []
+            for input_id in member.inputs:
+                if input_id in internal:
+                    inputs.append(chain_local[input_id])
+                else:
+                    key, relation, _, memory_name = produced[input_id]
+                    inputs.append(relation)
+                    external.append((key, memory_name))
+            device = self._device(member.device)
+            run = device.execute(member.node, inputs)
+            chain_local[member.op_id] = run.relation
+            cost = actual_cost(
+                member.node, inputs,
+                device.capacity.max_rows, device.capacity.max_cols,
+            )
+            fills.append(device.technology.pulses_to_seconds(cost.fill_pulses))
+            runs.append(run)
+            externals.append(external)
+
+        # Per-stage stand-alone duration → (fill, stream) split.
+        stages = []
+        out_bytes = []
+        for member, run, external, fill in zip(members, runs, externals, fills):
+            nbytes_out = relation_bytes(run.relation, self.element_bits)
+            out_bytes.append(nbytes_out)
+            streams = [
+                self._memory(memory_name).transfer_seconds(
+                    self._memory(memory_name).size_of(key)
+                )
+                for key, memory_name in external
+            ]
+            if self.memories:
+                streams.append(self.memories[0].transfer_seconds(nbytes_out))
+            total = max([run.seconds] + streams)
+            fill = min(fill, total)
+            stages.append(StageCost(
+                name=member.label, fill=fill, stream=total - fill
+            ))
+
+        # Stage k's window relative to the chain start: the prefix form
+        # of the pipeline law — the last stage ends at Σ fill + max
+        # stream, analyze_chain's pipelined makespan.
+        offsets = PhysicalPlanner._stage_offsets(stages)
+
+        # Each stage needs its own inputs (and release) only by the time
+        # *it* starts — chain_start + lo_k — so an input arriving late to
+        # a downstream stage does not hold the upstream stages back.
+        start = 0.0
+        for member, (lo, _) in zip(members, offsets):
+            start = max(start, member.release - lo,
+                        roster.free_at(member.device) - lo)
+            for input_id in member.inputs:
+                if input_id not in internal:
+                    start = max(start, produced[input_id][2] - lo)
+
+        # Fixed point over the chain start: every stage's external input
+        # ports must be free over its window, plus one memory for the
+        # tail's output.  Intermediate results never touch a memory —
+        # they stream device→switch→device (§9), which is the point of
+        # fusing — so the chain needs |externals| + 1 ports in total.
+        all_external = {
+            memory for external in externals for _, memory in external
+        }
+        tail_index = len(members) - 1
+        tail_lo, tail_hi = offsets[tail_index]
+        out_memory: Optional[MemoryModule] = None
+        try:
+            for _ in range(64):
+                adjusted = start
+                for (lo, hi), external in zip(offsets, externals):
+                    duration = hi - lo
+                    for memory_name in {memory for _, memory in external}:
+                        adjusted = max(
+                            adjusted,
+                            self.crossbar.earliest_window(
+                                memory_name, adjusted + lo, duration
+                            ) - lo,
+                        )
+                out_memory, out_start = self._choose_memory(
+                    out_bytes[tail_index], avoid=all_external,
+                    ready=adjusted + tail_lo, duration=tail_hi - tail_lo,
+                )
+                adjusted = max(adjusted, out_start - tail_lo)
+                if adjusted == start:
+                    break
+                start = adjusted
+        except CapacityError:
+            # Not enough distinct memory ports for the fused chain on
+            # this machine — run its stages store-and-forward instead.
+            for fallback in members:
+                self._run_singleton(fallback, produced, report, roster)
+            return
+
+        # Commit: claim ports, occupy devices, store the tail's output.
+        key_of: dict[int, str] = {}
+        for k, (member, run, (lo, hi), external) in enumerate(
+            zip(members, runs, offsets, externals)
+        ):
+            stage_start, stage_end = start + lo, start + hi
+            key = self._new_key(member.node)
+            key_of[member.op_id] = key
+            external_memories = {memory for _, memory in external}
+            for memory_name in external_memories:
+                self.crossbar.establish(
+                    memory_name, member.device, stage_start, stage_end
+                )
+            if k == tail_index:
+                memory_label = out_memory.name
+                out_memory.store(key, run.relation, out_bytes[k])
+                if out_memory.name not in external_memories:
+                    self.crossbar.establish(
+                        out_memory.name, member.device, stage_start, stage_end
+                    )
+            else:
+                # Streamed straight into the next stage's array.
+                memory_label = f"->{members[k + 1].device}"
+            roster.occupy(member.device, stage_end)
+            input_keys = tuple(
+                key_of[i] if i in internal else produced[i][0]
+                for i in member.inputs
+            )
+            report.steps.append(ScheduledStep(
+                label=member.label,
+                device=member.device,
+                start=stage_start, end=stage_end,
+                output_key=key, output_memory=memory_label,
+                input_keys=input_keys,
+                pulses=run.pulses, block_runs=run.block_runs,
+                nbytes_out=out_bytes[k],
+            ))
+            produced[member.op_id] = (
+                key, run.relation, stage_end, memory_label
+            )
 
     def _memory(self, name: str) -> MemoryModule:
         for memory in self.memories:

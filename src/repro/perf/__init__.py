@@ -13,6 +13,13 @@ from repro.perf.floorplan import (
     plan_array,
     plan_system,
 )
+from repro.perf.cost import (
+    OpCost,
+    block_spans,
+    comparison_cost,
+    division_cost,
+    join_cost,
+)
 from repro.perf.disk import (
     DiskModel,
     PAPER_DISK,
@@ -38,13 +45,18 @@ __all__ = [
     "ArrayFloorplan",
     "ChipPackage",
     "DiskModel",
+    "OpCost",
     "PAPER_AGGRESSIVE",
     "PAPER_CONSERVATIVE",
     "PAPER_DISK",
     "PAPER_WORKLOAD",
     "RelationProfile",
     "TechnologyModel",
+    "block_spans",
+    "comparison_cost",
+    "division_cost",
     "estimate_array_area",
+    "join_cost",
     "intersect_vs_read_report",
     "intersection_bit_comparisons",
     "intersection_time_seconds",

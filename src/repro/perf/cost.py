@@ -1,0 +1,160 @@
+"""Operator cost model for the physical planner.
+
+The §9 machine has to *choose* — which device runs an operation, and
+whether chained operations stream into each other — and both choices
+need predicted times.  This module turns relation sizes into pulse
+counts using exactly the schedule arithmetic the simulated hardware
+executes (§3's :class:`~repro.systolic.engine.schedule.CounterStreamSchedule`,
+§7's :class:`~repro.systolic.engine.schedule.DivisionSchedule`) and the
+§8 block decomposition (:mod:`repro.arrays.decomposition`), so a
+prediction over *actual* input sizes equals the executed pulse count
+bit for bit.  A :class:`~repro.perf.technology.TechnologyModel`
+converts pulses to seconds, as everywhere else in :mod:`repro.perf`.
+
+Each cost splits into **fill** (pulses before the first result emerges
+— the array's latency, ≈ its row count) and **stream** (the remaining
+pulses while the relation flows through).  The split is what the
+pipeline law of :mod:`repro.machine.pipelining` consumes: a chain of
+fused stages finishes in Σ fill + max stream instead of Σ (fill +
+stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.perf.technology import TechnologyModel
+from repro.systolic.engine.schedule import (
+    CounterStreamSchedule,
+    DivisionSchedule,
+)
+
+__all__ = [
+    "OpCost",
+    "block_spans",
+    "comparison_cost",
+    "join_cost",
+    "division_cost",
+]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Predicted cost of one operation on one fixed-size device."""
+
+    fill_pulses: int
+    stream_pulses: int
+    a_blocks: int = 1
+    b_blocks: int = 1
+    column_blocks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.fill_pulses < 0 or self.stream_pulses < 0:
+            raise ReproError(f"pulse counts must be non-negative: {self}")
+
+    @property
+    def total_pulses(self) -> int:
+        """Stand-alone pulse count: fill + stream."""
+        return self.fill_pulses + self.stream_pulses
+
+    @property
+    def block_runs(self) -> int:
+        """§8 sub-problems executed on the device."""
+        if self.total_pulses == 0:
+            return 0
+        return self.a_blocks * self.b_blocks * self.column_blocks
+
+    def seconds(self, technology: TechnologyModel) -> float:
+        """Stand-alone completion time under a technology model."""
+        return technology.pulses_to_seconds(self.total_pulses)
+
+    def fill_seconds(self, technology: TechnologyModel) -> float:
+        """Latency to the first emerging result."""
+        return technology.pulses_to_seconds(self.fill_pulses)
+
+
+def block_spans(n: int, size: int) -> list[int]:
+    """Block lengths of §8's decomposition of ``n`` items into ``size``-blocks."""
+    if n < 0 or size < 1:
+        raise ReproError(f"invalid block decomposition: n={n}, size={size}")
+    return [min(size, n - lo) for lo in range(0, n, size)]
+
+
+_ZERO = OpCost(fill_pulses=0, stream_pulses=0, a_blocks=0, b_blocks=0,
+               column_blocks=0)
+
+
+def comparison_cost(
+    n_a: int, n_b: int, arity: int, max_rows: int, max_cols: int
+) -> OpCost:
+    """Cost of an intersection-array run (∩, −, dedup, ∪, projection).
+
+    Mirrors :func:`repro.arrays.decomposition.blocked_pair_matrix`: the
+    tuple dimension is blocked to the counter-streaming capacity
+    ``(max_rows + 1) // 2`` per side, the element dimension to the
+    device width, and each sub-problem costs its schedule's
+    ``comparison_pulses``.
+    """
+    if n_a == 0 or n_b == 0:
+        return _ZERO
+    size = (max_rows + 1) // 2
+    a_spans = block_spans(n_a, size)
+    b_spans = block_spans(n_b, size)
+    col_spans = block_spans(arity, max_cols)
+    total = sum(
+        CounterStreamSchedule(sa, sb, sc).comparison_pulses
+        for sa in a_spans for sb in b_spans for sc in col_spans
+    )
+    fill = CounterStreamSchedule(a_spans[0], b_spans[0], col_spans[0]).rows
+    return OpCost(
+        fill_pulses=min(fill, total), stream_pulses=max(0, total - fill),
+        a_blocks=len(a_spans), b_blocks=len(b_spans),
+        column_blocks=len(col_spans),
+    )
+
+
+def join_cost(
+    n_a: int, n_b: int, n_on: int, max_rows: int, max_cols: int
+) -> OpCost:
+    """Cost of a (θ-)join-array run over ``n_on`` column pairs.
+
+    Mirrors :func:`repro.arrays.decomposition.blocked_join`: identical
+    decomposition, but only the join columns stream through the array.
+    """
+    if n_a == 0 or n_b == 0:
+        return _ZERO
+    return comparison_cost(n_a, n_b, n_on, max_rows, max_cols)
+
+
+def division_cost(
+    n_pairs: int, n_distinct: int, n_divisor: int, max_rows: int, max_cols: int
+) -> OpCost:
+    """Cost of a §7 division-array run.
+
+    Mirrors :func:`repro.arrays.decomposition.blocked_divide`: distinct
+    dividend groups are blocked to the device height, the divisor row
+    to the device width minus the two dividend columns, and every block
+    streams the full pair list.
+    """
+    if n_pairs == 0 or n_divisor == 0:
+        return _ZERO
+    divisor_cols = max_cols - 2
+    if divisor_cols < 1:
+        raise ReproError(
+            f"the division array needs at least 3 processor columns, "
+            f"device has {max_cols}"
+        )
+    x_spans = block_spans(n_distinct, max_rows)
+    divisor_spans = block_spans(n_divisor, divisor_cols)
+    total = sum(
+        DivisionSchedule(n_pairs, sx, sd).total_pulses
+        for sx in x_spans for sd in divisor_spans
+    )
+    # First quotient bit: the bottom row's result of the first block.
+    first = DivisionSchedule(n_pairs, x_spans[0], divisor_spans[0])
+    fill = first.result_pulse(x_spans[0] - 1)
+    return OpCost(
+        fill_pulses=min(fill, total), stream_pulses=max(0, total - fill),
+        a_blocks=len(x_spans), b_blocks=len(divisor_spans), column_blocks=1,
+    )

@@ -64,7 +64,10 @@ class SystolicShell(cmd.Cmd):
 
     def _plan(self, source: str):
         plan = parse(source)
-        return optimize(plan) if self.auto_optimize else plan
+        if not self.auto_optimize:
+            return plan
+        schemas = {name: rel.schema for name, rel in self.catalog.items()}
+        return optimize(plan, schemas=schemas)
 
     # -- commands ------------------------------------------------------------
 
@@ -142,6 +145,15 @@ class SystolicShell(cmd.Cmd):
         verdict = "AGREE" if software == systolic else "DISAGREE (bug!)"
         self._say(f"software: {len(software)} tuples; "
                   f"systolic: {len(systolic)} tuples — {verdict}")
+
+    def do_explain(self, line: str) -> None:
+        """explain EXPR — compile for the machine; show the physical plan."""
+        try:
+            physical = self.machine.compile(self._plan(line))
+        except ReproError as exc:
+            self._fail(exc)
+            return
+        self._say(physical.explain())
 
     def do_timeline(self, line: str) -> None:
         """timeline — the last machine query's schedule."""

@@ -128,6 +128,60 @@ class TestMachineCommand:
         assert "cpu" not in out
 
 
+class TestExplainAndMachineFlag:
+    def test_query_machine_explain(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        code = main([
+            "query", "project(join(EMP, DEPT, dept == dept), name, budget)",
+            "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+            "--machine", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "physical plan" in out
+        assert "join0" in out
+        assert "comparison0" in out
+        assert "predicted makespan" in out
+        assert "simulated" in out
+        assert "(3 tuples)" in out
+
+    def test_query_machine_matches_plain_query(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        args = [
+            "query", "project(join(EMP, DEPT, dept == dept), name)",
+            "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+        ]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--machine"]) == 0
+        machine_out = capsys.readouterr().out
+        # Same result table (the machine output adds a timeline after it).
+        assert plain.split("(")[0] in machine_out
+
+    def test_machine_explain_shows_blocks(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        code = main([
+            "machine", "join(EMP, DEPT, dept == dept)",
+            "-r", f"EMP={emp}", "-r", f"DEPT={dept}", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "blocks" in out
+        assert "device" in out
+
+    def test_store_and_forward_flag(self, csv_pair, capsys):
+        emp, dept = csv_pair
+        code = main([
+            "machine", "project(join(EMP, DEPT, dept == dept), name)",
+            "-r", f"EMP={emp}", "-r", f"DEPT={dept}",
+            "--store-and-forward", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store-and-forward" in out
+        assert "(3 tuples)" in out
+
+
 class TestOptimizeFlag:
     def test_optimized_query_same_answer(self, csv_pair, capsys):
         emp, dept = csv_pair
@@ -137,9 +191,9 @@ class TestOptimizeFlag:
         ]
         assert main(args_base) == 0
         plain = capsys.readouterr().out
-        assert main(args_base + ["--optimize"]) == 0
-        optimized = capsys.readouterr().out
-        assert plain == optimized
+        assert main(args_base + ["--no-optimize"]) == 0
+        verbatim = capsys.readouterr().out
+        assert plain == verbatim
 
     def test_optimize_enables_disk_fusion_on_machine(self, csv_pair, capsys):
         emp, _ = csv_pair

@@ -107,6 +107,20 @@ class TestShellControls:
         shell.onecmd("optimize sideways")
         assert "usage" in said(shell)
 
+    def test_explain_shows_physical_plan(self, shell, csv_files):
+        emp, dept = csv_files
+        shell.onecmd(f"load EMP {emp}")
+        shell.onecmd(f"load DEPT {dept}")
+        shell.onecmd("explain project(join(EMP, DEPT, dept == dept), name)")
+        out = said(shell)
+        assert "physical plan" in out
+        assert "join0" in out
+        assert "predicted makespan" in out
+
+    def test_explain_error_reported(self, shell):
+        shell.onecmd("explain join(MISSING, ALSO, x == x)")
+        assert "error:" in said(shell)
+
     def test_quit_returns_true(self, shell):
         assert shell.onecmd("quit") is True
         assert shell.onecmd("exit") is True

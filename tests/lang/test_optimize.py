@@ -9,18 +9,25 @@ from repro.machine.plan import (
     Dedup,
     Difference,
     Intersect,
+    Join,
     Project,
     Select,
     Union,
     walk,
 )
-from repro.workloads import overlapping_pair
+from repro.workloads import join_pair, overlapping_pair
 
 
 @pytest.fixture
 def catalog():
     a, b = overlapping_pair(8, 7, 3, arity=2, seed=300)
     return {"A": a, "B": b}
+
+
+@pytest.fixture
+def join_catalog():
+    ja, jb = join_pair(10, 9, 5, seed=44)
+    return {"JA": ja, "JB": jb}
 
 
 def assert_equivalent(source: str, catalog) -> None:
@@ -104,6 +111,150 @@ class TestSelectionPushdown:
         selects = [n for n in walk(plan) if isinstance(n, Select)]
         assert len(selects) == 2
         assert all(isinstance(s.child, Base) for s in selects)
+
+
+class TestJoinPushdown:
+    """σ(A ⋈ B) sinks to whichever side owns the selected column."""
+
+    def schemas(self, join_catalog):
+        return {name: rel.schema for name, rel in join_catalog.items()}
+
+    def test_pushes_to_the_left_side(self, join_catalog):
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),)),
+            "a0", ">=", 2,
+        )
+        optimized = optimize(plan, schemas=self.schemas(join_catalog))
+        # a0 is JA's second column → filter JA before the join.
+        assert optimized == Join(
+            Select(Base("JA"), column=1, op=">=", value=2),
+            Base("JB"), on=(("key", "key"),),
+        )
+
+    def test_pushes_to_the_right_side_via_kept_columns(self, join_catalog):
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),)),
+            "b0", "<", 7,
+        )
+        optimized = optimize(plan, schemas=self.schemas(join_catalog))
+        # b0 sits after JA's columns in the join output; the equi-join
+        # dropped JB's key, so output position maps back to JB position 1.
+        assert optimized == Join(
+            Base("JA"),
+            Select(Base("JB"), column=1, op="<", value=7),
+            on=(("key", "key"),),
+        )
+
+    def test_join_column_pushes_left(self, join_catalog):
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),)),
+            "key", "==", 3,
+        )
+        optimized = optimize(plan, schemas=self.schemas(join_catalog))
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+
+    def test_theta_join_keeps_b_join_column(self, join_catalog):
+        # A θ-join on "<" keeps JB's key column in the output, shifting
+        # the kept-column mapping relative to the equi-join case.
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),),
+                 ops=("<",)),
+            "b0", ">", 0,
+        )
+        optimized = optimize(plan, schemas=self.schemas(join_catalog))
+        assert isinstance(optimized, Join)
+        assert optimized.right == Select(
+            Base("JB"), column=1, op=">", value=0
+        )
+
+    def test_without_schemas_nothing_happens(self, join_catalog):
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),)),
+            "a0", ">=", 2,
+        )
+        assert optimize(plan) == plan
+
+    def test_unknown_column_left_for_execution(self, join_catalog):
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),)),
+            "nope", ">=", 2,
+        )
+        assert optimize(plan, schemas=self.schemas(join_catalog)) == plan
+
+    @pytest.mark.parametrize("column,op,value", [
+        ("a0", ">=", 2),
+        ("b0", "<", 7),
+        ("key", "==", 3),
+    ])
+    def test_semantics_preserved(self, join_catalog, column, op, value):
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),)),
+            column, op, value,
+        )
+        optimized = optimize(plan, schemas=self.schemas(join_catalog))
+        assert optimized != plan  # the rule actually fired
+        assert execute_plan(plan, join_catalog, "software",
+                            optimize=False) == (
+            execute_plan(optimized, join_catalog, "software",
+                         optimize=False)
+        )
+
+    def test_theta_semantics_preserved(self, join_catalog):
+        plan = Select(
+            Join(Base("JA"), Base("JB"), on=(("key", "key"),),
+                 ops=("<",)),
+            "b0", ">", 0,
+        )
+        optimized = optimize(plan, schemas=self.schemas(join_catalog))
+        assert execute_plan(plan, join_catalog, "software",
+                            optimize=False) == (
+            execute_plan(optimized, join_catalog, "software",
+                         optimize=False)
+        )
+
+
+class TestDefaultOptimization:
+    """execute_plan/query rewrite by default; optimize=False is verbatim."""
+
+    SOURCES = [
+        "dedup(dedup(A))",
+        "select(union(A, B), c0 >= 1)",
+        "difference(union(A, B), intersect(A, B))",
+        "project(project(A, c0, c1), c1)",
+    ]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_default_equals_verbatim_on_random_catalogs(self, source, seed):
+        a, b = overlapping_pair(9, 8, 4, arity=2, seed=seed)
+        catalog = {"A": a, "B": b}
+        plan = parse(source)
+        assert execute_plan(plan, catalog, "software") == (
+            execute_plan(plan, catalog, "software", optimize=False)
+        )
+
+    def test_query_optimizes_by_default(self, join_catalog):
+        from repro.lang import query
+
+        source = "select(join(JA, JB, key == key), a0 >= 2)"
+        assert query(source, join_catalog, engine="software") == (
+            query(source, join_catalog, engine="software", optimize=False)
+        )
+
+    def test_default_path_uses_catalog_schemas(self, join_catalog):
+        # The join-pushdown rule needs schemas; execute_plan must supply
+        # them from the catalog so it fires on the default path.
+        from repro.lang.optimize import optimize as optimize_plan
+
+        plan = parse("select(join(JA, JB, key == key), b0 < 7)")
+        schemas = {n: r.schema for n, r in join_catalog.items()}
+        rewritten = optimize_plan(plan, schemas=schemas)
+        assert rewritten != plan
+        assert execute_plan(plan, join_catalog, "software") == (
+            execute_plan(rewritten, join_catalog, "software",
+                         optimize=False)
+        )
 
 
 class TestSharing:
