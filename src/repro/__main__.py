@@ -28,12 +28,44 @@ join/union-compatible automatically.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+import time
 
 from repro.errors import ReproError
 from repro.lang import execute_plan, optimize, parse
 from repro.relational.csv_io import DomainRegistry, dump_csv, load_csv
 from repro.relational.relation import Relation
+
+
+class _Profiler:
+    """Per-stage wall-clock timing for ``--profile`` (host time, not
+    the simulated pulse clock)."""
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.stages: list[tuple[str, float]] = []
+
+    @contextlib.contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            if self.enabled:
+                self.stages.append((name, time.perf_counter() - start))
+
+    def report(self) -> None:
+        if not self.enabled:
+            return
+        total = sum(seconds for _, seconds in self.stages)
+        width = max(len(name) for name, _ in self.stages)
+        print()
+        print("profile (host wall-clock):")
+        for name, seconds in self.stages:
+            share = (seconds / total * 100.0) if total > 0 else 0.0
+            print(f"  {name:<{width}}  {seconds * 1e3:>9.3f} ms  {share:5.1f}%")
+        print(f"  {'total':<{width}}  {total * 1e3:>9.3f} ms")
 
 
 def _load_relations(specs: list[str]) -> dict[str, Relation]:
@@ -61,12 +93,24 @@ def _emit(relation: Relation, out: str | None) -> None:
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.machine:
         return _run_on_machine(args)
-    catalog = _load_relations(args.relation)
-    result = execute_plan(
-        parse(args.expression), catalog,
-        engine=args.engine, backend=args.backend, optimize=args.optimize,
-    )
-    _emit(result, args.out)
+    profiler = _Profiler(getattr(args, "profile", False))
+    with profiler.stage("load"):
+        catalog = _load_relations(args.relation)
+    with profiler.stage("parse"):
+        plan = parse(args.expression)
+    if args.optimize:
+        with profiler.stage("optimize"):
+            plan = optimize(
+                plan, schemas={n: r.schema for n, r in catalog.items()}
+            )
+    with profiler.stage("execute"):
+        result = execute_plan(
+            plan, catalog,
+            engine=args.engine, backend=args.backend, optimize=False,
+        )
+    with profiler.stage("materialize"):
+        _emit(result, args.out)
+    profiler.report()
     return 0
 
 
@@ -74,28 +118,35 @@ def _run_on_machine(args: argparse.Namespace) -> int:
     """Shared body of ``machine`` and ``query --machine``."""
     from repro.machine import MachineDisk, SystolicDatabaseMachine
 
-    catalog = _load_relations(args.relation)
-    machine = SystolicDatabaseMachine(
-        disk=MachineDisk(
-            logic_per_track=getattr(args, "logic_per_track", False)
-        ),
-        backend=args.backend,
-    )
-    for name, relation in catalog.items():
-        machine.store(name, relation)
-    plan = parse(args.expression)
-    if args.optimize:
-        plan = optimize(
-            plan, schemas={n: r.schema for n, r in catalog.items()}
+    profiler = _Profiler(getattr(args, "profile", False))
+    with profiler.stage("load"):
+        catalog = _load_relations(args.relation)
+        machine = SystolicDatabaseMachine(
+            disk=MachineDisk(
+                logic_per_track=getattr(args, "logic_per_track", False)
+            ),
+            backend=args.backend,
         )
-    physical = machine.compile(
-        plan, pipeline=not getattr(args, "store_and_forward", False)
-    )
+        for name, relation in catalog.items():
+            machine.store(name, relation)
+    with profiler.stage("parse"):
+        plan = parse(args.expression)
+    if args.optimize:
+        with profiler.stage("optimize"):
+            plan = optimize(
+                plan, schemas={n: r.schema for n, r in catalog.items()}
+            )
+    with profiler.stage("compile"):
+        physical = machine.compile(
+            plan, pipeline=not getattr(args, "store_and_forward", False)
+        )
     if args.explain:
         print(physical.explain())
         print()
-    (result,), report = machine.run_physical(physical)
-    _emit(result, args.out)
+    with profiler.stage("execute"):
+        (result,), report = machine.run_physical(physical)
+    with profiler.stage("materialize"):
+        _emit(result, args.out)
     print()
     print(report.timeline())
     if args.explain:
@@ -103,6 +154,7 @@ def _run_on_machine(args: argparse.Namespace) -> int:
             f"predicted makespan {physical.predicted_makespan * 1e3:.3f} ms, "
             f"simulated {report.makespan * 1e3:.3f} ms"
         )
+    profiler.report()
     return 0
 
 
@@ -167,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "simulated makespan",
         )
 
+    def profile_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile", action="store_true",
+            help="print per-stage host wall-clock times (load, parse, "
+                 "optimize, compile, execute, materialize)",
+        )
+
     query = sub.add_parser("query", help="evaluate on an execution engine")
     common(query)
     query.add_argument(
@@ -179,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(timed physical plan; implies a machine-resident catalog)",
     )
     explain_option(query)
+    profile_option(query)
     backend_option(query)
     query.set_defaults(handler=_cmd_query)
 
@@ -196,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
              "completion before its consumer starts",
     )
     explain_option(machine)
+    profile_option(machine)
     backend_option(machine)
     machine.set_defaults(handler=_cmd_machine)
 

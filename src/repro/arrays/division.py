@@ -72,6 +72,27 @@ def build_division_array(
     return network, schedule, layout
 
 
+def _quotient_bits_columnar(result, schedule) -> Optional[list[bool]]:
+    """Read the quotient bits straight off the columnar ``and_row`` taps
+    (no Token materialization); None on eager pulse-engine runs."""
+    tap_of = getattr(result, "tap", None)
+    if tap_of is None:
+        return None
+    bits: list[bool] = []
+    for row in range(schedule.p_rows):
+        tap = tap_of(f"and_row[{row}]")
+        if tap is None:
+            return None
+        if len(tap) != 1:
+            raise SimulationError(
+                f"divisor row {row} produced {len(tap)} quotient bits, "
+                f"expected exactly 1"
+            )
+        schedule.row_from_result(row, int(tap.pulses[0]))
+        bits.append(bool(tap.values[0]))
+    return bits
+
+
 def systolic_divide(
     a: Relation,
     b: Relation,
@@ -140,18 +161,20 @@ def systolic_divide(
     plan = DivisionPlan(pairs, distinct_x, divisor, tagged=tagged)
     schedule = plan.schedule
     result = execute(plan, backend=backend, meter=meter, trace=trace)
-    quotient_bits: list[bool] = []
-    for row in range(schedule.p_rows):
-        collector = result.collector(f"and_row[{row}]")
-        records = collector.records
-        if len(records) != 1:
-            raise SimulationError(
-                f"divisor row {row} produced {len(records)} quotient bits, "
-                f"expected exactly 1"
-            )
-        pulse, token = records[0]
-        schedule.row_from_result(row, pulse)
-        quotient_bits.append(bool(token.value))
+    quotient_bits = _quotient_bits_columnar(result, schedule)
+    if quotient_bits is None:
+        quotient_bits = []
+        for row in range(schedule.p_rows):
+            collector = result.collector(f"and_row[{row}]")
+            records = collector.records
+            if len(records) != 1:
+                raise SimulationError(
+                    f"divisor row {row} produced {len(records)} quotient "
+                    f"bits, expected exactly 1"
+                )
+            pulse, token = records[0]
+            schedule.row_from_result(row, pulse)
+            quotient_bits.append(bool(token.value))
 
     members = [(x,) for x, keep in zip(distinct_x, quotient_bits) if keep]
     run = ArrayRun(

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 
 from repro.arrays.base import (
     ArrayRun,
+    accumulator_bits,
     attach_accumulation_column,
     build_counter_stream_grid,
     build_fixed_relation_grid,
@@ -33,7 +34,7 @@ from repro.errors import SimulationError
 from repro.relational.algebra import project_multi
 from repro.relational.relation import MultiRelation, Relation
 from repro.relational.schema import ColumnRef
-from repro.systolic.engine import GridPlan
+from repro.systolic.engine import GridPlan, t_init_strict_lower
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.trace import TraceRecorder
 from repro.systolic.wiring import Network
@@ -47,8 +48,9 @@ __all__ = [
 ]
 
 
-def _masked(i: int, j: int) -> bool:
-    return j < i
+# §5's triangular mask, as the canonical callable whose whole-grid
+# boolean mask the lattice engine applies in one broadcast.
+_masked = t_init_strict_lower
 
 
 @dataclass
@@ -120,25 +122,29 @@ def systolic_remove_duplicates(
         else "remove-duplicates-array-fixed",
     )
     result = execute(plan, backend=backend, meter=meter, trace=trace)
-    collector = result.collector("t_i")
-
-    drop: list[Optional[bool]] = [None] * len(a)
-    for pulse, token in collector:
-        i = schedule.tuple_from_accumulator_exit(pulse)
-        if drop[i] is not None:
-            raise SimulationError(f"tuple {i} exited the accumulator twice")
-        drop[i] = bool(token.value)
-    missing = [i for i, value in enumerate(drop) if value is None]
-    if missing:
-        raise SimulationError(
-            f"tuples {missing[:8]} never exited the accumulation array"
-        )
+    drop = accumulator_bits(result, schedule, len(a), tagged)
+    if drop is None:
+        collector = result.collector("t_i")
+        vector: list[Optional[bool]] = [None] * len(a)
+        for pulse, token in collector:
+            i = schedule.tuple_from_accumulator_exit(pulse)
+            if vector[i] is not None:
+                raise SimulationError(
+                    f"tuple {i} exited the accumulator twice"
+                )
+            vector[i] = bool(token.value)
+        missing = [i for i, value in enumerate(vector) if value is None]
+        if missing:
+            raise SimulationError(
+                f"tuples {missing[:8]} never exited the accumulation array"
+            )
+        drop = [bool(v) for v in vector]
     kept = (row for row, dropped in zip(a.tuples, drop) if not dropped)
     run = ArrayRun(
         pulses=result.pulses, rows=schedule.rows, cols=schedule.arity + 1,
         cells=result.cells, meter=meter, trace=trace, backend=result.engine,
     )
-    return DedupResult(Relation(a.schema, kept), [bool(v) for v in drop], run)
+    return DedupResult(Relation(a.schema, kept), drop, run)
 
 
 def systolic_union(

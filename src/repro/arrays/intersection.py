@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.arrays.base import (
     ArrayRun,
+    accumulator_bits,
     attach_accumulation_column,
     build_counter_stream_grid,
     build_fixed_relation_grid,
@@ -29,7 +30,7 @@ from repro.arrays.base import (
 from repro.arrays.schedule import CounterStreamSchedule, FixedRelationSchedule
 from repro.errors import SimulationError
 from repro.relational.relation import Relation
-from repro.systolic.engine import GridPlan
+from repro.systolic.engine import GridPlan, t_init_true
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.trace import TraceRecorder
 from repro.systolic.wiring import Network
@@ -85,13 +86,13 @@ def build_intersection_array(
     if variant == "counter":
         network, layout = build_counter_stream_grid(
             a.tuples, b.tuples, schedule,
-            t_init=lambda i, j: True, tagged=tagged,
+            t_init=t_init_true, tagged=tagged,
             name="intersection-array",
         )
     else:
         network, layout = build_fixed_relation_grid(
             a.tuples, b.tuples, schedule,
-            t_init=lambda i, j: True, tagged=tagged,
+            t_init=t_init_true, tagged=tagged,
             name="intersection-array-fixed",
         )
     attach_accumulation_column(network, schedule, layout, tagged=tagged)
@@ -113,12 +114,26 @@ def _run_membership(
     schedule = _membership_schedule(len(a_tuples), len(b_tuples), arity, variant)
     plan = GridPlan(
         a_tuples, b_tuples, schedule,
-        t_init=lambda i, j: True, accumulate=True, tagged=tagged, name=name,
+        t_init=t_init_true, accumulate=True, tagged=tagged, name=name,
     )
     result = execute(plan, backend=backend, meter=meter, trace=trace)
-    collector = result.collector("t_i")
+    bits = accumulator_bits(result, schedule, len(a_tuples), tagged)
+    if bits is None:
+        bits = _decode_accumulator_records(
+            result.collector("t_i"), schedule, len(a_tuples), tagged
+        )
+    run = ArrayRun(
+        pulses=result.pulses, rows=schedule.rows, cols=schedule.arity + 1,
+        cells=result.cells, meter=meter, trace=trace, backend=result.engine,
+    )
+    return bits, run
 
-    t_vector: list[Optional[bool]] = [None] * len(a_tuples)
+
+def _decode_accumulator_records(
+    collector, schedule, n: int, tagged: bool
+) -> list[bool]:
+    """Token-record decode of ``t_i`` (eager pulse-engine runs)."""
+    t_vector: list[Optional[bool]] = [None] * n
     for pulse, token in collector:
         i = schedule.tuple_from_accumulator_exit(pulse)
         if t_vector[i] is not None:
@@ -133,11 +148,7 @@ def _run_membership(
         raise SimulationError(
             f"tuples {missing[:8]} never exited the accumulation array"
         )
-    run = ArrayRun(
-        pulses=result.pulses, rows=schedule.rows, cols=schedule.arity + 1,
-        cells=result.cells, meter=meter, trace=trace, backend=result.engine,
-    )
-    return [bool(v) for v in t_vector], run
+    return [bool(v) for v in t_vector]
 
 
 def systolic_membership_vector(

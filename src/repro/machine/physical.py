@@ -26,7 +26,7 @@ and the predicted makespan — the CLI's ``--explain``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence
 
 from repro.errors import PlanError
@@ -64,6 +64,7 @@ __all__ = [
     "PhysicalPlanner",
     "estimate_cost",
     "actual_cost",
+    "plan_fingerprint",
 ]
 
 OP_LOAD = "load"          #: disk read (possibly with a fused selection)
@@ -74,6 +75,37 @@ OP_ARRAY = "array"        #: systolic-device operation
 
 def _distinct(values) -> int:
     return len(dict.fromkeys(values))
+
+
+def plan_fingerprint(plans: Sequence[PlanNode]) -> tuple:
+    """A hashable structural key for a transaction's logical plans.
+
+    Two transactions fingerprint equally iff their plan DAGs have the
+    same shape, parameters, *and sharing*: a subtree referenced twice
+    (computed once by the planner) is encoded as a back-reference, so a
+    plan that duplicates the subtree instead keys differently.  This is
+    what the machine's compile cache is keyed on.
+    """
+    memo: dict[int, int] = {}
+
+    def fingerprint(node: PlanNode) -> tuple:
+        ref = memo.get(id(node))
+        if ref is not None:
+            return ("ref", ref)
+        memo[id(node)] = len(memo)
+        params: list[tuple] = []
+        children: list[tuple] = []
+        for spec in fields(node):
+            value = getattr(node, spec.name)
+            if isinstance(value, PlanNode):
+                children.append(fingerprint(value))
+            else:
+                if isinstance(value, list):
+                    value = tuple(value)
+                params.append((spec.name, value))
+        return (type(node).__name__, tuple(params), tuple(children))
+
+    return tuple(fingerprint(plan) for plan in plans)
 
 
 def estimate_cost(

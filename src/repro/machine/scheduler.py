@@ -16,8 +16,10 @@ opens with).
 
 from __future__ import annotations
 
+import concurrent.futures
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import PlanError
 from repro.machine.crossbar import CrossbarSwitch
@@ -25,7 +27,17 @@ from repro.machine.device import CpuDevice, DeviceRun, SystolicDevice
 from repro.machine.memory import MemoryModule
 from repro.machine.plan import PlanNode
 
-__all__ = ["ScheduledStep", "ExecutionReport", "DeviceRoster", "gantt"]
+__all__ = [
+    "ScheduledStep",
+    "ExecutionReport",
+    "DeviceRoster",
+    "HostExecutor",
+    "gantt",
+]
+
+#: A compute thunk: dependency op ids plus a function from the resolved
+#: dependency results to this op's result.
+Thunk = tuple[tuple[int, ...], Callable[[dict[int, Any]], Any]]
 
 
 @dataclass
@@ -157,6 +169,114 @@ class DeviceRoster:
 
 #: Backwards-compatible alias — the roster used to be a bare timeline.
 DeviceTimeline = DeviceRoster
+
+
+class HostExecutor:
+    """Runs a transaction's compute thunks concurrently on host threads.
+
+    §9's machine overlaps independent operations in *simulated* pulse
+    time; this executor overlaps the host-side work of producing their
+    results too.  It is a dependency-respecting wave scheduler: every
+    thunk whose inputs are resolved is submitted to a thread pool, and
+    completions release their dependents.  Thunks are pure functions of
+    their dependency results (device ``execute`` calls, disk reads), so
+    the result of a parallel run is bit-identical to the sequential
+    topological order — only wall-clock changes.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 1)
+        if max_workers < 1:
+            raise PlanError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        thunks: dict[int, Thunk],
+        seed: Optional[dict[int, Any]] = None,
+    ) -> dict[int, Any]:
+        """Resolve every thunk; returns ``{op_id: result}`` incl. seeds.
+
+        ``seed`` holds pre-resolved results (resident relations).  A
+        dependency on an id in neither ``thunks`` nor ``seed``, or a
+        dependency cycle, raises :class:`~repro.errors.PlanError`.
+        """
+        results: dict[int, Any] = dict(seed or {})
+        known = set(results) | set(thunks)
+        pending: dict[int, set[int]] = {}
+        for op_id, (deps, _) in thunks.items():
+            missing = [d for d in deps if d not in known]
+            if missing:
+                raise PlanError(
+                    f"thunk {op_id} depends on unknown ops {missing}"
+                )
+            pending[op_id] = {d for d in deps if d not in results}
+        if self.max_workers == 1 or len(pending) <= 1:
+            return self._run_serial(thunks, pending, results)
+        return self._run_parallel(thunks, pending, results)
+
+    def _run_serial(
+        self,
+        thunks: dict[int, Thunk],
+        pending: dict[int, set[int]],
+        results: dict[int, Any],
+    ) -> dict[int, Any]:
+        while pending:
+            ready = [op_id for op_id, deps in pending.items() if not deps]
+            if not ready:
+                raise PlanError(
+                    f"dependency cycle among ops {sorted(pending)}"
+                )
+            for op_id in ready:
+                results[op_id] = thunks[op_id][1](results)
+                del pending[op_id]
+            for deps in pending.values():
+                deps.difference_update(ready)
+        return results
+
+    def _run_parallel(
+        self,
+        thunks: dict[int, Thunk],
+        pending: dict[int, set[int]],
+        results: dict[int, Any],
+    ) -> dict[int, Any]:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            in_flight: dict[concurrent.futures.Future, int] = {}
+
+            def submit_ready() -> None:
+                ready = [
+                    op_id for op_id, deps in pending.items() if not deps
+                ]
+                for op_id in ready:
+                    del pending[op_id]
+                    deps, fn = thunks[op_id]
+                    # Snapshot the dependency results so the worker
+                    # never reads the shared dict concurrently.
+                    resolved = {d: results[d] for d in deps}
+                    in_flight[pool.submit(fn, resolved)] = op_id
+                if not ready and pending and not in_flight:
+                    raise PlanError(
+                        f"dependency cycle among ops {sorted(pending)}"
+                    )
+
+            submit_ready()
+            while in_flight:
+                done, _ = concurrent.futures.wait(
+                    in_flight,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    op_id = in_flight.pop(future)
+                    results[op_id] = future.result()
+                    for deps in pending.values():
+                        deps.discard(op_id)
+                submit_ready()
+        return results
 
 
 def gantt(report: ExecutionReport, width: int = 60) -> str:

@@ -16,13 +16,21 @@ Logical plans are first lowered into a
 :class:`~repro.machine.physical.PhysicalPlan` (device assignments by
 the :mod:`repro.perf.cost` model, §8 block decomposition, §9 chain
 fusion) — :meth:`SystolicDatabaseMachine.compile` exposes the lowering,
-``run``/``run_many`` apply it implicitly.
+``run``/``run_many`` apply it implicitly.  Repeated ``compile`` calls
+for structurally identical transactions hit an LRU plan cache, and
+execution itself is split into a *compute phase* (pure device runs and
+disk reads, overlapped on host threads by
+:class:`~repro.machine.scheduler.HostExecutor`) and a sequential
+*replay phase* that does all the timing and memory bookkeeping — so a
+parallel run is bit-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Sequence
+import os
+from collections import OrderedDict
+from typing import Any, Optional, Sequence
 
 from repro.arrays.decomposition import ArrayCapacity
 from repro.errors import CapacityError, PlanError
@@ -37,6 +45,7 @@ from repro.machine.physical import (
     PhysicalPlan,
     PhysicalPlanner,
     actual_cost,
+    plan_fingerprint,
 )
 from repro.machine.pipelining import StageCost
 from repro.machine.plan import (
@@ -45,7 +54,12 @@ from repro.machine.plan import (
     DEVICE_JOIN,
     PlanNode,
 )
-from repro.machine.scheduler import DeviceRoster, ExecutionReport, ScheduledStep
+from repro.machine.scheduler import (
+    DeviceRoster,
+    ExecutionReport,
+    HostExecutor,
+    ScheduledStep,
+)
 from repro.perf.technology import PAPER_CONSERVATIVE, TechnologyModel
 from repro.relational.relation import Relation
 
@@ -73,6 +87,8 @@ class SystolicDatabaseMachine:
         memory_bytes: int = 4 * 1024 * 1024,
         element_bits: int = 32,
         backend=None,
+        host_workers: Optional[int] = None,
+        plan_cache_size: int = 64,
     ) -> None:
         if memories < 2:
             raise CapacityError(
@@ -113,12 +129,35 @@ class SystolicDatabaseMachine:
         #: relations already resident in memories (ready at time 0):
         #: name -> (key, relation, ready, memory name)
         self._resident: dict[str, tuple[str, Relation, float, str]] = {}
+        #: host threads for the compute phase (None → HostExecutor default)
+        self.host_workers = host_workers
+        if plan_cache_size < 0:
+            raise PlanError(
+                f"plan_cache_size must be >= 0, got {plan_cache_size}"
+            )
+        self._plan_cache_size = plan_cache_size
+        self._plan_cache: OrderedDict[tuple, PhysicalPlan] = OrderedDict()
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+        #: bumped whenever the catalog changes (store/preload) — part of
+        #: the plan-cache key, so stale physical plans never resurface.
+        self._catalog_version = 0
+        self._roster_fingerprint = tuple(
+            (
+                device.name,
+                device.kind,
+                getattr(getattr(device, "capacity", None), "max_rows", None),
+                getattr(getattr(device, "capacity", None), "max_cols", None),
+            )
+            for device in self.devices
+        )
 
     # -- catalog -------------------------------------------------------------
 
     def store(self, name: str, relation: Relation) -> None:
         """Place a base relation on the machine's disk."""
         self.disk.store(name, relation)
+        self._catalog_version += 1
 
     def preload(self, name: str, relation: Relation) -> None:
         """Place a relation directly in a memory module, ready at time 0.
@@ -143,6 +182,7 @@ class SystolicDatabaseMachine:
         key = f"resident:{name}"
         memory.store(key, relation, nbytes)
         self._resident[name] = (key, relation, 0.0, memory.name)
+        self._catalog_version += 1
 
     # -- compilation ------------------------------------------------------------
 
@@ -151,6 +191,7 @@ class SystolicDatabaseMachine:
         plans: Sequence[PlanNode] | PlanNode,
         arrivals: Optional[Sequence[float]] = None,
         pipeline: bool = True,
+        use_cache: bool = True,
     ) -> PhysicalPlan:
         """Lower logical plans into a :class:`PhysicalPlan` for this machine.
 
@@ -159,18 +200,65 @@ class SystolicDatabaseMachine:
         and then handed to :meth:`run_physical`.  With
         ``pipeline=False`` no chains are fused and execution is
         store-and-forward, §9's simplest reading.
+
+        Structurally identical transactions (same plan shape,
+        parameters, *and* subtree sharing — see
+        :func:`~repro.machine.physical.plan_fingerprint`) hit an LRU
+        cache instead of re-running the planner.  The key also covers
+        the arrival schedule, the pipeline flag, the catalog version
+        (bumped by :meth:`store`/:meth:`preload`), and the device
+        roster, so a cached plan is only reused when the planner would
+        provably reproduce it.  ``use_cache=False`` bypasses the cache
+        for a single call.
         """
         if isinstance(plans, PlanNode):
             plans = [plans]
-        return PhysicalPlanner(self).compile(plans, arrivals, pipeline=pipeline)
+        if not use_cache or self._plan_cache_size == 0:
+            return PhysicalPlanner(self).compile(
+                plans, arrivals, pipeline=pipeline
+            )
+        key = (
+            plan_fingerprint(plans),
+            tuple(arrivals) if arrivals is not None else None,
+            bool(pipeline),
+            self._catalog_version,
+            self._roster_fingerprint,
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            self._plan_cache_hits += 1
+            return cached
+        self._plan_cache_misses += 1
+        physical = PhysicalPlanner(self).compile(
+            plans, arrivals, pipeline=pipeline
+        )
+        self._plan_cache[key] = physical
+        while len(self._plan_cache) > self._plan_cache_size:
+            self._plan_cache.popitem(last=False)
+        return physical
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and occupancy of the compile cache."""
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "size": len(self._plan_cache),
+            "maxsize": self._plan_cache_size,
+        }
 
     # -- execution -------------------------------------------------------------
 
     def run(
-        self, plan: PlanNode, pipeline: bool = True
+        self,
+        plan: PlanNode,
+        pipeline: bool = True,
+        parallel: Optional[bool] = None,
     ) -> tuple[Relation, ExecutionReport]:
         """Execute one plan; returns (result, timed report)."""
-        results, report = self.run_many([plan], pipeline=pipeline)
+        results, report = self.run_many(
+            [plan], pipeline=pipeline, parallel=parallel
+        )
         return results[0], report
 
     def run_many(
@@ -178,6 +266,7 @@ class SystolicDatabaseMachine:
         plans: Sequence[PlanNode],
         arrivals: Optional[Sequence[float]] = None,
         pipeline: bool = True,
+        parallel: Optional[bool] = None,
     ) -> tuple[list[Relation], ExecutionReport]:
         """Execute a transaction of several plans on one shared timeline.
 
@@ -189,13 +278,18 @@ class SystolicDatabaseMachine:
 
         Each logical plan is lowered through :meth:`compile` first;
         producer→consumer systolic stages fuse into pipelined chains
-        unless ``pipeline=False``.
+        unless ``pipeline=False``.  Independent operations' host-side
+        compute overlaps on threads unless ``parallel=False`` (or the
+        ``REPRO_MACHINE_PARALLEL`` environment variable disables it);
+        results and reports are identical either way.
         """
         physical = self.compile(plans, arrivals, pipeline=pipeline)
-        return self.run_physical(physical)
+        return self.run_physical(physical, parallel=parallel)
 
     def run_physical(
-        self, physical: PhysicalPlan
+        self,
+        physical: PhysicalPlan,
+        parallel: Optional[bool] = None,
     ) -> tuple[list[Relation], ExecutionReport]:
         """Execute an already-compiled physical plan.
 
@@ -203,7 +297,17 @@ class SystolicDatabaseMachine:
         order) and the executed timeline.  The report is the ground
         truth; ``physical.predicted_makespan`` is the planner's
         port-blind forecast of the same schedule.
+
+        Execution happens in two phases.  The **compute phase** resolves
+        every op's data result — disk reads and device runs, which are
+        pure functions of their inputs — with independent ops overlapped
+        on host threads (:class:`HostExecutor`).  The **replay phase**
+        then walks the plan in topological order doing all the
+        *simulated* bookkeeping (port windows, memory placement, the
+        timed report) sequentially, so the timeline is deterministic and
+        bit-identical whether the compute phase ran parallel or serial.
         """
+        runs = self._compute_phase(physical, self._resolve_parallel(parallel))
         report = ExecutionReport()
         roster = DeviceRoster(self.devices)
         disk_free = 0.0
@@ -216,7 +320,9 @@ class SystolicDatabaseMachine:
                 produced[op.op_id] = self._resident[op.node.name]
                 continue
             if op.kind == OP_LOAD:
-                disk_free = self._run_load(op, produced, report, disk_free)
+                disk_free = self._run_load(
+                    op, produced, report, disk_free, runs[op.op_id]
+                )
                 continue
             chain = physical.chain_of(op)
             if chain is not None and len(chain) > 1:
@@ -226,11 +332,66 @@ class SystolicDatabaseMachine:
                     # the last member: by then every external input of
                     # every stage has been produced (topological order).
                     continue
-                self._run_chain(members, produced, report, roster)
+                self._run_chain(members, produced, report, roster, runs)
             else:
-                self._run_singleton(op, produced, report, roster)
+                self._run_singleton(op, produced, report, roster, runs)
         results = [produced[op_id][1] for op_id in physical.outputs]
         return results, report
+
+    # -- compute phase ---------------------------------------------------------
+
+    @staticmethod
+    def _resolve_parallel(parallel: Optional[bool]) -> bool:
+        if parallel is not None:
+            return bool(parallel)
+        env = os.environ.get("REPRO_MACHINE_PARALLEL", "").strip().lower()
+        return env not in ("0", "false", "off")
+
+    def _compute_phase(
+        self, physical: PhysicalPlan, parallel: bool
+    ) -> dict[int, Any]:
+        """Resolve every op's data result, overlapping independent ops.
+
+        Returns ``{op_id: result}`` where a load's result is the
+        ``(relation, read_seconds)`` pair from :meth:`MachineDisk.read`,
+        a compute op's is its :class:`~repro.machine.device.DeviceRun`,
+        and a resident's is the relation itself.  Chain members are
+        computed here exactly like singletons — a member's inputs are
+        its producers' relations either way — so the replay phase can
+        fall back from a fused chain to store-and-forward without
+        recomputing anything.
+        """
+
+        def relation_of(value: Any) -> Relation:
+            if isinstance(value, Relation):
+                return value  # resident
+            if isinstance(value, tuple):
+                return value[0]  # disk load: (relation, seconds)
+            return value.relation  # DeviceRun
+
+        seed: dict[int, Any] = {}
+        thunks: dict[int, tuple[tuple[int, ...], Any]] = {}
+        for op in physical.ops:
+            if op.op_id in seed or op.op_id in thunks:
+                continue
+            if op.kind == OP_RESIDENT:
+                seed[op.op_id] = self._resident[op.node.name][1]
+            elif op.kind == OP_LOAD:
+                def load(resolved, op=op):
+                    return self.disk.read(op.base_name, selection=op.selection)
+
+                thunks[op.op_id] = ((), load)
+            else:
+                device = self._device(op.device)
+                deps = tuple(op.inputs)
+
+                def execute(resolved, node=op.node, device=device, deps=deps):
+                    inputs = [relation_of(resolved[d]) for d in deps]
+                    return device.execute(node, inputs)
+
+                thunks[op.op_id] = (deps, execute)
+        workers = self.host_workers if parallel else 1
+        return HostExecutor(max_workers=workers).run(thunks, seed=seed)
 
     # -- internals ------------------------------------------------------------
 
@@ -268,12 +429,11 @@ class SystolicDatabaseMachine:
         produced: dict[int, tuple[str, Relation, float, str]],
         report: ExecutionReport,
         disk_free: float,
+        loaded: tuple[Relation, float],
     ) -> float:
         """One serial disk read (selection possibly fused on-track)."""
         released = max(disk_free, op.release)
-        relation, read_seconds = self.disk.read(
-            op.base_name, selection=op.selection
-        )
+        relation, read_seconds = loaded
         nbytes = relation_bytes(relation, self.element_bits)
         memory, start = self._choose_memory(
             nbytes, avoid=set(), ready=released, duration=read_seconds
@@ -300,22 +460,21 @@ class SystolicDatabaseMachine:
         produced: dict[int, tuple[str, Relation, float, str]],
         report: ExecutionReport,
         roster: DeviceRoster,
+        runs: dict[int, Any],
     ) -> None:
         """One store-and-forward operation on its assigned device."""
-        inputs = []
         input_keys = []
         input_memories = []
         ready = op.release
         for input_id in op.inputs:
-            key, relation, child_ready, memory_name = produced[input_id]
-            inputs.append(relation)
+            key, _, child_ready, memory_name = produced[input_id]
             input_keys.append(key)
             input_memories.append(memory_name)
             ready = max(ready, child_ready)
 
         device = self._device(op.device)
         device_ready = max(ready, roster.free_at(device.name))
-        run = device.execute(op.node, inputs)
+        run = runs[op.op_id]
         nbytes_out = relation_bytes(run.relation, self.element_bits)
 
         # An operation runs at the pace of its slowest stream: any input
@@ -380,6 +539,7 @@ class SystolicDatabaseMachine:
         produced: dict[int, tuple[str, Relation, float, str]],
         report: ExecutionReport,
         roster: DeviceRoster,
+        precomputed: dict[int, Any],
     ) -> None:
         """Execute a fused chain under the Σ fill + max stream law (§9).
 
@@ -403,10 +563,13 @@ class SystolicDatabaseMachine:
                 claimed = device_of_port.setdefault(memory_name, member.device)
                 if claimed != member.device:
                     for fallback in members:
-                        self._run_singleton(fallback, produced, report, roster)
+                        self._run_singleton(
+                            fallback, produced, report, roster, precomputed
+                        )
                     return
 
-        # Compute every stage's result and its actual fill latency.
+        # Gather every stage's (precomputed) result and its actual fill
+        # latency.
         runs = []
         fills = []
         externals: list[list[tuple[str, str]]] = []  # (key, memory) pairs
@@ -422,7 +585,7 @@ class SystolicDatabaseMachine:
                     inputs.append(relation)
                     external.append((key, memory_name))
             device = self._device(member.device)
-            run = device.execute(member.node, inputs)
+            run = precomputed[member.op_id]
             chain_local[member.op_id] = run.relation
             cost = actual_cost(
                 member.node, inputs,
@@ -503,7 +666,9 @@ class SystolicDatabaseMachine:
             # Not enough distinct memory ports for the fused chain on
             # this machine — run its stages store-and-forward instead.
             for fallback in members:
-                self._run_singleton(fallback, produced, report, roster)
+                self._run_singleton(
+                    fallback, produced, report, roster, precomputed
+                )
             return
 
         # Commit: claim ports, occupy devices, store the tail's output.

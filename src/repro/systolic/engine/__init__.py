@@ -24,8 +24,9 @@ from repro.systolic.engine.hexmesh import (
     COMPARISON_SEMIRING,
     Semiring,
 )
-from repro.systolic.engine.lattice import LatticeEngine
+from repro.systolic.engine.lattice import DEFAULT_CHUNK_BYTES, LatticeEngine
 from repro.systolic.engine.plan import (
+    ColumnarTap,
     DivisionPlan,
     Engine,
     EngineRun,
@@ -34,6 +35,8 @@ from repro.systolic.engine.plan import (
     HexPlan,
     LinearPlan,
     TInit,
+    t_init_strict_lower,
+    t_init_true,
 )
 from repro.systolic.engine.pulse import PulseEngine
 from repro.systolic.engine.schedule import (
@@ -51,6 +54,10 @@ __all__ = [
     "LinearPlan",
     "HexPlan",
     "TInit",
+    "t_init_true",
+    "t_init_strict_lower",
+    "ColumnarTap",
+    "DEFAULT_CHUNK_BYTES",
     "CounterStreamSchedule",
     "FixedRelationSchedule",
     "DivisionSchedule",

@@ -31,6 +31,7 @@ cell network — both raise, pointing at ``backend="pulse"``.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Optional
 
 import numpy as np
@@ -44,6 +45,7 @@ from repro.systolic.engine.hexmesh import (
     meeting_cell,
 )
 from repro.systolic.engine.plan import (
+    ColumnarTap,
     DivisionPlan,
     EngineRun,
     ExecutionPlan,
@@ -57,7 +59,12 @@ from repro.systolic.metrics import ActivityMeter
 from repro.systolic.streams import Collector
 from repro.systolic.values import Token
 
-__all__ = ["LatticeEngine"]
+__all__ = ["LatticeEngine", "DEFAULT_CHUNK_BYTES"]
+
+#: Default bound on the comparison intermediate (``chunk × n_b × m``
+#: int64 elements), overridable per engine or via the
+#: ``REPRO_LATTICE_CHUNK_BYTES`` environment variable.
+DEFAULT_CHUNK_BYTES = 16_000_000
 
 #: Comparison op code → numpy ufunc, matching
 #: :data:`repro.relational.algebra.COMPARISON_OPS` element-wise.
@@ -97,16 +104,34 @@ def _make_collectors(
     collectors: dict[str, Collector] = {}
     for name, recs in records.items():
         collector = Collector(name)
-        for pulse, token in sorted(recs, key=lambda pt: pt[0]):
+        if any(recs[k][0] > recs[k + 1][0] for k in range(len(recs) - 1)):
+            recs = sorted(recs, key=lambda pt: pt[0])
+        for pulse, token in recs:
             collector.record(pulse, token)
         collectors[name] = collector
     return collectors
 
 
 class LatticeEngine:
-    """Bulk wavefront execution of the same plans the simulator runs."""
+    """Bulk wavefront execution of the same plans the simulator runs.
+
+    ``chunk_bytes`` bounds the transient comparison intermediate (the
+    broadcast ``chunk × n_b × m`` element block); it defaults to
+    :data:`DEFAULT_CHUNK_BYTES` and can also be set process-wide with
+    the ``REPRO_LATTICE_CHUNK_BYTES`` environment variable.
+    """
 
     name = "lattice"
+
+    def __init__(self, chunk_bytes: Optional[int] = None) -> None:
+        if chunk_bytes is None:
+            env = os.environ.get("REPRO_LATTICE_CHUNK_BYTES")
+            chunk_bytes = int(env) if env else DEFAULT_CHUNK_BYTES
+        if chunk_bytes < 1:
+            raise SimulationError(
+                f"chunk_bytes must be >= 1, got {chunk_bytes}"
+            )
+        self.chunk_bytes = chunk_bytes
 
     def run(
         self,
@@ -130,7 +155,7 @@ class LatticeEngine:
         raise SimulationError(f"unknown plan type {type(plan).__name__}")
 
     def __repr__(self) -> str:
-        return "LatticeEngine()"
+        return f"LatticeEngine(chunk_bytes={self.chunk_bytes})"
 
     # -- the rectangular grid (Figs 3-3, 4-1, 6-1) -------------------------
 
@@ -143,7 +168,7 @@ class LatticeEngine:
         # V[i, j] = the t value pair (i, j) exits with, evaluated in
         # bulk (row-chunked to bound the n_a × n_b × m intermediate).
         V = np.empty((n_a, n_b), dtype=bool)
-        chunk = max(1, 2_000_000 // max(1, n_b * m))
+        chunk = max(1, self.chunk_bytes // max(1, 8 * n_b * m))
         for lo in range(0, n_a, chunk):
             hi = min(n_a, lo + chunk)
             if plan.ops is None:
@@ -154,40 +179,83 @@ class LatticeEngine:
                     acc &= _op_ufunc(op)(A[lo:hi, k][:, None], B[None, :, k])
                 V[lo:hi] = acc
         if plan.t_init is not None:
-            t_init = plan.t_init
-            for i in range(n_a):
-                V[i] &= np.fromiter(
-                    (bool(t_init(i, j)) for j in range(n_b)), bool, n_b
-                )
+            mask_fn = getattr(plan.t_init, "lattice_mask", None)
+            if mask_fn is not None:
+                # Canonical t_init: one whole-grid broadcast mask.
+                mask = mask_fn(n_a, n_b)
+                if mask is not None:
+                    V &= mask
+            else:
+                t_init = plan.t_init
+                for i in range(n_a):
+                    V[i] &= np.fromiter(
+                        (bool(t_init(i, j)) for j in range(n_b)), bool, n_b
+                    )
 
-        records: dict[str, list[tuple[int, Token]]] = {
-            name: [] for name in plan.tap_names()
-        }
-        counter = plan.variant == "counter"
+        taps: dict[str, ColumnarTap] = {}
         if plan.row_taps:
-            for i in range(n_a):
-                for j in range(n_b):
-                    row = sched.meeting_row(i, j) if counter else j
-                    records[f"t_row[{row}]"].append((
-                        sched.t_exit_pulse(i, j),
-                        Token(bool(V[i, j]),
-                              ("t", i, j) if plan.tagged else None),
-                    ))
+            taps.update(self._row_taps(plan, V))
         if plan.accumulate:
-            t_vec = V.any(axis=1)
-            records["t_i"] = [
-                (
-                    sched.accumulator_exit_pulse(i),
-                    Token(bool(t_vec[i]), ("acc", i) if plan.tagged else None),
-                )
-                for i in range(n_a)
-            ]
+            taps["t_i"] = self._accumulator_tap(plan, V)
 
         if meter is not None:
             meter.absorb(self._grid_busy(plan), plan.pulses, plan.cells)
         return EngineRun(
             engine=self.name, pulses=plan.pulses, cells=plan.cells,
-            collectors=_make_collectors(records), meter=meter,
+            columnar=taps, meter=meter,
+        )
+
+    def _row_taps(self, plan: GridPlan, V: np.ndarray) -> dict[str, ColumnarTap]:
+        """Every ``t_row[r]`` tap at once: the schedule's meeting rows
+        and exit pulses are affine in (i, j), so one broadcast plus one
+        lexsort replaces the per-pair Python loop."""
+        sched = plan.schedule
+        n_a, n_b = sched.n_a, sched.n_b
+        shape = (n_a, n_b)
+        I = np.arange(n_a, dtype=np.int64)[:, None]
+        J = np.arange(n_b, dtype=np.int64)[None, :]
+        if plan.variant == "counter":
+            rows = sched.mid + J - I
+            exits = sched.mid + I + J + (sched.arity - 1)
+        else:
+            rows = np.broadcast_to(J, shape)
+            exits = I + J + (sched.arity - 1)
+        rows = np.broadcast_to(rows, shape).ravel()
+        exits = np.broadcast_to(exits, shape).ravel()
+        order = np.lexsort((exits, rows))
+        rows_s = rows[order]
+        exits_s = exits[order]
+        vals_s = V.ravel()[order]
+        if plan.tagged:
+            ti_s = np.broadcast_to(I, shape).ravel()[order]
+            tj_s = np.broadcast_to(J, shape).ravel()[order]
+        bounds = np.searchsorted(rows_s, np.arange(sched.rows + 1))
+        taps: dict[str, ColumnarTap] = {}
+        for row in range(sched.rows):
+            lo, hi = int(bounds[row]), int(bounds[row + 1])
+            taps[f"t_row[{row}]"] = ColumnarTap(
+                name=f"t_row[{row}]",
+                pulses=exits_s[lo:hi],
+                values=vals_s[lo:hi],
+                tag_kind="t" if plan.tagged else None,
+                tag_indices=(
+                    (ti_s[lo:hi], tj_s[lo:hi]) if plan.tagged else ()
+                ),
+            )
+        return taps
+
+    def _accumulator_tap(self, plan: GridPlan, V: np.ndarray) -> ColumnarTap:
+        """The ``t_i`` tap in bulk: exit pulses are affine in i (slope 2
+        counter-streaming, slope 1 fixed-relation)."""
+        sched = plan.schedule
+        step = 2 if plan.variant == "counter" else 1
+        i = np.arange(sched.n_a, dtype=np.int64)
+        return ColumnarTap(
+            name="t_i",
+            pulses=step * i + (sched.arity + sched.rows - 1),
+            values=V.any(axis=1),
+            tag_kind="acc" if plan.tagged else None,
+            tag_indices=(i,) if plan.tagged else (),
         )
 
     def _grid_busy(self, plan: GridPlan) -> dict[str, int]:
@@ -211,12 +279,9 @@ class LatticeEngine:
                     if count:
                         busy[cmp_name(r, c)] = count
         if plan.accumulate:
-            i = np.arange(sched.n_a)
+            step = 2 if plan.variant == "counter" else 1
+            seeds = step * np.arange(sched.n_a, dtype=np.int64) + m
             for row in range(R):
-                seeds = np.fromiter(
-                    (sched.accumulator_seed_pulse(ii) for ii in i),
-                    np.int64, len(i),
-                )
                 count = int(((seeds + row) < P).sum())
                 if count:
                     busy[acc_name(row)] = count
@@ -231,23 +296,43 @@ class LatticeEngine:
         xs = np.asarray([x for x, _ in plan.pairs], dtype=np.int64)
         ys = np.asarray([y for _, y in plan.pairs], dtype=np.int64)
         divisor = np.asarray(plan.divisor, dtype=np.int64)
+        distinct = np.asarray(plan.distinct_x, dtype=np.int64)
+        p_rows = len(plan.distinct_x)
 
-        records: dict[str, list[tuple[int, Token]]] = {}
-        for row, stored in enumerate(plan.distinct_x):
-            # Row `row` sees exactly the y values gated by its stored x;
-            # its quotient bit is "divisor ⊆ that set".
-            gated = ys[xs == stored]
-            bit = bool(np.isin(divisor, gated).all())
-            records[f"and_row[{row}]"] = [(
-                sched.result_pulse(row),
-                Token(bit, ("and", row) if plan.tagged else None),
-            )]
+        # Row `row` sees exactly the y values gated by its stored x; its
+        # quotient bit is "divisor ⊆ that set".  Evaluated in bulk: count
+        # the distinct divisor values each distinct x co-occurs with.
+        d_vals = np.unique(divisor)
+        u_vals, x_codes = np.unique(xs, return_inverse=True)
+        y_pos = np.searchsorted(d_vals, ys).clip(0, d_vals.size - 1)
+        gated = d_vals[y_pos] == ys
+        codes = np.unique(x_codes[gated] * d_vals.size + y_pos[gated])
+        counts = np.bincount(codes // d_vals.size, minlength=u_vals.size)
+        u_bits = counts == d_vals.size
+        # Map each dividend row's stored x onto its unique-x slot; a
+        # stored x that never streams past gates nothing (bit FALSE).
+        row_pos = np.searchsorted(u_vals, distinct).clip(0, u_vals.size - 1)
+        bits = (u_vals[row_pos] == distinct) & u_bits[row_pos]
+
+        rows = np.arange(p_rows, dtype=np.int64)
+        pulses = (sched.n_pairs + 2 + (p_rows - 1 - rows)
+                  + sched.n_divisor - 1)
+        taps = {
+            f"and_row[{row}]": ColumnarTap(
+                name=f"and_row[{row}]",
+                pulses=pulses[row:row + 1],
+                values=bits[row:row + 1],
+                tag_kind="and" if plan.tagged else None,
+                tag_indices=(rows[row:row + 1],) if plan.tagged else (),
+            )
+            for row in range(p_rows)
+        }
 
         if meter is not None:
             meter.absorb(self._division_busy(plan), plan.pulses, plan.cells)
         return EngineRun(
             engine=self.name, pulses=plan.pulses, cells=plan.cells,
-            collectors=_make_collectors(records), meter=meter,
+            columnar=taps, meter=meter,
         )
 
     def _division_busy(self, plan: DivisionPlan) -> dict[str, int]:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, Protocol, Sequence, Union, runtime_checkable
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.systolic.engine.hexmesh import (
     Semiring,
@@ -36,9 +38,13 @@ from repro.systolic.engine.schedule import (
 )
 from repro.systolic.metrics import ActivityMeter
 from repro.systolic.streams import Collector
+from repro.systolic.values import Token
 
 __all__ = [
     "TInit",
+    "t_init_true",
+    "t_init_strict_lower",
+    "ColumnarTap",
     "GridPlan",
     "DivisionPlan",
     "LinearPlan",
@@ -54,6 +60,35 @@ __all__ = [
 #: Chooses the initial t fed for pair (i, j): TRUE everywhere for
 #: intersection, lower-triangle-only for remove-duplicates (§5).
 TInit = Callable[[int, int], bool]
+
+
+def _true_lattice_mask(n_a: int, n_b: int) -> Optional[np.ndarray]:
+    return None  # all-true: nothing to mask
+
+
+def _strict_lower_lattice_mask(n_a: int, n_b: int) -> Optional[np.ndarray]:
+    return np.arange(n_b, dtype=np.int64)[None, :] < np.arange(
+        n_a, dtype=np.int64
+    )[:, None]
+
+
+def t_init_true(i: int, j: int) -> bool:
+    """TRUE everywhere — the intersection/membership seed (§4)."""
+    return True
+
+
+def t_init_strict_lower(i: int, j: int) -> bool:
+    """TRUE only below the diagonal — remove-duplicates' mask (§5)."""
+    return j < i
+
+
+# Canonical t_init callables expose their whole-grid boolean mask so the
+# lattice engine can apply them as one broadcast instead of calling the
+# function n_a × n_b times.  ``lattice_mask(n_a, n_b)`` returns either a
+# bool matrix or ``None`` when nothing needs masking; the pulse engine
+# ignores the attribute and just calls the function per pair.
+t_init_true.lattice_mask = _true_lattice_mask  # type: ignore[attr-defined]
+t_init_strict_lower.lattice_mask = _strict_lower_lattice_mask  # type: ignore[attr-defined]
 
 
 def cmp_name(row: int, col: int) -> str:
@@ -294,26 +329,124 @@ ExecutionPlan = Union[GridPlan, DivisionPlan, LinearPlan, HexPlan]
 
 
 @dataclass
-class EngineRun:
-    """What executing a plan produced, independent of the engine used."""
+class ColumnarTap:
+    """One tap's output as bulk arrays: the Token-free fast path.
 
-    engine: str
-    pulses: int
-    cells: int
-    collectors: dict[str, Collector]
-    meter: Optional[ActivityMeter] = None
-    trace: Optional[Any] = None
-    #: peak number of hex cells firing on one pulse (HexPlan runs only)
-    peak_firing: Optional[int] = None
+    ``pulses[k]`` is the exit pulse of the ``k``-th record and
+    ``values[k]`` its payload, in pulse order — the same observations a
+    :class:`~repro.systolic.streams.Collector` holds, without allocating
+    a :class:`~repro.systolic.values.Token` per record.  Ghost tags are
+    kept columnar too: ``tag_kind`` names the tag family (``"t"``,
+    ``"acc"``, ``"and"``) and ``tag_indices`` holds one index array per
+    tag slot, so ``("t", i, j)`` is two arrays.  ``to_collector()``
+    materializes the classic Token records on demand, bit-identical to
+    the pulse engine's (Python ``int`` pulses, Python ``bool`` payloads).
+    """
+
+    name: str
+    pulses: np.ndarray
+    values: np.ndarray
+    tag_kind: Optional[str] = None
+    tag_indices: tuple[np.ndarray, ...] = ()
+
+    def __len__(self) -> int:
+        return int(self.pulses.size)
+
+    def to_collector(self) -> Collector:
+        collector = Collector(self.name)
+        pulses = self.pulses.tolist()
+        values = self.values.tolist()
+        if self.tag_kind is None:
+            for pulse, value in zip(pulses, values):
+                collector.record(pulse, Token(value))
+        else:
+            kind = self.tag_kind
+            columns = [column.tolist() for column in self.tag_indices]
+            for k, (pulse, value) in enumerate(zip(pulses, values)):
+                tag = (kind, *(column[k] for column in columns))
+                collector.record(pulse, Token(value, tag))
+        return collector
+
+
+class EngineRun:
+    """What executing a plan produced, independent of the engine used.
+
+    Taps arrive either as eager Token-record ``collectors`` (the pulse
+    engine's native output) or as ``columnar`` arrays (the lattice fast
+    path); consumers that only need bulk arrays read :meth:`tap`, and
+    ``run.collectors`` / :meth:`collector` materialize Token records
+    lazily — and cache them — only when a trace/tagged consumer asks.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        pulses: int,
+        cells: int,
+        collectors: Optional[dict[str, Collector]] = None,
+        meter: Optional[ActivityMeter] = None,
+        trace: Optional[Any] = None,
+        peak_firing: Optional[int] = None,
+        columnar: Optional[dict[str, ColumnarTap]] = None,
+    ) -> None:
+        if collectors is None and columnar is None:
+            raise SimulationError(
+                "an EngineRun needs eager collectors or columnar taps"
+            )
+        self.engine = engine
+        self.pulses = pulses
+        self.cells = cells
+        self.meter = meter
+        self.trace = trace
+        #: peak number of hex cells firing on one pulse (HexPlan runs only)
+        self.peak_firing = peak_firing
+        #: Token-free tap arrays (empty dict on the pulse engine).
+        self.columnar: dict[str, ColumnarTap] = dict(columnar or {})
+        self._collectors: Optional[dict[str, Collector]] = (
+            dict(collectors) if collectors is not None else None
+        )
+
+    @property
+    def collectors(self) -> dict[str, Collector]:
+        """All taps as Token-record collectors (materialized on demand)."""
+        if self._collectors is None:
+            self._collectors = {}
+        for name, tap in self.columnar.items():
+            if name not in self._collectors:
+                self._collectors[name] = tap.to_collector()
+        return self._collectors
+
+    def tap(self, name: str) -> Optional[ColumnarTap]:
+        """The columnar arrays for ``name``, or None on eager runs."""
+        return self.columnar.get(name)
+
+    def tap_names(self) -> list[str]:
+        """Every tap this run produced, by either representation."""
+        names = set(self.columnar)
+        if self._collectors is not None:
+            names.update(self._collectors)
+        return sorted(names)
 
     def collector(self, name: str) -> Collector:
         """Look up a collector by tap name (mirrors the simulator API)."""
-        try:
-            return self.collectors[name]
-        except KeyError:
-            raise SimulationError(
-                f"no tap named {name!r}; have {sorted(self.collectors)}"
-            ) from None
+        if self._collectors is not None and name in self._collectors:
+            return self._collectors[name]
+        tap = self.columnar.get(name)
+        if tap is not None:
+            if self._collectors is None:
+                self._collectors = {}
+            collector = self._collectors[name] = tap.to_collector()
+            return collector
+        raise SimulationError(
+            f"no tap named {name!r}; have {self.tap_names()}"
+        )
+
+    def __repr__(self) -> str:
+        kind = "columnar" if self.columnar else "eager"
+        return (
+            f"EngineRun(engine={self.engine!r}, pulses={self.pulses}, "
+            f"cells={self.cells}, taps={len(self.tap_names())} {kind})"
+        )
 
 
 @runtime_checkable

@@ -1,0 +1,228 @@
+"""Host-parallel execution and the compile cache on the Fig 9-1 machine.
+
+``run_physical`` now resolves device runs and disk reads in a compute
+phase that overlaps independent operations on host threads, then
+replays the timing bookkeeping sequentially — so a parallel run must be
+*bit-identical* to a serial one: same relations, same scheduled steps.
+``compile`` memoizes physical plans behind a fingerprint that covers
+plan structure (including subtree sharing), arrivals, pipelining, the
+catalog version, and the device roster.
+"""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.machine import (
+    Base,
+    Dedup,
+    Divide,
+    Intersect,
+    Join,
+    Project,
+    SystolicDatabaseMachine,
+)
+from repro.machine.physical import plan_fingerprint
+from repro.machine.scheduler import HostExecutor
+from repro.workloads import division_example, join_pair, overlapping_pair
+
+
+def fresh_machine():
+    """A fresh machine per run: results stored in memories and the step
+    counter persist across runs, so bit-identical comparisons need
+    identical starting state."""
+    m = SystolicDatabaseMachine()
+    a, b = overlapping_pair(12, 10, 5, arity=2, seed=30)
+    ja, jb = join_pair(14, 12, 6, seed=31)
+    m.store("A", a)
+    m.store("B", b)
+    m.store("JA", ja)
+    m.store("JB", jb)
+    return m
+
+
+@pytest.fixture
+def machine():
+    return fresh_machine()
+
+
+def _transaction():
+    """Three plans: two independent, one sharing a subtree with nothing."""
+    join = Join(Base("JA"), Base("JB"), on=[("key", "key")])
+    return [
+        Intersect(Base("A"), Base("B")),
+        Project(join, ["a0", "b0"]),
+        Dedup(Base("A")),
+    ]
+
+
+class TestHostExecutor:
+    def test_diamond_serial_equals_parallel(self):
+        thunks = {
+            1: ((), lambda deps: 10),
+            2: ((1,), lambda deps: deps[1] + 1),
+            3: ((1,), lambda deps: deps[1] * 2),
+            4: ((2, 3), lambda deps: deps[2] + deps[3]),
+        }
+        serial = HostExecutor(max_workers=1).run(dict(thunks))
+        parallel = HostExecutor(max_workers=4).run(dict(thunks))
+        assert serial == parallel == {1: 10, 2: 11, 3: 20, 4: 31}
+
+    def test_seed_results_feed_thunks(self):
+        thunks = {2: ((1,), lambda deps: deps[1] + 5)}
+        out = HostExecutor(max_workers=2).run(thunks, seed={1: 7})
+        assert out == {1: 7, 2: 12}
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(PlanError, match="unknown ops"):
+            HostExecutor(max_workers=1).run({1: ((99,), lambda deps: 0)})
+
+    def test_cycle_rejected(self):
+        thunks = {
+            1: ((2,), lambda deps: 0),
+            2: ((1,), lambda deps: 0),
+        }
+        for workers in (1, 4):
+            with pytest.raises(PlanError, match="cycle"):
+                HostExecutor(max_workers=workers).run(dict(thunks))
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(PlanError, match="max_workers"):
+            HostExecutor(max_workers=0)
+
+
+class TestParallelRunPhysical:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        mp, ms = fresh_machine(), fresh_machine()
+        parallel_results, parallel_report = mp.run_physical(
+            mp.compile(_transaction()), parallel=True
+        )
+        serial_results, serial_report = ms.run_physical(
+            ms.compile(_transaction()), parallel=False
+        )
+        assert parallel_results == serial_results
+        assert parallel_report.steps == serial_report.steps
+
+    def test_run_many_accepts_parallel_flag(self):
+        mp, ms = fresh_machine(), fresh_machine()
+        results_p, report_p = mp.run_many(_transaction(), parallel=True)
+        results_s, report_s = ms.run_many(_transaction(), parallel=False)
+        assert results_p == results_s
+        assert report_p.steps == report_s.steps
+
+    def test_environment_kill_switch(self, machine, monkeypatch):
+        monkeypatch.setenv("REPRO_MACHINE_PARALLEL", "off")
+        assert machine._resolve_parallel(None) is False
+        monkeypatch.setenv("REPRO_MACHINE_PARALLEL", "1")
+        assert machine._resolve_parallel(None) is True
+        assert machine._resolve_parallel(False) is False
+        results, _ = machine.run_many(_transaction())
+        assert len(results) == 3
+
+    def test_pipelined_chain_with_parallel_compute(self):
+        da, db, dc = division_example()
+
+        def run(parallel):
+            m = SystolicDatabaseMachine()
+            m.store("DA", da)
+            m.store("DB", db)
+            return m.run_many(
+                [Divide(Base("DA"), Base("DB"))], parallel=parallel
+            )
+
+        (result_p,), report_p = run(True)
+        (result_s,), report_s = run(False)
+        assert result_p == result_s == dc
+        assert report_p.steps == report_s.steps
+
+
+class TestPlanCache:
+    def test_structural_hit_returns_same_plan(self, machine):
+        first = machine.compile(_transaction())
+        second = machine.compile(_transaction())
+        assert second is first
+        info = machine.plan_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_cached_plan_executes_repeatedly(self, machine):
+        results = [
+            machine.run_many(_transaction())[0] for _ in range(3)
+        ]
+        assert results[0] == results[1] == results[2]
+        assert machine.plan_cache_info()["hits"] == 2
+
+    def test_different_shape_misses(self, machine):
+        machine.compile(Intersect(Base("A"), Base("B")))
+        machine.compile(Intersect(Base("B"), Base("A")))
+        machine.compile(Dedup(Base("A")))
+        assert machine.plan_cache_info()["misses"] == 3
+
+    def test_pipeline_flag_and_arrivals_key(self, machine):
+        plans = _transaction()
+        machine.compile(plans)
+        machine.compile(plans, pipeline=False)
+        machine.compile(plans, arrivals=[0.0, 0.1, 0.2])
+        assert machine.plan_cache_info()["misses"] == 3
+
+    def test_store_invalidates(self, machine):
+        machine.compile(_transaction())
+        a, _ = overlapping_pair(6, 6, 3, arity=2, seed=99)
+        machine.store("A", a)  # catalog changed: sizes differ
+        machine.compile(_transaction())
+        assert machine.plan_cache_info()["hits"] == 0
+        assert machine.plan_cache_info()["misses"] == 2
+
+    def test_preload_invalidates(self, machine):
+        machine.compile(_transaction())
+        extra, _ = overlapping_pair(4, 4, 2, arity=2, seed=7)
+        machine.preload("EXTRA", extra)
+        machine.compile(_transaction())
+        assert machine.plan_cache_info()["misses"] == 2
+
+    def test_use_cache_false_bypasses(self, machine):
+        machine.compile(_transaction(), use_cache=False)
+        info = machine.plan_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0, "maxsize": 64}
+
+    def test_lru_eviction(self):
+        m = SystolicDatabaseMachine(plan_cache_size=1)
+        a, b = overlapping_pair(6, 5, 3, arity=2, seed=1)
+        m.store("A", a)
+        m.store("B", b)
+        m.compile(Intersect(Base("A"), Base("B")))
+        m.compile(Dedup(Base("A")))  # evicts the intersect plan
+        m.compile(Intersect(Base("A"), Base("B")))
+        info = m.plan_cache_info()
+        assert info["size"] == 1
+        assert info["misses"] == 3 and info["hits"] == 0
+
+    def test_zero_size_disables(self):
+        m = SystolicDatabaseMachine(plan_cache_size=0)
+        a, b = overlapping_pair(6, 5, 3, arity=2, seed=1)
+        m.store("A", a)
+        m.store("B", b)
+        m.compile(Intersect(Base("A"), Base("B")))
+        assert m.plan_cache_info()["size"] == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(PlanError, match="plan_cache_size"):
+            SystolicDatabaseMachine(plan_cache_size=-1)
+
+
+class TestPlanFingerprint:
+    def test_sharing_is_part_of_the_key(self):
+        shared = Base("A")
+        with_sharing = Intersect(shared, shared)
+        without = Intersect(Base("A"), Base("A"))
+        assert plan_fingerprint([with_sharing]) != plan_fingerprint([without])
+        assert plan_fingerprint([without]) == plan_fingerprint(
+            [Intersect(Base("A"), Base("A"))]
+        )
+
+    def test_parameters_distinguish(self):
+        j1 = Join(Base("JA"), Base("JB"), on=[("key", "key")])
+        j2 = Join(Base("JA"), Base("JB"), on=[("a0", "b0")])
+        assert plan_fingerprint([j1]) != plan_fingerprint([j2])
+
+    def test_fingerprint_is_hashable(self):
+        key = plan_fingerprint(_transaction())
+        assert hash(key) is not None
