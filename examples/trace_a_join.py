@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Trace an E6 equi-join through the database machine (repro.obs).
+
+Runs `project(join(R, S))` on the Fig 9-1 machine with the
+observability layer switched on, then:
+
+* writes a Chrome trace-event file you can open at chrome://tracing or
+  https://ui.perfetto.dev — one lane per host thread, spans for the
+  compile, every physical op, the pipelined chain, each device
+  execution, and the engine runs underneath;
+* prints the metrics registry (plan-cache hits, pulses, disk reads, …)
+  and a human summary of the hottest spans.
+
+The same data is reachable from the CLI via `--trace FILE --metrics`;
+see docs/OBSERVABILITY.md.
+
+Run:  python examples/trace_a_join.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.machine import SystolicDatabaseMachine
+from repro.machine.plan import Base, Join, Project
+from repro.obs import metrics
+from repro.workloads import join_pair
+
+
+def main() -> None:
+    machine = SystolicDatabaseMachine()
+    r, s = join_pair(48, 36, matches=10, seed=6)
+    machine.store("R", r)
+    machine.store("S", s)
+
+    # The E6 workload: equi-join on the key column, keep one payload
+    # column from each side.
+    plan = Project(Join(Base("R"), Base("S"), on=((0, 0),)), (0, 1))
+
+    metrics.reset()
+    metrics.enable()
+    tracer = obs.Tracer()
+    try:
+        with obs.tracing(tracer):
+            results, report = machine.run(plan)
+    finally:
+        metrics.disable()
+
+    print(f"E6 equi-join: {len(results)} result tuples, "
+          f"simulated makespan {report.makespan * 1e3:.3f} ms\n")
+
+    trace_path = Path(tempfile.gettempdir()) / "repro_trace_a_join.json"
+    events = obs.write_chrome_trace(tracer, trace_path, metrics=metrics)
+    print(f"Chrome trace: {events} events -> {trace_path}")
+    print("  (open chrome://tracing or https://ui.perfetto.dev and "
+          "load the file)\n")
+
+    print("metrics registry after the run:")
+    print(metrics.render(), "\n")
+
+    print("hottest spans (same view as `repro trace summarize`):")
+    print(obs.summarize_spans(tracer.roots, top=8))
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,11 @@ scheduled timeline.  ``--explain`` additionally shows the compiled
 physical plan: per-operator device assignments, §8 block counts, fused
 pipeline chains, and the predicted vs simulated makespan.
 
+Observability (docs/OBSERVABILITY.md): ``--profile`` prints per-stage
+host wall-clock, ``--trace FILE`` writes a Chrome trace-event file of
+the whole run, ``--metrics`` prints the metrics registry, and
+``trace summarize FILE`` tabulates a previously written trace.
+
 Columns with the same name across files share a domain, so they are
 join/union-compatible automatically.
 """
@@ -30,39 +35,94 @@ from __future__ import annotations
 import argparse
 import contextlib
 import sys
-import time
 
+from repro import obs
 from repro.errors import ReproError
 from repro.lang import execute_plan, optimize, parse
+from repro.obs import metrics
 from repro.relational.csv_io import DomainRegistry, dump_csv, load_csv
 from repro.relational.relation import Relation
 
 
-class _Profiler:
-    """Per-stage wall-clock timing for ``--profile`` (host time, not
-    the simulated pulse clock)."""
+class _Observation:
+    """Per-invocation observability: ``--profile``, ``--trace``,
+    ``--metrics``.
 
-    def __init__(self, enabled: bool) -> None:
-        self.enabled = enabled
-        self.stages: list[tuple[str, float]] = []
+    All three are views over the same :mod:`repro.obs` spans and
+    metrics registry.  ``--profile`` and ``--trace`` activate a tracer
+    for the duration of the command (every layer's spans land in it;
+    the CLI adds one ``cli.<stage>`` span per pipeline stage);
+    ``--metrics`` enables the registry.  On success the requested
+    reports are printed/written; previous tracer/registry state is
+    restored either way, so in-process callers (tests, notebooks) are
+    unaffected.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.profile = getattr(args, "profile", False)
+        self.trace_path = getattr(args, "trace", None)
+        self.show_metrics = getattr(args, "metrics", False)
+        self.tracer: obs.Tracer | None = None
+        self._previous: obs.Tracer | obs.NullTracer | None = None
+        self._owns_metrics = False
+        self._stage_spans: list = []
+
+    def __enter__(self) -> "_Observation":
+        if self.profile or self.trace_path:
+            self._previous = obs.get_tracer()
+            self.tracer = obs.Tracer()
+            obs.start(self.tracer)
+        if self.show_metrics and not metrics.enabled:
+            metrics.reset()
+            metrics.enable()
+            self._owns_metrics = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self.report()
+        finally:
+            if self.tracer is not None:
+                obs.stop()
+                if self._previous is not None and self._previous.enabled:
+                    obs.start(self._previous)
+            if self._owns_metrics:
+                metrics.disable()
 
     @contextlib.contextmanager
     def stage(self, name: str):
-        start = time.perf_counter()
-        try:
+        """One CLI pipeline stage, recorded as a ``cli.<name>`` span."""
+        with obs.span(f"cli.{name}") as sp:
             yield
-        finally:
-            if self.enabled:
-                self.stages.append((name, time.perf_counter() - start))
+        if self.tracer is not None:
+            self._stage_spans.append(sp)
 
     def report(self) -> None:
-        if not self.enabled:
+        if self.trace_path and self.tracer is not None:
+            registry = metrics if metrics.enabled else None
+            events = obs.write_chrome_trace(
+                self.tracer, self.trace_path, metrics=registry
+            )
+            print(f"trace: {events} events written to {self.trace_path}")
+        if self.show_metrics:
+            print()
+            print(metrics.render())
+        if self.profile:
+            self._print_profile()
+
+    def _print_profile(self) -> None:
+        """The ``--profile`` table: host wall-clock per ``cli.*`` span."""
+        stages = [
+            (sp.name[len("cli."):], sp.seconds) for sp in self._stage_spans
+        ]
+        if not stages:
             return
-        total = sum(seconds for _, seconds in self.stages)
-        width = max(len(name) for name, _ in self.stages)
+        total = sum(seconds for _, seconds in stages)
+        width = max(len(name) for name, _ in stages)
         print()
         print("profile (host wall-clock):")
-        for name, seconds in self.stages:
+        for name, seconds in stages:
             share = (seconds / total * 100.0) if total > 0 else 0.0
             print(f"  {name:<{width}}  {seconds * 1e3:>9.3f} ms  {share:5.1f}%")
         print(f"  {'total':<{width}}  {total * 1e3:>9.3f} ms")
@@ -93,24 +153,23 @@ def _emit(relation: Relation, out: str | None) -> None:
 def _cmd_query(args: argparse.Namespace) -> int:
     if args.machine:
         return _run_on_machine(args)
-    profiler = _Profiler(getattr(args, "profile", False))
-    with profiler.stage("load"):
-        catalog = _load_relations(args.relation)
-    with profiler.stage("parse"):
-        plan = parse(args.expression)
-    if args.optimize:
-        with profiler.stage("optimize"):
-            plan = optimize(
-                plan, schemas={n: r.schema for n, r in catalog.items()}
+    with _Observation(args) as observed:
+        with observed.stage("load"):
+            catalog = _load_relations(args.relation)
+        with observed.stage("parse"):
+            plan = parse(args.expression)
+        if args.optimize:
+            with observed.stage("optimize"):
+                plan = optimize(
+                    plan, schemas={n: r.schema for n, r in catalog.items()}
+                )
+        with observed.stage("execute"):
+            result = execute_plan(
+                plan, catalog,
+                engine=args.engine, backend=args.backend, optimize=False,
             )
-    with profiler.stage("execute"):
-        result = execute_plan(
-            plan, catalog,
-            engine=args.engine, backend=args.backend, optimize=False,
-        )
-    with profiler.stage("materialize"):
-        _emit(result, args.out)
-    profiler.report()
+        with observed.stage("materialize"):
+            _emit(result, args.out)
     return 0
 
 
@@ -118,48 +177,52 @@ def _run_on_machine(args: argparse.Namespace) -> int:
     """Shared body of ``machine`` and ``query --machine``."""
     from repro.machine import MachineDisk, SystolicDatabaseMachine
 
-    profiler = _Profiler(getattr(args, "profile", False))
-    with profiler.stage("load"):
-        catalog = _load_relations(args.relation)
-        machine = SystolicDatabaseMachine(
-            disk=MachineDisk(
-                logic_per_track=getattr(args, "logic_per_track", False)
-            ),
-            backend=args.backend,
-        )
-        for name, relation in catalog.items():
-            machine.store(name, relation)
-    with profiler.stage("parse"):
-        plan = parse(args.expression)
-    if args.optimize:
-        with profiler.stage("optimize"):
-            plan = optimize(
-                plan, schemas={n: r.schema for n, r in catalog.items()}
+    with _Observation(args) as observed:
+        with observed.stage("load"):
+            catalog = _load_relations(args.relation)
+            machine = SystolicDatabaseMachine(
+                disk=MachineDisk(
+                    logic_per_track=getattr(args, "logic_per_track", False)
+                ),
+                backend=args.backend,
             )
-    with profiler.stage("compile"):
-        physical = machine.compile(
-            plan, pipeline=not getattr(args, "store_and_forward", False)
-        )
-    if args.explain:
-        print(physical.explain())
+            for name, relation in catalog.items():
+                machine.store(name, relation)
+        with observed.stage("parse"):
+            plan = parse(args.expression)
+        if args.optimize:
+            with observed.stage("optimize"):
+                plan = optimize(
+                    plan, schemas={n: r.schema for n, r in catalog.items()}
+                )
+        with observed.stage("compile"):
+            physical = machine.compile(
+                plan, pipeline=not getattr(args, "store_and_forward", False)
+            )
+        if args.explain:
+            print(physical.explain())
+            print()
+        with observed.stage("execute"):
+            (result,), report = machine.run_physical(physical)
+        with observed.stage("materialize"):
+            _emit(result, args.out)
         print()
-    with profiler.stage("execute"):
-        (result,), report = machine.run_physical(physical)
-    with profiler.stage("materialize"):
-        _emit(result, args.out)
-    print()
-    print(report.timeline())
-    if args.explain:
-        print(
-            f"predicted makespan {physical.predicted_makespan * 1e3:.3f} ms, "
-            f"simulated {report.makespan * 1e3:.3f} ms"
-        )
-    profiler.report()
+        print(report.timeline())
+        if args.explain:
+            print(
+                f"predicted makespan {physical.predicted_makespan * 1e3:.3f} "
+                f"ms, simulated {report.makespan * 1e3:.3f} ms"
+            )
     return 0
 
 
 def _cmd_machine(args: argparse.Namespace) -> int:
     return _run_on_machine(args)
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    print(obs.summarize_file(args.file, top=args.top))
+    return 0
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
@@ -226,6 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "optimize, compile, execute, materialize)",
         )
 
+    def obs_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", metavar="FILE",
+            help="record spans for the whole run (compile, physical "
+                 "ops, device executions, engine runs) and write a "
+                 "Chrome trace-event file — open it in chrome://tracing "
+                 "or https://ui.perfetto.dev",
+        )
+        p.add_argument(
+            "--metrics", action="store_true",
+            help="collect the repro.obs metrics registry during the "
+                 "run and print it afterwards",
+        )
+
     query = sub.add_parser("query", help="evaluate on an execution engine")
     common(query)
     query.add_argument(
@@ -239,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain_option(query)
     profile_option(query)
+    obs_options(query)
     backend_option(query)
     query.set_defaults(handler=_cmd_query)
 
@@ -257,6 +335,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain_option(machine)
     profile_option(machine)
+    obs_options(machine)
     backend_option(machine)
     machine.set_defaults(handler=_cmd_machine)
 
@@ -276,6 +355,22 @@ def build_parser() -> argparse.ArgumentParser:
         "shell", help="interactive session with the database machine"
     )
     shell.set_defaults(handler=_cmd_shell)
+
+    trace = sub.add_parser(
+        "trace", help="inspect trace files written by --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-span count/total/share table for a trace file "
+             "(Chrome trace-event or JSON lines)",
+    )
+    summarize.add_argument("file", help="path to the trace file")
+    summarize.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N most expensive span names",
+    )
+    summarize.set_defaults(handler=_cmd_trace_summarize)
     return parser
 
 

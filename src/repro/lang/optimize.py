@@ -23,8 +23,10 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from repro import obs
 from repro.errors import ReproError
 from repro.machine.inference import infer_schema
+from repro.obs import metrics
 from repro.machine.plan import (
     Base,
     Dedup,
@@ -55,10 +57,15 @@ def optimize(
     knowing which side owns the selected column.  Without it those
     rules simply don't fire.
     """
-    changed = True
-    while changed:
-        plan, changed = _rewrite(plan, schemas)
-    return share_common_subplans(plan)
+    metrics.inc("lang.optimize.calls")
+    with obs.span("lang.optimize") as sp:
+        passes = 0
+        changed = True
+        while changed:
+            plan, changed = _rewrite(plan, schemas)
+            passes += 1
+        sp.set(passes=passes)
+        return share_common_subplans(plan)
 
 
 def _rewrite(

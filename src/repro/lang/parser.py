@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.errors import ParseError
 from repro.lang.tokens import Token, tokenize
+from repro.obs import metrics
 from repro.machine.plan import (
     Base,
     Dedup,
@@ -45,10 +47,12 @@ _FUNCTIONS = {
 
 def parse(source: str) -> PlanNode:
     """Parse one expression into a plan."""
-    parser = _Parser(tokenize(source), source)
-    plan = parser.expression()
-    parser.expect("EOF")
-    return plan
+    metrics.inc("lang.parse.calls")
+    with obs.span("lang.parse", chars=len(source)):
+        parser = _Parser(tokenize(source), source)
+        plan = parser.expression()
+        parser.expect("EOF")
+        return plan
 
 
 class _Parser:

@@ -25,6 +25,7 @@ from repro.arrays.decomposition import (
     blocked_remove_duplicates,
     blocked_union,
 )
+from repro import obs
 from repro.errors import PlanError
 from repro.machine.plan import (
     DEVICE_COMPARISON,
@@ -41,6 +42,7 @@ from repro.machine.plan import (
     Select,
     Union,
 )
+from repro.obs import metrics
 from repro.perf.technology import PAPER_CONSERVATIVE, TechnologyModel
 from repro.relational import algebra
 from repro.relational.relation import Relation
@@ -84,7 +86,18 @@ class SystolicDevice:
 
     def execute(self, node: PlanNode, inputs: list[Relation]) -> DeviceRun:
         """Run one plan node's operation on this device."""
-        relation, report = self._dispatch(node, inputs)
+        with obs.span(
+            "device.execute", device=self.name, kind=self.kind,
+            op=node.describe(),
+        ) as sp:
+            relation, report = self._dispatch(node, inputs)
+            sp.set(
+                pulses=report.total_pulses, blocks=report.block_runs,
+                rows_out=len(relation),
+            )
+        metrics.inc("device.executions")
+        metrics.inc("device.block_runs", report.block_runs)
+        metrics.inc("device.busy_pulses", report.total_pulses)
         return DeviceRun(
             relation=relation,
             pulses=report.total_pulses,
@@ -166,7 +179,13 @@ class CpuDevice:
                 f"{node.describe()}; route array work to a systolic device"
             )
         source = inputs[0]
-        relation = algebra.select(source, node.column, node.op, node.value)
+        with obs.span(
+            "device.execute", device=self.name, kind=self.kind,
+            op=node.describe(),
+        ) as sp:
+            relation = algebra.select(source, node.column, node.op, node.value)
+            sp.set(rows_out=len(relation))
+        metrics.inc("device.executions")
         seconds = len(source) * self.tuple_op_ns * 1e-9
         return DeviceRun(
             relation=relation, pulses=0, seconds=seconds, block_runs=0

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import PlanError
+from repro.obs import metrics
 from repro.perf.disk import DiskModel, PAPER_DISK
 from repro.relational.algebra import COMPARISON_OPS
 from repro.relational.relation import Relation
@@ -92,6 +93,7 @@ class MachineDisk:
             raise PlanError(
                 f"no base relation named {name!r}; have {self.names()}"
             ) from None
+        metrics.inc("machine.disk.reads")
         seconds = self.model.read_seconds(self.relation_bytes(relation))
         if selection is None:
             return relation, seconds

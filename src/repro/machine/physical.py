@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.errors import PlanError
 from repro.machine.inference import estimate_rows, infer_schema
 from repro.machine.pipelining import StageCost, analyze_chain
@@ -317,16 +318,26 @@ class PhysicalPlanner:
         if any(t < 0 for t in arrivals):
             raise PlanError("arrival times must be non-negative")
 
-        order, release = self._walk_order(plans, arrivals)
-        parent_count = self._parent_count(order)
-        fused = self._fused_selects(order, parent_count)
-        ops, op_of_node = self._assign(order, release, parent_count, fused)
-        chains = (
-            self._fuse_chains(ops, op_of_node, parent_count)
-            if pipeline else []
-        )
-        self._predict_timeline(ops, chains)
-        outputs = [op_of_node[id(plan)] for plan in plans]
+        with obs.span("planner.compile", plans=len(plans)) as sp:
+            order, release = self._walk_order(plans, arrivals)
+            parent_count = self._parent_count(order)
+            fused = self._fused_selects(order, parent_count)
+            with obs.span("planner.assign"):
+                ops, op_of_node = self._assign(
+                    order, release, parent_count, fused
+                )
+            with obs.span("planner.fuse"):
+                chains = (
+                    self._fuse_chains(ops, op_of_node, parent_count)
+                    if pipeline else []
+                )
+            with obs.span("planner.predict"):
+                self._predict_timeline(ops, chains)
+            outputs = [op_of_node[id(plan)] for plan in plans]
+            sp.set(
+                ops=len(ops),
+                chains=sum(1 for c in chains if len(c) > 1),
+            )
         return PhysicalPlan(ops, chains, outputs, pipeline)
 
     # -- plan walk -----------------------------------------------------------

@@ -23,6 +23,7 @@ from typing import Any, Callable, Optional
 
 from repro.errors import PlanError
 from repro.machine.crossbar import CrossbarSwitch
+from repro.obs import metrics
 from repro.machine.device import CpuDevice, DeviceRun, SystolicDevice
 from repro.machine.memory import MemoryModule
 from repro.machine.plan import PlanNode
@@ -232,6 +233,7 @@ class HostExecutor:
                 )
             for op_id in ready:
                 results[op_id] = thunks[op_id][1](results)
+                metrics.inc("machine.host.tasks")
                 del pending[op_id]
             for deps in pending.values():
                 deps.difference_update(ready)
@@ -273,6 +275,7 @@ class HostExecutor:
                 for future in done:
                     op_id = in_flight.pop(future)
                     results[op_id] = future.result()
+                    metrics.inc("machine.host.tasks")
                     for deps in pending.values():
                         deps.discard(op_id)
                 submit_ready()

@@ -32,8 +32,10 @@ import os
 from collections import OrderedDict
 from typing import Any, Optional, Sequence
 
+from repro import obs
 from repro.arrays.decomposition import ArrayCapacity
 from repro.errors import CapacityError, PlanError
+from repro.obs import metrics
 from repro.machine.crossbar import CrossbarSwitch
 from repro.machine.device import CpuDevice, SystolicDevice
 from repro.machine.disk import MachineDisk
@@ -213,30 +215,46 @@ class SystolicDatabaseMachine:
         """
         if isinstance(plans, PlanNode):
             plans = [plans]
-        if not use_cache or self._plan_cache_size == 0:
-            return PhysicalPlanner(self).compile(
+        metrics.inc("machine.compile.calls")
+        with obs.span(
+            "machine.compile", plans=len(plans), pipeline=bool(pipeline),
+        ) as sp:
+            if not use_cache or self._plan_cache_size == 0:
+                physical = PhysicalPlanner(self).compile(
+                    plans, arrivals, pipeline=pipeline
+                )
+                sp.set(cached=False, ops=len(physical.ops))
+                return physical
+            key = (
+                plan_fingerprint(plans),
+                tuple(arrivals) if arrivals is not None else None,
+                bool(pipeline),
+                self._catalog_version,
+                self._roster_fingerprint,
+            )
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                self._plan_cache.move_to_end(key)
+                self._plan_cache_hits += 1
+                metrics.inc("machine.plan_cache.hits")
+                metrics.set_gauge(
+                    "machine.plan_cache.size", len(self._plan_cache)
+                )
+                sp.set(cached=True, ops=len(cached.ops))
+                return cached
+            self._plan_cache_misses += 1
+            metrics.inc("machine.plan_cache.misses")
+            physical = PhysicalPlanner(self).compile(
                 plans, arrivals, pipeline=pipeline
             )
-        key = (
-            plan_fingerprint(plans),
-            tuple(arrivals) if arrivals is not None else None,
-            bool(pipeline),
-            self._catalog_version,
-            self._roster_fingerprint,
-        )
-        cached = self._plan_cache.get(key)
-        if cached is not None:
-            self._plan_cache.move_to_end(key)
-            self._plan_cache_hits += 1
-            return cached
-        self._plan_cache_misses += 1
-        physical = PhysicalPlanner(self).compile(
-            plans, arrivals, pipeline=pipeline
-        )
-        self._plan_cache[key] = physical
-        while len(self._plan_cache) > self._plan_cache_size:
-            self._plan_cache.popitem(last=False)
-        return physical
+            self._plan_cache[key] = physical
+            while len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+            metrics.set_gauge(
+                "machine.plan_cache.size", len(self._plan_cache)
+            )
+            sp.set(cached=False, ops=len(physical.ops))
+            return physical
 
     def plan_cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the compile cache."""
@@ -307,35 +325,52 @@ class SystolicDatabaseMachine:
         timed report) sequentially, so the timeline is deterministic and
         bit-identical whether the compute phase ran parallel or serial.
         """
-        runs = self._compute_phase(physical, self._resolve_parallel(parallel))
-        report = ExecutionReport()
-        roster = DeviceRoster(self.devices)
-        disk_free = 0.0
-        #: op id -> (result key, relation, ready time, memory name)
-        produced: dict[int, tuple[str, Relation, float, str]] = {}
-        for op in physical.ops:
-            if op.op_id in produced:
-                continue
-            if op.kind == OP_RESIDENT:
-                produced[op.op_id] = self._resident[op.node.name]
-                continue
-            if op.kind == OP_LOAD:
-                disk_free = self._run_load(
-                    op, produced, report, disk_free, runs[op.op_id]
+        with obs.span("machine.run", ops=len(physical.ops)) as run_span:
+            with obs.span("machine.compute_phase"):
+                runs, task_spans = self._compute_phase(
+                    physical, self._resolve_parallel(parallel)
                 )
-                continue
-            chain = physical.chain_of(op)
-            if chain is not None and len(chain) > 1:
-                members = [physical[i] for i in chain.op_ids]
-                if members[-1].op_id != op.op_id:
-                    # Chains execute as a unit once the machine reaches
-                    # the last member: by then every external input of
-                    # every stage has been produced (topological order).
-                    continue
-                self._run_chain(members, produced, report, roster, runs)
-            else:
-                self._run_singleton(op, produced, report, roster, runs)
-        results = [produced[op_id][1] for op_id in physical.outputs]
+            report = ExecutionReport()
+            roster = DeviceRoster(self.devices)
+            disk_free = 0.0
+            #: op id -> (result key, relation, ready time, memory name)
+            produced: dict[int, tuple[str, Relation, float, str]] = {}
+            with obs.span("machine.replay"):
+                for op in physical.ops:
+                    if op.op_id in produced:
+                        continue
+                    if op.kind == OP_RESIDENT:
+                        with obs.span(
+                            "machine.op", op=op.label, device="resident",
+                            kind=op.kind,
+                        ):
+                            produced[op.op_id] = self._resident[op.node.name]
+                        continue
+                    if op.kind == OP_LOAD:
+                        disk_free = self._run_load(
+                            op, produced, report, disk_free,
+                            runs[op.op_id], task_spans.get(op.op_id),
+                        )
+                        continue
+                    chain = physical.chain_of(op)
+                    if chain is not None and len(chain) > 1:
+                        members = [physical[i] for i in chain.op_ids]
+                        if members[-1].op_id != op.op_id:
+                            # Chains execute as a unit once the machine
+                            # reaches the last member: by then every
+                            # external input of every stage has been
+                            # produced (topological order).
+                            continue
+                        self._run_chain(
+                            members, produced, report, roster, runs,
+                            task_spans,
+                        )
+                    else:
+                        self._run_singleton(
+                            op, produced, report, roster, runs, task_spans
+                        )
+            results = [produced[op_id][1] for op_id in physical.outputs]
+            run_span.set(makespan_ms=report.makespan * 1e3)
         return results, report
 
     # -- compute phase ---------------------------------------------------------
@@ -349,17 +384,23 @@ class SystolicDatabaseMachine:
 
     def _compute_phase(
         self, physical: PhysicalPlan, parallel: bool
-    ) -> dict[int, Any]:
+    ) -> tuple[dict[int, Any], dict[int, Any]]:
         """Resolve every op's data result, overlapping independent ops.
 
-        Returns ``{op_id: result}`` where a load's result is the
-        ``(relation, read_seconds)`` pair from :meth:`MachineDisk.read`,
-        a compute op's is its :class:`~repro.machine.device.DeviceRun`,
-        and a resident's is the relation itself.  Chain members are
-        computed here exactly like singletons — a member's inputs are
-        its producers' relations either way — so the replay phase can
-        fall back from a fused chain to store-and-forward without
-        recomputing anything.
+        Returns ``({op_id: result}, {op_id: span})`` where a load's
+        result is the ``(relation, read_seconds)`` pair from
+        :meth:`MachineDisk.read`, a compute op's is its
+        :class:`~repro.machine.device.DeviceRun`, and a resident's is
+        the relation itself.  Chain members are computed here exactly
+        like singletons — a member's inputs are its producers'
+        relations either way — so the replay phase can fall back from a
+        fused chain to store-and-forward without recomputing anything.
+
+        When tracing is active, each thunk runs under a **detached**
+        ``host.task`` span (returned in the second dict); the replay
+        phase grafts those subtrees under the deterministic per-op
+        spans, so the recorded tree structure is identical whether the
+        compute phase ran parallel or serial.
         """
 
         def relation_of(value: Any) -> Relation:
@@ -390,8 +431,37 @@ class SystolicDatabaseMachine:
                     return device.execute(node, inputs)
 
                 thunks[op.op_id] = (deps, execute)
+        task_spans: dict[int, Any] = {}
+        if obs.enabled():
+            labels = {op.op_id: op.label for op in physical.ops}
+            for op_id, (deps, fn) in list(thunks.items()):
+                thunks[op_id] = (
+                    deps,
+                    self._traced_thunk(op_id, labels[op_id], fn, task_spans),
+                )
         workers = self.host_workers if parallel else 1
-        return HostExecutor(max_workers=workers).run(thunks, seed=seed)
+        results = HostExecutor(max_workers=workers).run(thunks, seed=seed)
+        return results, task_spans
+
+    @staticmethod
+    def _traced_thunk(
+        op_id: int, label: str, fn: Any, task_spans: dict[int, Any]
+    ) -> Any:
+        """Wrap a compute thunk in a detached ``host.task`` span.
+
+        The span subtree is free-standing (worker threads have no
+        deterministic ancestor) and lands in ``task_spans`` for the
+        replay phase to adopt.  Distinct keys make the dict writes
+        thread-safe.
+        """
+
+        def traced(resolved: dict[int, Any]) -> Any:
+            with obs.detached("host.task", op=label) as sp:
+                result = fn(resolved)
+            task_spans[op_id] = sp
+            return result
+
+        return traced
 
     # -- internals ------------------------------------------------------------
 
@@ -430,28 +500,39 @@ class SystolicDatabaseMachine:
         report: ExecutionReport,
         disk_free: float,
         loaded: tuple[Relation, float],
+        task_span: Any = None,
     ) -> float:
         """One serial disk read (selection possibly fused on-track)."""
-        released = max(disk_free, op.release)
-        relation, read_seconds = loaded
-        nbytes = relation_bytes(relation, self.element_bits)
-        memory, start = self._choose_memory(
-            nbytes, avoid=set(), ready=released, duration=read_seconds
-        )
-        end = start + read_seconds
-        key = self._new_key(
-            op.fused_select if op.fused_select is not None else op.node
-        )
-        memory.store(key, relation, nbytes)
-        self.crossbar.establish(memory.name, "disk", start, end)
-        report.steps.append(ScheduledStep(
-            label=op.label,
-            device="disk",
-            start=start, end=end,
-            output_key=key, output_memory=memory.name,
-            nbytes_out=nbytes,
-        ))
-        produced[op.op_id] = (key, relation, end, memory.name)
+        with obs.span(
+            "machine.op", op=op.label, device="disk", kind=op.kind,
+        ) as sp:
+            obs.adopt(task_span)
+            released = max(disk_free, op.release)
+            relation, read_seconds = loaded
+            nbytes = relation_bytes(relation, self.element_bits)
+            memory, start = self._choose_memory(
+                nbytes, avoid=set(), ready=released, duration=read_seconds
+            )
+            end = start + read_seconds
+            key = self._new_key(
+                op.fused_select if op.fused_select is not None else op.node
+            )
+            memory.store(key, relation, nbytes)
+            self.crossbar.establish(memory.name, "disk", start, end)
+            report.steps.append(ScheduledStep(
+                label=op.label,
+                device="disk",
+                start=start, end=end,
+                output_key=key, output_memory=memory.name,
+                nbytes_out=nbytes,
+            ))
+            produced[op.op_id] = (key, relation, end, memory.name)
+            sp.set(
+                rows_out=len(relation), nbytes_out=nbytes,
+                memory=memory.name, sim_start=start, sim_end=end,
+            )
+        metrics.inc("machine.ops.executed")
+        metrics.observe("machine.op.sim_seconds", end - start)
         return end
 
     def _run_singleton(
@@ -461,8 +542,29 @@ class SystolicDatabaseMachine:
         report: ExecutionReport,
         roster: DeviceRoster,
         runs: dict[int, Any],
+        task_spans: Optional[dict[int, Any]] = None,
     ) -> None:
         """One store-and-forward operation on its assigned device."""
+        with obs.span(
+            "machine.op", op=op.label, device=op.device, kind=op.kind,
+        ) as sp:
+            if task_spans is not None:
+                obs.adopt(task_spans.get(op.op_id))
+            start, end = self._commit_singleton(
+                op, produced, report, roster, runs, sp
+            )
+        metrics.inc("machine.ops.executed")
+        metrics.observe("machine.op.sim_seconds", end - start)
+
+    def _commit_singleton(
+        self,
+        op: PhysicalOp,
+        produced: dict[int, tuple[str, Relation, float, str]],
+        report: ExecutionReport,
+        roster: DeviceRoster,
+        runs: dict[int, Any],
+        sp: Any,
+    ) -> tuple[float, float]:
         input_keys = []
         input_memories = []
         ready = op.release
@@ -532,6 +634,12 @@ class SystolicDatabaseMachine:
             nbytes_out=nbytes_out,
         ))
         produced[op.op_id] = (key, run.relation, end, out_memory.name)
+        sp.set(
+            pulses=run.pulses, blocks=run.block_runs,
+            rows_out=len(run.relation), nbytes_out=nbytes_out,
+            memory=out_memory.name, sim_start=start, sim_end=end,
+        )
+        return start, end
 
     def _run_chain(
         self,
@@ -540,6 +648,7 @@ class SystolicDatabaseMachine:
         report: ExecutionReport,
         roster: DeviceRoster,
         precomputed: dict[int, Any],
+        task_spans: Optional[dict[int, Any]] = None,
     ) -> None:
         """Execute a fused chain under the Σ fill + max stream law (§9).
 
@@ -564,7 +673,8 @@ class SystolicDatabaseMachine:
                 if claimed != member.device:
                     for fallback in members:
                         self._run_singleton(
-                            fallback, produced, report, roster, precomputed
+                            fallback, produced, report, roster, precomputed,
+                            task_spans,
                         )
                     return
 
@@ -667,49 +777,75 @@ class SystolicDatabaseMachine:
             # this machine — run its stages store-and-forward instead.
             for fallback in members:
                 self._run_singleton(
-                    fallback, produced, report, roster, precomputed
+                    fallback, produced, report, roster, precomputed,
+                    task_spans,
                 )
             return
 
         # Commit: claim ports, occupy devices, store the tail's output.
-        key_of: dict[int, str] = {}
-        for k, (member, run, (lo, hi), external) in enumerate(
-            zip(members, runs, offsets, externals)
-        ):
-            stage_start, stage_end = start + lo, start + hi
-            key = self._new_key(member.node)
-            key_of[member.op_id] = key
-            external_memories = {memory for _, memory in external}
-            for memory_name in external_memories:
-                self.crossbar.establish(
-                    memory_name, member.device, stage_start, stage_end
-                )
-            if k == tail_index:
-                memory_label = out_memory.name
-                out_memory.store(key, run.relation, out_bytes[k])
-                if out_memory.name not in external_memories:
-                    self.crossbar.establish(
-                        out_memory.name, member.device, stage_start, stage_end
+        metrics.inc("machine.chains.executed")
+        with obs.span(
+            "machine.chain", stages=len(members),
+            chain=" | ".join(m.label for m in members),
+        ) as chain_span:
+            key_of: dict[int, str] = {}
+            for k, (member, run, (lo, hi), external) in enumerate(
+                zip(members, runs, offsets, externals)
+            ):
+                stage_start, stage_end = start + lo, start + hi
+                with obs.span(
+                    "machine.op", op=member.label, device=member.device,
+                    kind=member.kind,
+                ) as sp:
+                    if task_spans is not None:
+                        obs.adopt(task_spans.get(member.op_id))
+                    key = self._new_key(member.node)
+                    key_of[member.op_id] = key
+                    external_memories = {memory for _, memory in external}
+                    for memory_name in external_memories:
+                        self.crossbar.establish(
+                            memory_name, member.device, stage_start, stage_end
+                        )
+                    if k == tail_index:
+                        memory_label = out_memory.name
+                        out_memory.store(key, run.relation, out_bytes[k])
+                        if out_memory.name not in external_memories:
+                            self.crossbar.establish(
+                                out_memory.name, member.device,
+                                stage_start, stage_end,
+                            )
+                    else:
+                        # Streamed straight into the next stage's array.
+                        memory_label = f"->{members[k + 1].device}"
+                    roster.occupy(member.device, stage_end)
+                    input_keys = tuple(
+                        key_of[i] if i in internal else produced[i][0]
+                        for i in member.inputs
                     )
-            else:
-                # Streamed straight into the next stage's array.
-                memory_label = f"->{members[k + 1].device}"
-            roster.occupy(member.device, stage_end)
-            input_keys = tuple(
-                key_of[i] if i in internal else produced[i][0]
-                for i in member.inputs
-            )
-            report.steps.append(ScheduledStep(
-                label=member.label,
-                device=member.device,
-                start=stage_start, end=stage_end,
-                output_key=key, output_memory=memory_label,
-                input_keys=input_keys,
-                pulses=run.pulses, block_runs=run.block_runs,
-                nbytes_out=out_bytes[k],
-            ))
-            produced[member.op_id] = (
-                key, run.relation, stage_end, memory_label
+                    report.steps.append(ScheduledStep(
+                        label=member.label,
+                        device=member.device,
+                        start=stage_start, end=stage_end,
+                        output_key=key, output_memory=memory_label,
+                        input_keys=input_keys,
+                        pulses=run.pulses, block_runs=run.block_runs,
+                        nbytes_out=out_bytes[k],
+                    ))
+                    produced[member.op_id] = (
+                        key, run.relation, stage_end, memory_label
+                    )
+                    sp.set(
+                        pulses=run.pulses, blocks=run.block_runs,
+                        rows_out=len(run.relation), nbytes_out=out_bytes[k],
+                        memory=memory_label,
+                        sim_start=stage_start, sim_end=stage_end,
+                    )
+                metrics.inc("machine.ops.executed")
+                metrics.observe(
+                    "machine.op.sim_seconds", stage_end - stage_start
+                )
+            chain_span.set(
+                sim_start=start + offsets[0][0], sim_end=start + tail_hi
             )
 
     def _memory(self, name: str) -> MemoryModule:

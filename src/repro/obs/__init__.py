@@ -1,0 +1,76 @@
+"""``repro.obs`` — the zero-dependency observability layer.
+
+One subsystem, three surfaces, all off by default:
+
+* **Spans** (:mod:`repro.obs.spans`): hierarchical host wall-clock
+  intervals — ``with obs.span("compile", ops=6): ...`` — recorded by an
+  ambient :class:`Tracer`.  Instrumentation points are free while
+  tracing is off (the null tracer hands out one shared no-op context
+  manager).  The machine records compute-phase work as *detached*
+  subtrees and grafts them in during sequential replay, so the span
+  tree is deterministic under ``parallel=True`` and ``parallel=False``
+  alike.
+* **Metrics** (:mod:`repro.obs.metrics`): a process-local registry of
+  counters/gauges/histograms whose names are declared once in
+  :mod:`repro.obs.names` — the stable, docs-checked contract.
+* **Exporters** (:mod:`repro.obs.export`): JSON lines, Chrome
+  trace-event files (``chrome://tracing`` / Perfetto), and human
+  summary tables.
+
+CLI: ``--trace FILE`` / ``--metrics`` on ``query``/``machine``,
+``repro trace summarize FILE``; ``--profile`` is a view over the same
+spans.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    read_chrome_trace,
+    read_jsonl,
+    summarize_file,
+    summarize_spans,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import HistogramSummary, MetricsRegistry, metrics
+from repro.obs.names import COUNTER, GAUGE, HISTOGRAM, METRICS
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    adopt,
+    detached,
+    enabled,
+    get_tracer,
+    span,
+    start,
+    stop,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "span",
+    "detached",
+    "adopt",
+    "enabled",
+    "get_tracer",
+    "start",
+    "stop",
+    "tracing",
+    "metrics",
+    "MetricsRegistry",
+    "HistogramSummary",
+    "METRICS",
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "write_jsonl",
+    "read_jsonl",
+    "write_chrome_trace",
+    "read_chrome_trace",
+    "summarize_spans",
+    "summarize_file",
+]

@@ -1,0 +1,62 @@
+"""The stable metric-name registry.
+
+Every metric the instrumented code records is declared here, once, with
+its kind and a one-line meaning.  The table is a *contract*:
+
+* :mod:`repro.obs.metrics` refuses to record a name that is not
+  declared (so an instrumentation typo fails loudly, not silently);
+* ``tests/obs/test_metrics_names.py`` exercises a workload that must
+  touch **every** declared name, so a declared-but-dead name fails CI;
+* ``tools/check_docs.py`` cross-checks this table against the metric
+  table in ``docs/OBSERVABILITY.md`` — renaming a metric without
+  updating the docs (or vice versa) fails CI.
+
+Naming convention: ``layer.subject.event`` with layers ``lang``,
+``machine``, ``device``, ``engine`` (lowest to highest frequency).
+"""
+
+from __future__ import annotations
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: name -> (kind, description).  Keep sorted by name.
+METRICS: dict[str, tuple[str, str]] = {
+    "device.block_runs": (
+        COUNTER, "§8 sub-problems executed across all devices"),
+    "device.busy_pulses": (
+        COUNTER, "total simulated pulses run on systolic devices"),
+    "device.executions": (
+        COUNTER, "operations executed on machine devices (incl. the CPU)"),
+    "engine.lattice.chunks": (
+        COUNTER, "row chunks evaluated by the lattice engine's grid path"),
+    "engine.run.pulses": (
+        HISTOGRAM, "pulses per engine run (pulse and lattice alike)"),
+    "engine.runs": (
+        COUNTER, "array plans executed by any engine"),
+    "lang.optimize.calls": (
+        COUNTER, "logical-plan optimizer invocations"),
+    "lang.parse.calls": (
+        COUNTER, "expression-language parses"),
+    "machine.chains.executed": (
+        COUNTER, "§9 pipelined chains executed fused (not fallen back)"),
+    "machine.compile.calls": (
+        COUNTER, "SystolicDatabaseMachine.compile invocations"),
+    "machine.disk.reads": (
+        COUNTER, "base-relation reads off the machine disk"),
+    "machine.host.tasks": (
+        COUNTER, "compute-phase thunks resolved by HostExecutor"),
+    "machine.op.sim_seconds": (
+        HISTOGRAM, "simulated duration of each replayed timeline step"),
+    "machine.ops.executed": (
+        COUNTER, "physical ops replayed onto the timeline"),
+    "machine.plan_cache.hits": (
+        COUNTER, "compile calls answered from the LRU plan cache"),
+    "machine.plan_cache.misses": (
+        COUNTER, "compile calls that ran the physical planner"),
+    "machine.plan_cache.size": (
+        GAUGE, "physical plans currently held by the LRU cache"),
+}
+
+__all__ = ["COUNTER", "GAUGE", "HISTOGRAM", "METRICS"]

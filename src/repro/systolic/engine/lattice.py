@@ -36,7 +36,9 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
+from repro.obs import metrics
 from repro.systolic.engine.hexmesh import (
     U_C,
     c_start,
@@ -144,15 +146,25 @@ class LatticeEngine:
                 "trace recording needs the pulse-level cell network; run "
                 "this plan with backend='pulse'"
             )
-        if isinstance(plan, GridPlan):
-            return self._run_grid(plan, meter)
-        if isinstance(plan, DivisionPlan):
-            return self._run_division(plan, meter)
-        if isinstance(plan, LinearPlan):
-            return self._run_linear(plan, meter)
-        if isinstance(plan, HexPlan):
-            return self._run_hex(plan, meter)
-        raise SimulationError(f"unknown plan type {type(plan).__name__}")
+        with obs.span(
+            "engine.run", engine=self.name,
+            plan=type(plan).__name__, pulses=plan.pulses, cells=plan.cells,
+        ):
+            if isinstance(plan, GridPlan):
+                run = self._run_grid(plan, meter)
+            elif isinstance(plan, DivisionPlan):
+                run = self._run_division(plan, meter)
+            elif isinstance(plan, LinearPlan):
+                run = self._run_linear(plan, meter)
+            elif isinstance(plan, HexPlan):
+                run = self._run_hex(plan, meter)
+            else:
+                raise SimulationError(
+                    f"unknown plan type {type(plan).__name__}"
+                )
+        metrics.inc("engine.runs")
+        metrics.observe("engine.run.pulses", plan.pulses)
+        return run
 
     def __repr__(self) -> str:
         return f"LatticeEngine(chunk_bytes={self.chunk_bytes})"
@@ -170,6 +182,7 @@ class LatticeEngine:
         V = np.empty((n_a, n_b), dtype=bool)
         chunk = max(1, self.chunk_bytes // max(1, 8 * n_b * m))
         for lo in range(0, n_a, chunk):
+            metrics.inc("engine.lattice.chunks")
             hi = min(n_a, lo + chunk)
             if plan.ops is None:
                 V[lo:hi] = (A[lo:hi, None, :] == B[None, :, :]).all(axis=2)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro import obs
+from repro.obs import metrics
 from repro.systolic.engine.materialize import materialize
 from repro.systolic.engine.plan import EngineRun, ExecutionPlan, HexPlan
 from repro.systolic.metrics import ActivityMeter
@@ -29,16 +31,24 @@ class PulseEngine:
         meter: Optional[ActivityMeter] = None,
         trace: Optional[Any] = None,
     ) -> EngineRun:
-        network = materialize(plan)
-        peak_firing: Optional[int] = None
-        observer = trace
-        firing_per_pulse: list[int] = []
-        if isinstance(plan, HexPlan):
-            observer = _hex_observer(firing_per_pulse, trace)
-        simulator = SystolicSimulator(network, meter=meter, observer=observer)
-        simulator.run(plan.pulses)
-        if isinstance(plan, HexPlan):
-            peak_firing = max(firing_per_pulse, default=0)
+        with obs.span(
+            "engine.run", engine=self.name,
+            plan=type(plan).__name__, pulses=plan.pulses, cells=plan.cells,
+        ):
+            network = materialize(plan)
+            peak_firing: Optional[int] = None
+            observer = trace
+            firing_per_pulse: list[int] = []
+            if isinstance(plan, HexPlan):
+                observer = _hex_observer(firing_per_pulse, trace)
+            simulator = SystolicSimulator(
+                network, meter=meter, observer=observer
+            )
+            simulator.run(plan.pulses)
+            if isinstance(plan, HexPlan):
+                peak_firing = max(firing_per_pulse, default=0)
+        metrics.inc("engine.runs")
+        metrics.observe("engine.run.pulses", plan.pulses)
         return EngineRun(
             engine=self.name,
             pulses=plan.pulses,

@@ -1,0 +1,108 @@
+"""The metrics registry and the stable metric-name contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lang import optimize, parse
+from repro.obs import COUNTER, GAUGE, HISTOGRAM, METRICS, MetricsRegistry, metrics
+
+from .conftest import build_machine, join_project_plan
+
+
+class TestRegistry:
+    def test_disabled_records_nothing(self):
+        registry = MetricsRegistry()
+        registry.inc("machine.disk.reads")
+        registry.set_gauge("machine.plan_cache.size", 3)
+        registry.observe("engine.run.pulses", 1.0)
+        assert registry.collected_names() == set()
+
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry().enable()
+        registry.inc("machine.disk.reads")
+        registry.inc("machine.disk.reads", 2)
+        registry.set_gauge("machine.plan_cache.size", 3)
+        registry.set_gauge("machine.plan_cache.size", 1)
+        registry.observe("engine.run.pulses", 10.0)
+        registry.observe("engine.run.pulses", 30.0)
+        assert registry.counter("machine.disk.reads") == 3
+        assert registry.gauge("machine.plan_cache.size") == 1
+        summary = registry.histogram("engine.run.pulses")
+        assert summary.count == 2
+        assert summary.total == 40.0
+        assert summary.minimum == 10.0
+        assert summary.maximum == 30.0
+        assert summary.mean == 20.0
+
+    def test_undeclared_name_raises(self):
+        registry = MetricsRegistry().enable()
+        with pytest.raises(ReproError, match="not declared"):
+            registry.inc("machine.rogue.counter")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry().enable()
+        with pytest.raises(ReproError, match="declared as a"):
+            registry.inc("engine.run.pulses")  # declared as a histogram
+
+    def test_reset_keeps_the_switch(self):
+        registry = MetricsRegistry().enable()
+        registry.inc("machine.disk.reads")
+        registry.reset()
+        assert registry.enabled
+        assert registry.collected_names() == set()
+
+    def test_snapshot_and_render(self):
+        registry = MetricsRegistry().enable()
+        registry.inc("machine.disk.reads", 4)
+        registry.observe("engine.run.pulses", 7.0)
+        snap = registry.snapshot()
+        assert snap["machine.disk.reads"] == {"kind": COUNTER, "value": 4}
+        assert snap["engine.run.pulses"]["kind"] == HISTOGRAM
+        table = registry.render()
+        assert "machine.disk.reads" in table
+        assert "counter" in table
+
+
+class TestDeclaredNames:
+    def test_every_declared_kind_is_valid(self):
+        for name, (kind, description) in METRICS.items():
+            assert kind in (COUNTER, GAUGE, HISTOGRAM), name
+            assert description, name
+
+    def test_names_are_layer_prefixed(self):
+        prefixes = ("machine.", "device.", "engine.", "lang.")
+        for name in METRICS:
+            assert name.startswith(prefixes), name
+
+    def test_workload_touches_every_declared_name(self):
+        """The name table is *exact*: one representative workload
+        records every declared metric, and (by the registry's
+        undeclared-name check) nothing else.  Renaming or adding a
+        metric without updating ``repro.obs.names`` fails here."""
+        metrics.enable()
+        plan_text = "project(join(R, S, #0 == #0), #0, #1)"
+        plan = optimize(parse(plan_text))
+
+        machine = build_machine()
+        machine.run(plan)                     # compile miss + full run
+        machine.run(join_project_plan())      # equal plan: cache hit
+
+        lattice = build_machine(backend="lattice")
+        lattice.run(join_project_plan())      # engine.lattice.chunks
+
+        collected = metrics.collected_names()
+        missing = set(METRICS) - collected
+        assert not missing, f"declared but never recorded: {sorted(missing)}"
+        assert collected == set(METRICS)
+
+    def test_plan_cache_metrics_follow_cache_behaviour(self):
+        metrics.enable()
+        machine = build_machine()
+        machine.run(join_project_plan())
+        assert metrics.counter("machine.plan_cache.misses") == 1
+        assert metrics.counter("machine.plan_cache.hits") == 0
+        machine.run(join_project_plan())
+        assert metrics.counter("machine.plan_cache.hits") == 1
+        assert metrics.gauge("machine.plan_cache.size") == 1

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Keep the documentation and the code from drifting apart.
+
+Two checks, both run in CI next to the bench gate::
+
+    python tools/check_docs.py
+
+1. **Metric-name contract.**  The metric table in
+   ``docs/OBSERVABILITY.md`` must list exactly the names declared in
+   ``repro.obs.names.METRICS``, with matching kinds.  A metric renamed
+   in code but not in the docs (or vice versa) fails here; a metric
+   declared but never recorded fails ``tests/obs/test_metrics_names.py``
+   instead.
+
+2. **Intra-repository markdown links.**  Every relative link target in
+   the repository's markdown files must exist (anchors stripped).
+   External links (``http(s)://``, ``mailto:``) and pure anchors are
+   ignored.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.names import METRICS  # noqa: E402
+
+OBSERVABILITY = ROOT / "docs" / "OBSERVABILITY.md"
+
+#: A metric row: | `name` | kind | meaning |
+_METRIC_ROW = re.compile(r"^\|\s*`([a-z_.]+)`\s*\|\s*(\w+)\s*\|")
+#: Inline markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def documented_metrics(text: str) -> dict[str, str]:
+    """``{name: kind}`` parsed from the OBSERVABILITY.md metric table."""
+    found: dict[str, str] = {}
+    for line in text.splitlines():
+        match = _METRIC_ROW.match(line.strip())
+        if match and "." in match.group(1):
+            found[match.group(1)] = match.group(2)
+    return found
+
+
+def check_metric_table() -> list[str]:
+    problems: list[str] = []
+    if not OBSERVABILITY.exists():
+        return [f"{OBSERVABILITY.relative_to(ROOT)} is missing"]
+    documented = documented_metrics(OBSERVABILITY.read_text())
+    declared = {name: kind for name, (kind, _) in METRICS.items()}
+    where = OBSERVABILITY.relative_to(ROOT)
+    for name in sorted(set(declared) - set(documented)):
+        problems.append(
+            f"{where}: metric {name!r} is declared in repro.obs.names "
+            f"but missing from the metric table"
+        )
+    for name in sorted(set(documented) - set(declared)):
+        problems.append(
+            f"{where}: metric {name!r} is documented but not declared "
+            f"in repro.obs.names.METRICS"
+        )
+    for name in sorted(set(documented) & set(declared)):
+        if documented[name] != declared[name]:
+            problems.append(
+                f"{where}: metric {name!r} documented as "
+                f"{documented[name]!r}, declared as {declared[name]!r}"
+            )
+    return problems
+
+
+def markdown_files() -> list[Path]:
+    skip_parts = {".git", ".venv", "node_modules", "__pycache__"}
+    return sorted(
+        path for path in ROOT.rglob("*.md")
+        if not skip_parts & set(path.relative_to(ROOT).parts)
+    )
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    for path in markdown_files():
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(ROOT)}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = check_metric_table() + check_links()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    files = len(markdown_files())
+    print(
+        f"check_docs: metric table in sync ({len(METRICS)} names), "
+        f"links resolve across {files} markdown files"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
