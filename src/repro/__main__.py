@@ -240,6 +240,57 @@ def _cmd_shell(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the multi-tenant engine pool over TCP until interrupted."""
+    import asyncio
+    import signal
+
+    from repro.machine.pool import EnginePool
+    from repro.serve.server import ReproServer
+
+    tracer = None
+    if args.trace or args.metrics:
+        metrics.reset()
+        metrics.enable()
+    if args.trace:
+        tracer = obs.start()
+
+    async def serve() -> None:
+        pool = EnginePool(
+            backend=args.backend,
+            max_concurrent=args.max_concurrent,
+            admission_timeout=args.admission_timeout,
+        )
+        server = ReproServer(pool, host=args.host, port=args.port)
+        host, port = await server.start()
+        print(f"serving on {host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+            print("server stopped", flush=True)
+
+    try:
+        asyncio.run(serve())
+    finally:
+        if args.trace:
+            obs.stop()
+            obs.write_jsonl(
+                tracer, args.trace,
+                metrics=metrics if args.metrics else None,
+            )
+            print(f"trace written to {args.trace}", flush=True)
+        elif args.metrics:
+            print(metrics.render(), flush=True)
+        if args.trace or args.metrics:
+            metrics.disable()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -355,6 +406,39 @@ def build_parser() -> argparse.ArgumentParser:
         "shell", help="interactive session with the database machine"
     )
     shell.set_defaults(handler=_cmd_shell)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve concurrent multi-tenant queries over TCP "
+             "(newline-delimited JSON protocol, docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=4, metavar="N",
+        help="queries executing simultaneously; excess queries queue "
+             "at the admission gate (default 4)",
+    )
+    serve.add_argument(
+        "--admission-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long a query may wait for a pool slot before being "
+             "refused with an admission error (default 30)",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE",
+        help="on shutdown, write every span (and --metrics counters) "
+             "of the serving run as a JSON-lines trace file",
+    )
+    serve.add_argument(
+        "--metrics", action="store_true",
+        help="collect the metrics registry while serving (printed on "
+             "shutdown, or embedded in --trace output)",
+    )
+    backend_option(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     trace = sub.add_parser(
         "trace", help="inspect trace files written by --trace"

@@ -53,5 +53,18 @@ class PlanError(ReproError):
     """A query plan is malformed or cannot be scheduled."""
 
 
+class ConfigError(ReproError):
+    """A configuration value (environment variable, knob) is malformed."""
+
+
+class AdmissionError(ReproError):
+    """The engine pool refused a query under backpressure.
+
+    Raised when a query waits longer than its admission timeout for one
+    of the pool's concurrency slots — the serving layer's signal to shed
+    load instead of queueing without bound.
+    """
+
+
 class ParseError(ReproError):
     """The relational-algebra expression language failed to parse."""

@@ -6,9 +6,11 @@ transactions with inter-operation concurrency — plus Song's tree
 machine as the §9 comparison architecture.
 """
 
+from repro.machine.catalog import Catalog
 from repro.machine.crossbar import CrossbarSwitch, Link
 from repro.machine.device import CpuDevice, DeviceRun, SystolicDevice
 from repro.machine.disk import MachineDisk
+from repro.machine.execution import MachineState, PlanExecutor
 from repro.machine.memory import MemoryModule, relation_bytes
 from repro.machine.plan import (
     Base,
@@ -36,17 +38,21 @@ from repro.machine.report_export import (
     report_to_dict,
     report_to_json,
 )
+from repro.machine.pool import AdmissionGate, EnginePool, PlanCache
 from repro.machine.scheduler import (
     DeviceRoster,
     ExecutionReport,
     ScheduledStep,
     gantt,
 )
+from repro.machine.session import Session
 from repro.machine.system import SystolicDatabaseMachine
 from repro.machine.tree_machine import TreeMachine, TreeRun
 
 __all__ = [
+    "AdmissionGate",
     "Base",
+    "Catalog",
     "ChainTiming",
     "CpuDevice",
     "CrossbarSwitch",
@@ -55,20 +61,25 @@ __all__ = [
     "DeviceRun",
     "Difference",
     "Divide",
+    "EnginePool",
     "ExecutionReport",
     "Intersect",
     "Join",
     "Link",
     "MachineDisk",
+    "MachineState",
     "MemoryModule",
     "PhysicalOp",
     "PhysicalPlan",
     "PhysicalPlanner",
     "PipelinedChain",
+    "PlanCache",
+    "PlanExecutor",
     "PlanNode",
     "Project",
     "ScheduledStep",
     "Select",
+    "Session",
     "SystolicDatabaseMachine",
     "StageCost",
     "SystolicDevice",

@@ -1,0 +1,155 @@
+"""Per-tenant relation catalogs for the layered machine.
+
+The god-object machine used to own its base relations directly; the
+layered architecture pulls them out into a :class:`Catalog` — one per
+tenant — so an :class:`~repro.machine.pool.EnginePool` can serve many
+tenants' queries over shared devices without their data ever mixing.
+
+A catalog holds two populations, mirroring §9's storage hierarchy:
+
+* **stored** relations live on the tenant's :class:`MachineDisk` and
+  are read (serially, possibly with on-track selection) at query time;
+* **preloaded** relations model a prior transaction's output still
+  resident in a memory module — at execution start the pool places
+  them in the fresh machine state's memories, ready at time 0.
+
+Catalogs are versioned (every mutation bumps ``version``) and expose a
+*content fingerprint* used by the shared plan cache: two tenants whose
+catalogs agree on everything the planner looks at — relation names,
+placement, cardinalities, schemas, the disk model — provably compile a
+given logical plan to the same physical plan, so they can share cache
+entries even though they never share data.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.errors import PlanError
+from repro.machine.disk import MachineDisk
+from repro.relational.relation import Relation
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """The named relations one tenant can query.
+
+    Thread-safe: a tenant's loader threads may :meth:`store` and
+    :meth:`preload` concurrently with the pool reading the catalog to
+    compile and execute.  Mutating a catalog invalidates cached plans
+    that were compiled against it (the plan-cache key includes the
+    content fingerprint), never the cache entries of other tenants.
+    """
+
+    def __init__(
+        self,
+        tenant: str = "default",
+        disk: Optional[MachineDisk] = None,
+        element_bits: int = 32,
+    ) -> None:
+        self.tenant = tenant
+        self.disk = disk if disk is not None else MachineDisk(
+            element_bits=element_bits
+        )
+        self._lock = threading.RLock()
+        #: insertion-ordered: preload order decides memory placement.
+        self._preloaded: dict[str, Relation] = {}
+        self._version = 0
+
+    # -- mutation ----------------------------------------------------------
+
+    def store(self, name: str, relation: Relation) -> None:
+        """Place a base relation on the tenant's disk."""
+        with self._lock:
+            self.disk.store(name, relation)
+            self._version += 1
+
+    def preload(self, name: str, relation: Relation) -> None:
+        """Mark a relation memory-resident (ready at time 0) for queries."""
+        with self._lock:
+            if name in self._preloaded:
+                raise PlanError(f"relation {name!r} is already resident")
+            self._preloaded[name] = relation
+            self._version += 1
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Bumped by every :meth:`store`/:meth:`preload`."""
+        with self._lock:
+            return self._version
+
+    def names(self) -> list[str]:
+        """Every queryable relation name (stored then preloaded)."""
+        with self._lock:
+            stored = list(self.disk.names())
+            return stored + [
+                n for n in self._preloaded if n not in set(stored)
+            ]
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name (preloaded shadows stored)."""
+        with self._lock:
+            if name in self._preloaded:
+                return self._preloaded[name]
+            return self.disk.relation(name)
+
+    def preloaded(self) -> list[tuple[str, Relation]]:
+        """The memory-resident relations, in preload order."""
+        with self._lock:
+            return list(self._preloaded.items())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._preloaded or (
+                isinstance(name, str) and self.disk.holds(name)
+            )
+
+    def content_fingerprint(self) -> tuple:
+        """Everything the physical planner reads, as a hashable value.
+
+        Covers the disk's timing model and on-track-logic flag plus,
+        per relation: name, placement (disk vs memory-resident),
+        cardinality, and schema (column and domain names).  Two
+        catalogs with equal fingerprints compile any logical plan to
+        the same physical plan, which is what lets the pool's plan
+        cache be shared *across* tenants.
+        """
+
+        def schema_of(relation: Relation) -> tuple:
+            schema = relation.schema
+            return tuple(
+                (name, domain.name)
+                for name, domain in zip(schema.names, schema.domains)
+            )
+
+        with self._lock:
+            stored = tuple(
+                (name, "disk", len(rel), schema_of(rel))
+                for name in sorted(self.disk.names())
+                for rel in (self.disk.relation(name),)
+            )
+            resident = tuple(
+                (name, "memory", len(rel), schema_of(rel))
+                for name, rel in sorted(self._preloaded.items())
+            )
+            return (
+                repr(self.disk.model),
+                self.disk.logic_per_track,
+                stored,
+                resident,
+            )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"Catalog(tenant={self.tenant!r}, "
+                f"{len(self.disk.names())} stored, "
+                f"{len(self._preloaded)} resident, v{self._version})"
+            )

@@ -1,0 +1,441 @@
+"""The multi-tenant engine pool: shared devices, gated concurrency.
+
+§9 closes with "a set of transactions" flowing through one machine; at
+serving scale that set comes from many *tenants* at once.  The
+:class:`EnginePool` is the shared middle layer of the split
+architecture (catalog / session / pool):
+
+* one **device complement** — the systolic arrays and CPU are pure
+  (``execute`` is a function of the plan node and input relations), so
+  every concurrent query runs on the same instances;
+* one **plan cache** — keyed by plan structure *and* catalog content
+  fingerprint, never by tenant name, so tenants with statistically
+  identical catalogs share compiled physical plans;
+* one **admission gate** — at most ``max_concurrent`` queries execute
+  at a time; excess queries wait (highest priority first) and are
+  refused with :class:`~repro.errors.AdmissionError` once their
+  timeout lapses, §9's answer to an overloaded crossbar translated to
+  the serving layer: shed load, don't queue without bound.
+
+Determinism is non-negotiable: an admitted query executes against a
+**fresh** :class:`~repro.machine.execution.MachineState` (its own
+memories, crossbar, and device roster timeline), so its results *and*
+its replayed timeline are bit-identical to running alone on a fresh
+machine — no matter how many neighbours run beside it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Optional, Sequence
+
+from repro import obs
+from repro.arrays.decomposition import ArrayCapacity
+from repro.errors import AdmissionError, PlanError
+from repro.obs import metrics
+from repro.machine.catalog import Catalog
+from repro.machine.crossbar import CrossbarSwitch
+from repro.machine.execution import (
+    MachineState,
+    PlanExecutor,
+    build_devices,
+    place_resident,
+    roster_fingerprint,
+)
+from repro.machine.memory import MemoryModule
+from repro.machine.physical import (
+    PhysicalPlan,
+    PhysicalPlanner,
+    plan_fingerprint,
+)
+from repro.machine.plan import PlanNode
+from repro.machine.scheduler import ExecutionReport
+from repro.perf.technology import PAPER_CONSERVATIVE, TechnologyModel
+from repro.relational.relation import Relation
+
+__all__ = ["AdmissionGate", "EnginePool", "PlanCache"]
+
+
+class PlanCache:
+    """A thread-safe LRU of compiled physical plans.
+
+    The pool keys entries by ``(plan fingerprint, arrivals, pipeline
+    flag, catalog content fingerprint, roster fingerprint)`` — nothing
+    tenant-specific — so a hit can come from *another* tenant's earlier
+    compile.  Emits the same ``machine.plan_cache.*`` metrics as the
+    single-tenant machine.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 0:
+            raise PlanError(f"plan cache maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, PhysicalPlan] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: tuple) -> Optional[PhysicalPlan]:
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                metrics.inc("machine.plan_cache.hits")
+                metrics.set_gauge(
+                    "machine.plan_cache.size", len(self._entries)
+                )
+                return cached
+            self._misses += 1
+            metrics.inc("machine.plan_cache.misses")
+            return None
+
+    def put(self, key: tuple, plan: PhysicalPlan) -> None:
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            metrics.set_gauge("machine.plan_cache.size", len(self._entries))
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss counters and occupancy, same shape as the machine's."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+
+class AdmissionGate:
+    """Bounds concurrent executions; waiters drain highest-priority first.
+
+    ``acquire`` blocks until a slot frees (lower ``priority`` numbers
+    win; ties drain in arrival order) or the timeout lapses, at which
+    point it raises :class:`AdmissionError` — backpressure instead of
+    an unbounded queue.
+    """
+
+    def __init__(self, limit: int, timeout: Optional[float] = None) -> None:
+        if limit < 1:
+            raise PlanError(f"admission limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.timeout = timeout
+        self._cv = threading.Condition()
+        self._active = 0
+        self._waiting: list[tuple[int, int]] = []  # heap of (priority, seq)
+        self._seq = itertools.count()
+
+    def acquire(
+        self, priority: int = 0, timeout: Optional[float] = None
+    ) -> None:
+        """Claim a slot, waiting behind higher-priority arrivals."""
+        if timeout is None:
+            timeout = self.timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        ticket = (priority, next(self._seq))
+        with self._cv:
+            heapq.heappush(self._waiting, ticket)
+            metrics.set_gauge("service.queue.depth", len(self._waiting))
+            try:
+                while (
+                    self._active >= self.limit
+                    or self._waiting[0] != ticket
+                ):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            metrics.inc("service.rejections")
+                            raise AdmissionError(
+                                f"no pool slot within {timeout:.3f}s "
+                                f"({self._active}/{self.limit} active, "
+                                f"{len(self._waiting)} waiting)"
+                            )
+                    self._cv.wait(remaining)
+                heapq.heappop(self._waiting)
+                self._active += 1
+                metrics.inc("service.admissions")
+                if self._active < self.limit and self._waiting:
+                    self._cv.notify_all()  # next head may also fit
+            finally:
+                if ticket in self._waiting:  # timed out: withdraw
+                    self._waiting.remove(ticket)
+                    heapq.heapify(self._waiting)
+                    self._cv.notify_all()
+                metrics.set_gauge("service.queue.depth", len(self._waiting))
+
+    def release(self) -> None:
+        """Return a slot and wake the best waiter."""
+        with self._cv:
+            self._active -= 1
+            self._cv.notify_all()
+
+    def stats(self) -> dict[str, int]:
+        with self._cv:
+            return {
+                "limit": self.limit,
+                "active": self._active,
+                "waiting": len(self._waiting),
+            }
+
+
+class EnginePool:
+    """Shared execution resources serving many tenants' sessions.
+
+    The pool owns what §9's machine room owns — the device complement,
+    the compile pipeline and its cache, the host thread budget — while
+    every admitted query gets private simulated state.  Open a
+    :class:`~repro.machine.session.Session` per tenant (or several) and
+    issue queries through it; the pool admits, compiles, executes, and
+    accounts for them.
+    """
+
+    def __init__(
+        self,
+        memories: int = 4,
+        devices: Sequence[tuple] = None,
+        capacity: ArrayCapacity = ArrayCapacity(max_rows=63, max_cols=8),
+        technology: TechnologyModel = PAPER_CONSERVATIVE,
+        memory_bytes: int = 4 * 1024 * 1024,
+        element_bits: int = 32,
+        backend=None,
+        host_workers: Optional[int] = None,
+        plan_cache_size: int = 64,
+        max_concurrent: int = 4,
+        admission_timeout: Optional[float] = 30.0,
+        roster_fairness: bool = True,
+    ) -> None:
+        from repro.machine.system import DEFAULT_DEVICES  # avoid cycle
+
+        if memories < 2:
+            raise PlanError(
+                "the machine needs at least two memories (§9: output is "
+                "pipelined back into *another* memory)"
+            )
+        self.memory_count = memories
+        self.memory_bytes = memory_bytes
+        self.element_bits = element_bits
+        self.host_workers = host_workers
+        self.roster_fairness = roster_fairness
+        self.devices = build_devices(
+            devices if devices is not None else DEFAULT_DEVICES,
+            capacity, technology, backend,
+        )
+        self._roster_fingerprint = roster_fingerprint(self.devices)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.gate = AdmissionGate(max_concurrent, admission_timeout)
+        self._lock = threading.Lock()
+        self._catalogs: dict[str, Catalog] = {}
+        self._tenant_queries: dict[str, int] = {}
+
+    # -- tenancy -----------------------------------------------------------
+
+    def catalog(self, tenant: str = "default") -> Catalog:
+        """The (lazily created) catalog for a tenant."""
+        with self._lock:
+            cat = self._catalogs.get(tenant)
+            if cat is None:
+                cat = Catalog(tenant=tenant, element_bits=self.element_bits)
+                self._catalogs[tenant] = cat
+            return cat
+
+    def session(
+        self,
+        tenant: str = "default",
+        priority: int = 0,
+        parallel: Optional[bool] = None,
+    ) -> "Session":
+        """Open a session bound to a tenant's catalog."""
+        from repro.machine.session import Session
+
+        return Session(
+            self, self.catalog(tenant), priority=priority, parallel=parallel
+        )
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._catalogs)
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(
+        self,
+        catalog: Catalog,
+        plans: Sequence[PlanNode] | PlanNode,
+        arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
+        use_cache: bool = True,
+    ) -> PhysicalPlan:
+        """Lower logical plans against a tenant's catalog.
+
+        Cache entries are keyed by the catalog's *content fingerprint*
+        (not its tenant or version counter), so two tenants whose
+        catalogs agree on names, placement, cardinalities, and schemas
+        share entries — the cross-tenant reuse the serving layer is
+        for.
+        """
+        if isinstance(plans, PlanNode):
+            plans = [plans]
+        metrics.inc("machine.compile.calls")
+        with obs.span(
+            "machine.compile", plans=len(plans), pipeline=bool(pipeline),
+            tenant=catalog.tenant,
+        ) as sp:
+            view = _PlannerView(self, catalog)
+            if not use_cache or self.plan_cache.maxsize == 0:
+                physical = PhysicalPlanner(view).compile(
+                    plans, arrivals, pipeline=pipeline
+                )
+                sp.set(cached=False, ops=len(physical.ops))
+                return physical
+            key = (
+                plan_fingerprint(plans),
+                tuple(arrivals) if arrivals is not None else None,
+                bool(pipeline),
+                catalog.content_fingerprint(),
+                self._roster_fingerprint,
+            )
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                sp.set(cached=True, ops=len(cached.ops))
+                return cached
+            physical = PhysicalPlanner(view).compile(
+                plans, arrivals, pipeline=pipeline
+            )
+            self.plan_cache.put(key, physical)
+            sp.set(cached=False, ops=len(physical.ops))
+            return physical
+
+    # -- execution ---------------------------------------------------------
+
+    def fresh_state(self, catalog: Catalog) -> MachineState:
+        """A private simulated machine for one query.
+
+        Fresh memories, crossbar, and resident placement (preloads in
+        catalog order, emptiest module first) — byte-for-byte the state
+        a fresh single-tenant machine would present, which is what
+        makes pooled execution bit-identical to running alone.  Only
+        the (pure) devices are shared.
+        """
+        memories = [
+            MemoryModule(f"mem{m}", capacity_bytes=self.memory_bytes)
+            for m in range(self.memory_count)
+        ]
+        crossbar = CrossbarSwitch(
+            [m.name for m in memories],
+            [d.name for d in self.devices] + ["disk"],
+        )
+        state = MachineState(
+            self.element_bits, catalog.disk, memories, self.devices, crossbar
+        )
+        for name, relation in catalog.preloaded():
+            place_resident(state, name, relation)
+        return state
+
+    def execute(
+        self,
+        catalog: Catalog,
+        plans: Sequence[PlanNode] | PlanNode,
+        arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
+        parallel: bool = True,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> tuple[list[Relation], ExecutionReport]:
+        """Admit, compile, and run one query for a tenant.
+
+        Blocks at the admission gate when ``max_concurrent`` queries
+        are already executing; raises
+        :class:`~repro.errors.AdmissionError` if no slot frees within
+        the timeout.
+        """
+        if isinstance(plans, PlanNode):
+            plans = [plans]
+        self.gate.acquire(priority=priority, timeout=timeout)
+        started = time.perf_counter()
+        try:
+            with obs.span(
+                "service.query", tenant=catalog.tenant, plans=len(plans),
+                priority=priority,
+            ) as sp:
+                physical = self.compile(
+                    catalog, plans, arrivals, pipeline=pipeline
+                )
+                executor = PlanExecutor(
+                    self.fresh_state(catalog),
+                    host_workers=self.host_workers,
+                    roster_fairness=self.roster_fairness,
+                )
+                results, report = executor.run_physical(
+                    physical, parallel=parallel
+                )
+                sp.set(makespan_ms=report.makespan * 1e3)
+        finally:
+            self.gate.release()
+        metrics.inc("service.queries")
+        metrics.inc("service.tenant.queries")
+        metrics.observe(
+            "service.query.seconds", time.perf_counter() - started
+        )
+        with self._lock:
+            self._tenant_queries[catalog.tenant] = (
+                self._tenant_queries.get(catalog.tenant, 0) + 1
+            )
+        return results, report
+
+    # -- accounting --------------------------------------------------------
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """Hit/miss counters and occupancy of the shared plan cache."""
+        return self.plan_cache.info()
+
+    def tenant_stats(self) -> dict[str, int]:
+        """Completed query count per tenant."""
+        with self._lock:
+            return dict(self._tenant_queries)
+
+    def stats(self) -> dict:
+        """One snapshot of the pool for ``repro serve`` status replies."""
+        return {
+            "tenants": self.tenants(),
+            "tenant_queries": self.tenant_stats(),
+            "plan_cache": self.plan_cache_info(),
+            "admission": self.gate.stats(),
+        }
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(d.name for d in self.devices)
+        return (
+            f"EnginePool({self.memory_count} memories/query; {kinds}; "
+            f"max_concurrent={self.gate.limit})"
+        )
+
+
+class _PlannerView:
+    """The machine surface :class:`PhysicalPlanner` plans against.
+
+    The planner duck-types its machine: it reads the disk, the
+    resident map, element width, memory bandwidth, and the device
+    list.  This view presents one tenant's catalog over the pool's
+    shared devices, with a template memory standing in for bandwidth
+    (all the pool's modules are identical).
+    """
+
+    def __init__(self, pool: EnginePool, catalog: Catalog) -> None:
+        self.disk = catalog.disk
+        self.element_bits = pool.element_bits
+        self.devices = pool.devices
+        self.memories = [
+            MemoryModule("mem0", capacity_bytes=pool.memory_bytes)
+        ]
+        self._resident = {
+            name: (f"resident:{name}", relation, 0.0, None)
+            for name, relation in catalog.preloaded()
+        }

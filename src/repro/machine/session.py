@@ -1,0 +1,123 @@
+"""A tenant's thin handle on the engine pool.
+
+The session is the top layer of the split architecture: it binds one
+tenant's :class:`~repro.machine.catalog.Catalog` to the shared
+:class:`~repro.machine.pool.EnginePool` and re-exposes the familiar
+machine verbs — ``store``/``preload``/``compile``/``run``/``run_many``
+— so code written against :class:`SystolicDatabaseMachine` ports by
+changing one constructor call.  Sessions hold no execution state of
+their own; any number may be open per tenant, from any threads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.machine.catalog import Catalog
+from repro.machine.physical import PhysicalPlan
+from repro.machine.plan import PlanNode
+from repro.machine.scheduler import ExecutionReport
+from repro.relational.relation import Relation
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One tenant's view of the pool: a catalog plus query defaults.
+
+    ``priority`` (lower wins) and ``parallel`` are defaults applied to
+    every query issued through this session; both can be overridden
+    per call.
+    """
+
+    def __init__(
+        self,
+        pool,
+        catalog: Catalog,
+        priority: int = 0,
+        parallel: Optional[bool] = None,
+    ) -> None:
+        self.pool = pool
+        self.catalog = catalog
+        self.priority = priority
+        self.parallel = parallel
+
+    @property
+    def tenant(self) -> str:
+        return self.catalog.tenant
+
+    # -- catalog -----------------------------------------------------------
+
+    def store(self, name: str, relation: Relation) -> None:
+        """Place a base relation on this tenant's disk."""
+        self.catalog.store(name, relation)
+
+    def preload(self, name: str, relation: Relation) -> None:
+        """Mark a relation memory-resident for this tenant's queries."""
+        self.catalog.preload(name, relation)
+
+    # -- queries -----------------------------------------------------------
+
+    def compile(
+        self,
+        plans: Sequence[PlanNode] | PlanNode,
+        arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
+        use_cache: bool = True,
+    ) -> PhysicalPlan:
+        """Lower logical plans against this tenant's catalog."""
+        return self.pool.compile(
+            self.catalog, plans, arrivals,
+            pipeline=pipeline, use_cache=use_cache,
+        )
+
+    def run(
+        self,
+        plan: PlanNode,
+        pipeline: bool = True,
+        parallel: Optional[bool] = None,
+        priority: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple[Relation, ExecutionReport]:
+        """Execute one plan; returns (result, timed report)."""
+        results, report = self.run_many(
+            [plan], pipeline=pipeline, parallel=parallel,
+            priority=priority, timeout=timeout,
+        )
+        return results[0], report
+
+    def run_many(
+        self,
+        plans: Sequence[PlanNode],
+        arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
+        parallel: Optional[bool] = None,
+        priority: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> tuple[list[Relation], ExecutionReport]:
+        """Execute a transaction of several plans on one shared timeline.
+
+        Admission, compilation (through the shared cross-tenant plan
+        cache), and execution all happen inside the pool; the query
+        runs against a fresh per-query machine state, so results and
+        timeline are bit-identical to running alone.
+        """
+        from repro.machine.system import SystolicDatabaseMachine
+
+        resolved = (
+            self.parallel if parallel is None else parallel
+        )
+        return self.pool.execute(
+            self.catalog, plans, arrivals,
+            pipeline=pipeline,
+            parallel=SystolicDatabaseMachine._resolve_parallel(resolved),
+            priority=self.priority if priority is None else priority,
+            timeout=timeout,
+        )
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """The pool's shared plan-cache counters."""
+        return self.pool.plan_cache_info()
+
+    def __repr__(self) -> str:
+        return f"Session(tenant={self.tenant!r}, priority={self.priority})"

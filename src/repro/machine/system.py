@@ -12,56 +12,51 @@ to the crossbar structure, several operations may be run concurrently."
 :class:`SystolicDatabaseMachine` executes query plans exactly that way
 and returns a timed :class:`~repro.machine.scheduler.ExecutionReport`.
 
-Logical plans are first lowered into a
-:class:`~repro.machine.physical.PhysicalPlan` (device assignments by
-the :mod:`repro.perf.cost` model, §8 block decomposition, §9 chain
-fusion) — :meth:`SystolicDatabaseMachine.compile` exposes the lowering,
-``run``/``run_many`` apply it implicitly.  Repeated ``compile`` calls
-for structurally identical transactions hit an LRU plan cache, and
-execution itself is split into a *compute phase* (pure device runs and
-disk reads, overlapped on host threads by
-:class:`~repro.machine.scheduler.HostExecutor`) and a sequential
-*replay phase* that does all the timing and memory bookkeeping — so a
-parallel run is bit-identical to a serial one.
+Architecturally the machine is now the *single-tenant convenience
+front-end* over the layered core: plan lowering and the two-phase
+executor live in :mod:`repro.machine.execution`, the LRU plan cache in
+:mod:`repro.machine.pool`.  This class owns one **persistent**
+:class:`~repro.machine.execution.MachineState` — results stay resident
+in its memories between ``run`` calls, §9's "the final results ...
+reside in memory" — whereas the multi-tenant
+:class:`~repro.machine.pool.EnginePool` builds a fresh state per
+query.  Use the machine for scripts and experiments; use
+``EnginePool.session()`` to serve concurrent tenants over shared
+devices.
 """
 
 from __future__ import annotations
 
-import itertools
-import os
-from collections import OrderedDict
-from typing import Any, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import obs
 from repro.arrays.decomposition import ArrayCapacity
+from repro.config import env_flag
 from repro.errors import CapacityError, PlanError
 from repro.obs import metrics
 from repro.machine.crossbar import CrossbarSwitch
-from repro.machine.device import CpuDevice, SystolicDevice
 from repro.machine.disk import MachineDisk
-from repro.machine.memory import MemoryModule, relation_bytes
+from repro.machine.execution import (
+    MachineState,
+    PlanExecutor,
+    build_devices,
+    place_resident,
+    roster_fingerprint,
+)
+from repro.machine.memory import MemoryModule
 from repro.machine.physical import (
-    OP_LOAD,
-    OP_RESIDENT,
-    PhysicalOp,
     PhysicalPlan,
     PhysicalPlanner,
-    actual_cost,
     plan_fingerprint,
 )
-from repro.machine.pipelining import StageCost
 from repro.machine.plan import (
     DEVICE_COMPARISON,
     DEVICE_DIVISION,
     DEVICE_JOIN,
     PlanNode,
 )
-from repro.machine.scheduler import (
-    DeviceRoster,
-    ExecutionReport,
-    HostExecutor,
-    ScheduledStep,
-)
+from repro.machine.pool import PlanCache
+from repro.machine.scheduler import ExecutionReport
 from repro.perf.technology import PAPER_CONSERVATIVE, TechnologyModel
 from repro.relational.relation import Relation
 
@@ -97,62 +92,71 @@ class SystolicDatabaseMachine:
                 "the machine needs at least two memories (§9: output is "
                 "pipelined back into *another* memory)"
             )
-        self.element_bits = element_bits
-        self.disk = disk if disk is not None else MachineDisk(
+        machine_disk = disk if disk is not None else MachineDisk(
             element_bits=element_bits
         )
-        self.memories = [
+        machine_memories = [
             MemoryModule(f"mem{m}", capacity_bytes=memory_bytes)
             for m in range(memories)
         ]
-        self.devices: list[SystolicDevice | CpuDevice] = []
-        kind_index: dict[str, itertools.count] = {}
-        for spec in devices:
-            # (kind, count) or (kind, count, ArrayCapacity) — the third
-            # element gives one roster heterogeneous array sizes, which
-            # is what makes cost-aware device choice interesting.
-            kind, count = spec[0], spec[1]
-            device_capacity = spec[2] if len(spec) > 2 else capacity
-            indices = kind_index.setdefault(kind, itertools.count())
-            for _ in range(count):
-                self.devices.append(
-                    SystolicDevice(
-                        f"{kind}{next(indices)}", kind,
-                        capacity=device_capacity, technology=technology,
-                        backend=backend,
-                    )
-                )
-        self.devices.append(CpuDevice("cpu"))
-        self.crossbar = CrossbarSwitch(
-            [m.name for m in self.memories],
-            [d.name for d in self.devices] + ["disk"],
+        machine_devices = build_devices(
+            devices, capacity, technology, backend
         )
-        self._step_counter = itertools.count()
-        #: relations already resident in memories (ready at time 0):
-        #: name -> (key, relation, ready, memory name)
-        self._resident: dict[str, tuple[str, Relation, float, str]] = {}
-        #: host threads for the compute phase (None → HostExecutor default)
-        self.host_workers = host_workers
+        crossbar = CrossbarSwitch(
+            [m.name for m in machine_memories],
+            [d.name for d in machine_devices] + ["disk"],
+        )
+        #: the persistent simulated state — memories and crossbar
+        #: windows accumulate across runs, results stay resident.
+        self._state = MachineState(
+            element_bits, machine_disk, machine_memories, machine_devices,
+            crossbar,
+        )
+        self._executor = PlanExecutor(self._state, host_workers=host_workers)
         if plan_cache_size < 0:
             raise PlanError(
                 f"plan_cache_size must be >= 0, got {plan_cache_size}"
             )
-        self._plan_cache_size = plan_cache_size
-        self._plan_cache: OrderedDict[tuple, PhysicalPlan] = OrderedDict()
-        self._plan_cache_hits = 0
-        self._plan_cache_misses = 0
+        self._plan_cache = PlanCache(plan_cache_size)
         #: bumped whenever the catalog changes (store/preload) — part of
         #: the plan-cache key, so stale physical plans never resurface.
         self._catalog_version = 0
-        self._roster_fingerprint = tuple(
-            (
-                device.name,
-                device.kind,
-                getattr(getattr(device, "capacity", None), "max_rows", None),
-                getattr(getattr(device, "capacity", None), "max_cols", None),
-            )
-            for device in self.devices
-        )
+        self._roster_fingerprint = roster_fingerprint(machine_devices)
+
+    # -- the public surface delegates to the persistent state -----------------
+
+    @property
+    def element_bits(self) -> int:
+        return self._state.element_bits
+
+    @property
+    def disk(self) -> MachineDisk:
+        return self._state.disk
+
+    @property
+    def memories(self) -> list[MemoryModule]:
+        return self._state.memories
+
+    @property
+    def devices(self) -> list:
+        return self._state.devices
+
+    @property
+    def crossbar(self) -> CrossbarSwitch:
+        return self._state.crossbar
+
+    @property
+    def _resident(self) -> dict[str, tuple[str, Relation, float, str]]:
+        return self._state.resident
+
+    @property
+    def host_workers(self) -> Optional[int]:
+        """Host threads for the compute phase (None → executor default)."""
+        return self._executor.host_workers
+
+    @host_workers.setter
+    def host_workers(self, value: Optional[int]) -> None:
+        self._executor.host_workers = value
 
     # -- catalog -------------------------------------------------------------
 
@@ -170,20 +174,7 @@ class SystolicDatabaseMachine:
         models exactly that — a prior transaction's output still
         resident, needing no disk read.
         """
-        if name in self._resident:
-            raise PlanError(f"relation {name!r} is already resident")
-        nbytes = relation_bytes(relation, self.element_bits)
-        # Spread residents across modules (emptiest first) so their
-        # ports don't become a single serialization point.
-        candidates = [m for m in self.memories if m.free_bytes >= nbytes]
-        if not candidates:
-            raise CapacityError(
-                f"no memory module can absorb {nbytes} bytes for {name!r}"
-            )
-        memory = min(candidates, key=lambda m: (m.used_bytes, m.name))
-        key = f"resident:{name}"
-        memory.store(key, relation, nbytes)
-        self._resident[name] = (key, relation, 0.0, memory.name)
+        place_resident(self._state, name, relation)
         self._catalog_version += 1
 
     # -- compilation ------------------------------------------------------------
@@ -219,7 +210,7 @@ class SystolicDatabaseMachine:
         with obs.span(
             "machine.compile", plans=len(plans), pipeline=bool(pipeline),
         ) as sp:
-            if not use_cache or self._plan_cache_size == 0:
+            if not use_cache or self._plan_cache.maxsize == 0:
                 physical = PhysicalPlanner(self).compile(
                     plans, arrivals, pipeline=pipeline
                 )
@@ -234,36 +225,18 @@ class SystolicDatabaseMachine:
             )
             cached = self._plan_cache.get(key)
             if cached is not None:
-                self._plan_cache.move_to_end(key)
-                self._plan_cache_hits += 1
-                metrics.inc("machine.plan_cache.hits")
-                metrics.set_gauge(
-                    "machine.plan_cache.size", len(self._plan_cache)
-                )
                 sp.set(cached=True, ops=len(cached.ops))
                 return cached
-            self._plan_cache_misses += 1
-            metrics.inc("machine.plan_cache.misses")
             physical = PhysicalPlanner(self).compile(
                 plans, arrivals, pipeline=pipeline
             )
-            self._plan_cache[key] = physical
-            while len(self._plan_cache) > self._plan_cache_size:
-                self._plan_cache.popitem(last=False)
-            metrics.set_gauge(
-                "machine.plan_cache.size", len(self._plan_cache)
-            )
+            self._plan_cache.put(key, physical)
             sp.set(cached=False, ops=len(physical.ops))
             return physical
 
     def plan_cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the compile cache."""
-        return {
-            "hits": self._plan_cache_hits,
-            "misses": self._plan_cache_misses,
-            "size": len(self._plan_cache),
-            "maxsize": self._plan_cache_size,
-        }
+        return self._plan_cache.info()
 
     # -- execution -------------------------------------------------------------
 
@@ -314,545 +287,20 @@ class SystolicDatabaseMachine:
         Returns one result per original plan (``physical.outputs``
         order) and the executed timeline.  The report is the ground
         truth; ``physical.predicted_makespan`` is the planner's
-        port-blind forecast of the same schedule.
-
-        Execution happens in two phases.  The **compute phase** resolves
-        every op's data result — disk reads and device runs, which are
-        pure functions of their inputs — with independent ops overlapped
-        on host threads (:class:`HostExecutor`).  The **replay phase**
-        then walks the plan in topological order doing all the
-        *simulated* bookkeeping (port windows, memory placement, the
-        timed report) sequentially, so the timeline is deterministic and
-        bit-identical whether the compute phase ran parallel or serial.
+        port-blind forecast of the same schedule.  See
+        :class:`~repro.machine.execution.PlanExecutor` for the
+        two-phase (parallel compute, sequential replay) execution
+        model.
         """
-        with obs.span("machine.run", ops=len(physical.ops)) as run_span:
-            with obs.span("machine.compute_phase"):
-                runs, task_spans = self._compute_phase(
-                    physical, self._resolve_parallel(parallel)
-                )
-            report = ExecutionReport()
-            roster = DeviceRoster(self.devices)
-            disk_free = 0.0
-            #: op id -> (result key, relation, ready time, memory name)
-            produced: dict[int, tuple[str, Relation, float, str]] = {}
-            with obs.span("machine.replay"):
-                for op in physical.ops:
-                    if op.op_id in produced:
-                        continue
-                    if op.kind == OP_RESIDENT:
-                        with obs.span(
-                            "machine.op", op=op.label, device="resident",
-                            kind=op.kind,
-                        ):
-                            produced[op.op_id] = self._resident[op.node.name]
-                        continue
-                    if op.kind == OP_LOAD:
-                        disk_free = self._run_load(
-                            op, produced, report, disk_free,
-                            runs[op.op_id], task_spans.get(op.op_id),
-                        )
-                        continue
-                    chain = physical.chain_of(op)
-                    if chain is not None and len(chain) > 1:
-                        members = [physical[i] for i in chain.op_ids]
-                        if members[-1].op_id != op.op_id:
-                            # Chains execute as a unit once the machine
-                            # reaches the last member: by then every
-                            # external input of every stage has been
-                            # produced (topological order).
-                            continue
-                        self._run_chain(
-                            members, produced, report, roster, runs,
-                            task_spans,
-                        )
-                    else:
-                        self._run_singleton(
-                            op, produced, report, roster, runs, task_spans
-                        )
-            results = [produced[op_id][1] for op_id in physical.outputs]
-            run_span.set(makespan_ms=report.makespan * 1e3)
-        return results, report
-
-    # -- compute phase ---------------------------------------------------------
+        return self._executor.run_physical(
+            physical, parallel=self._resolve_parallel(parallel)
+        )
 
     @staticmethod
     def _resolve_parallel(parallel: Optional[bool]) -> bool:
         if parallel is not None:
             return bool(parallel)
-        env = os.environ.get("REPRO_MACHINE_PARALLEL", "").strip().lower()
-        return env not in ("0", "false", "off")
-
-    def _compute_phase(
-        self, physical: PhysicalPlan, parallel: bool
-    ) -> tuple[dict[int, Any], dict[int, Any]]:
-        """Resolve every op's data result, overlapping independent ops.
-
-        Returns ``({op_id: result}, {op_id: span})`` where a load's
-        result is the ``(relation, read_seconds)`` pair from
-        :meth:`MachineDisk.read`, a compute op's is its
-        :class:`~repro.machine.device.DeviceRun`, and a resident's is
-        the relation itself.  Chain members are computed here exactly
-        like singletons — a member's inputs are its producers'
-        relations either way — so the replay phase can fall back from a
-        fused chain to store-and-forward without recomputing anything.
-
-        When tracing is active, each thunk runs under a **detached**
-        ``host.task`` span (returned in the second dict); the replay
-        phase grafts those subtrees under the deterministic per-op
-        spans, so the recorded tree structure is identical whether the
-        compute phase ran parallel or serial.
-        """
-
-        def relation_of(value: Any) -> Relation:
-            if isinstance(value, Relation):
-                return value  # resident
-            if isinstance(value, tuple):
-                return value[0]  # disk load: (relation, seconds)
-            return value.relation  # DeviceRun
-
-        seed: dict[int, Any] = {}
-        thunks: dict[int, tuple[tuple[int, ...], Any]] = {}
-        for op in physical.ops:
-            if op.op_id in seed or op.op_id in thunks:
-                continue
-            if op.kind == OP_RESIDENT:
-                seed[op.op_id] = self._resident[op.node.name][1]
-            elif op.kind == OP_LOAD:
-                def load(resolved, op=op):
-                    return self.disk.read(op.base_name, selection=op.selection)
-
-                thunks[op.op_id] = ((), load)
-            else:
-                device = self._device(op.device)
-                deps = tuple(op.inputs)
-
-                def execute(resolved, node=op.node, device=device, deps=deps):
-                    inputs = [relation_of(resolved[d]) for d in deps]
-                    return device.execute(node, inputs)
-
-                thunks[op.op_id] = (deps, execute)
-        task_spans: dict[int, Any] = {}
-        if obs.enabled():
-            labels = {op.op_id: op.label for op in physical.ops}
-            for op_id, (deps, fn) in list(thunks.items()):
-                thunks[op_id] = (
-                    deps,
-                    self._traced_thunk(op_id, labels[op_id], fn, task_spans),
-                )
-        workers = self.host_workers if parallel else 1
-        results = HostExecutor(max_workers=workers).run(thunks, seed=seed)
-        return results, task_spans
-
-    @staticmethod
-    def _traced_thunk(
-        op_id: int, label: str, fn: Any, task_spans: dict[int, Any]
-    ) -> Any:
-        """Wrap a compute thunk in a detached ``host.task`` span.
-
-        The span subtree is free-standing (worker threads have no
-        deterministic ancestor) and lands in ``task_spans`` for the
-        replay phase to adopt.  Distinct keys make the dict writes
-        thread-safe.
-        """
-
-        def traced(resolved: dict[int, Any]) -> Any:
-            with obs.detached("host.task", op=label) as sp:
-                result = fn(resolved)
-            task_spans[op_id] = sp
-            return result
-
-        return traced
-
-    # -- internals ------------------------------------------------------------
-
-    def _new_key(self, node: PlanNode) -> str:
-        return f"n{next(self._step_counter)}:{node.describe()}"
-
-    def _device(self, name: str) -> SystolicDevice | CpuDevice:
-        for device in self.devices:
-            if device.name == name:
-                return device
-        raise PlanError(f"unknown device {name!r}")
-
-    def _choose_memory(
-        self, nbytes: int, avoid: set[str], ready: float, duration: float
-    ) -> tuple[MemoryModule, float]:
-        """A memory with space and the earliest free port window."""
-        best: Optional[tuple[float, int, MemoryModule]] = None
-        for index, memory in enumerate(self.memories):
-            if memory.name in avoid or memory.free_bytes < nbytes:
-                continue
-            start = self.crossbar.earliest_window(memory.name, ready, duration)
-            candidate = (start, index, memory)
-            if best is None or candidate[:2] < best[:2]:
-                best = candidate
-        if best is None:
-            raise CapacityError(
-                f"no memory module can absorb {nbytes} bytes "
-                f"(avoiding {sorted(avoid)})"
-            )
-        return best[2], best[0]
-
-    def _run_load(
-        self,
-        op: PhysicalOp,
-        produced: dict[int, tuple[str, Relation, float, str]],
-        report: ExecutionReport,
-        disk_free: float,
-        loaded: tuple[Relation, float],
-        task_span: Any = None,
-    ) -> float:
-        """One serial disk read (selection possibly fused on-track)."""
-        with obs.span(
-            "machine.op", op=op.label, device="disk", kind=op.kind,
-        ) as sp:
-            obs.adopt(task_span)
-            released = max(disk_free, op.release)
-            relation, read_seconds = loaded
-            nbytes = relation_bytes(relation, self.element_bits)
-            memory, start = self._choose_memory(
-                nbytes, avoid=set(), ready=released, duration=read_seconds
-            )
-            end = start + read_seconds
-            key = self._new_key(
-                op.fused_select if op.fused_select is not None else op.node
-            )
-            memory.store(key, relation, nbytes)
-            self.crossbar.establish(memory.name, "disk", start, end)
-            report.steps.append(ScheduledStep(
-                label=op.label,
-                device="disk",
-                start=start, end=end,
-                output_key=key, output_memory=memory.name,
-                nbytes_out=nbytes,
-            ))
-            produced[op.op_id] = (key, relation, end, memory.name)
-            sp.set(
-                rows_out=len(relation), nbytes_out=nbytes,
-                memory=memory.name, sim_start=start, sim_end=end,
-            )
-        metrics.inc("machine.ops.executed")
-        metrics.observe("machine.op.sim_seconds", end - start)
-        return end
-
-    def _run_singleton(
-        self,
-        op: PhysicalOp,
-        produced: dict[int, tuple[str, Relation, float, str]],
-        report: ExecutionReport,
-        roster: DeviceRoster,
-        runs: dict[int, Any],
-        task_spans: Optional[dict[int, Any]] = None,
-    ) -> None:
-        """One store-and-forward operation on its assigned device."""
-        with obs.span(
-            "machine.op", op=op.label, device=op.device, kind=op.kind,
-        ) as sp:
-            if task_spans is not None:
-                obs.adopt(task_spans.get(op.op_id))
-            start, end = self._commit_singleton(
-                op, produced, report, roster, runs, sp
-            )
-        metrics.inc("machine.ops.executed")
-        metrics.observe("machine.op.sim_seconds", end - start)
-
-    def _commit_singleton(
-        self,
-        op: PhysicalOp,
-        produced: dict[int, tuple[str, Relation, float, str]],
-        report: ExecutionReport,
-        roster: DeviceRoster,
-        runs: dict[int, Any],
-        sp: Any,
-    ) -> tuple[float, float]:
-        input_keys = []
-        input_memories = []
-        ready = op.release
-        for input_id in op.inputs:
-            key, _, child_ready, memory_name = produced[input_id]
-            input_keys.append(key)
-            input_memories.append(memory_name)
-            ready = max(ready, child_ready)
-
-        device = self._device(op.device)
-        device_ready = max(ready, roster.free_at(device.name))
-        run = runs[op.op_id]
-        nbytes_out = relation_bytes(run.relation, self.element_bits)
-
-        # An operation runs at the pace of its slowest stream: any input
-        # being read out of its memory, or the result being written back
-        # (§6.2's warning — a degenerate join's output can dwarf its
-        # inputs — shows up here as output-streaming time).
-        stream_seconds = [
-            memory.transfer_seconds(memory.size_of(key))
-            for key, memory in (
-                (k, self._memory(m)) for k, m in zip(input_keys, input_memories)
-            )
-        ]
-        if self.memories:
-            stream_seconds.append(
-                self.memories[0].transfer_seconds(nbytes_out)
-            )
-        duration = max([run.seconds] + stream_seconds)
-
-        # Find a start time at which every input port is free for the
-        # whole window, the device is free, and an output memory exists.
-        start = device_ready
-        for _ in range(64):  # converges in a couple of rounds in practice
-            adjusted = start
-            for memory_name in set(input_memories):
-                adjusted = max(
-                    adjusted,
-                    self.crossbar.earliest_window(memory_name, adjusted, duration),
-                )
-            out_memory, out_start = self._choose_memory(
-                nbytes_out,
-                avoid=set(input_memories),
-                ready=adjusted,
-                duration=duration,
-            )
-            adjusted = max(adjusted, out_start)
-            if adjusted == start:
-                break
-            start = adjusted
-        end = start + duration
-
-        key = self._new_key(op.node)
-        out_memory.store(key, run.relation, nbytes_out)
-        for memory_name in set(input_memories):
-            self.crossbar.establish(memory_name, device.name, start, end)
-        if out_memory.name not in set(input_memories):
-            self.crossbar.establish(out_memory.name, device.name, start, end)
-        roster.occupy(device.name, end)
-        report.steps.append(ScheduledStep(
-            label=op.label,
-            device=device.name,
-            start=start, end=end,
-            output_key=key, output_memory=out_memory.name,
-            input_keys=tuple(input_keys),
-            pulses=run.pulses, block_runs=run.block_runs,
-            nbytes_out=nbytes_out,
-        ))
-        produced[op.op_id] = (key, run.relation, end, out_memory.name)
-        sp.set(
-            pulses=run.pulses, blocks=run.block_runs,
-            rows_out=len(run.relation), nbytes_out=nbytes_out,
-            memory=out_memory.name, sim_start=start, sim_end=end,
-        )
-        return start, end
-
-    def _run_chain(
-        self,
-        members: list[PhysicalOp],
-        produced: dict[int, tuple[str, Relation, float, str]],
-        report: ExecutionReport,
-        roster: DeviceRoster,
-        precomputed: dict[int, Any],
-        task_spans: Optional[dict[int, Any]] = None,
-    ) -> None:
-        """Execute a fused chain under the Σ fill + max stream law (§9).
-
-        Stage *k* starts once the k−1 upstream fills have elapsed and
-        holds its device until its last result emerges; intermediate
-        results stream device→switch→device, so the consumer takes no
-        extra port on the producer's output memory.
-        """
-        internal = {m.op_id for m in members}
-
-        # All stage windows overlap, so a memory port can serve only one
-        # stage device for the chain's whole span.  If two stages need
-        # externals out of the same memory, the ports cannot be
-        # disentangled — fall back to store-and-forward for this chain.
-        device_of_port: dict[str, str] = {}
-        for member in members:
-            for input_id in member.inputs:
-                if input_id in internal:
-                    continue
-                memory_name = produced[input_id][3]
-                claimed = device_of_port.setdefault(memory_name, member.device)
-                if claimed != member.device:
-                    for fallback in members:
-                        self._run_singleton(
-                            fallback, produced, report, roster, precomputed,
-                            task_spans,
-                        )
-                    return
-
-        # Gather every stage's (precomputed) result and its actual fill
-        # latency.
-        runs = []
-        fills = []
-        externals: list[list[tuple[str, str]]] = []  # (key, memory) pairs
-        chain_local: dict[int, Relation] = {}
-        for member in members:
-            inputs = []
-            external = []
-            for input_id in member.inputs:
-                if input_id in internal:
-                    inputs.append(chain_local[input_id])
-                else:
-                    key, relation, _, memory_name = produced[input_id]
-                    inputs.append(relation)
-                    external.append((key, memory_name))
-            device = self._device(member.device)
-            run = precomputed[member.op_id]
-            chain_local[member.op_id] = run.relation
-            cost = actual_cost(
-                member.node, inputs,
-                device.capacity.max_rows, device.capacity.max_cols,
-            )
-            fills.append(device.technology.pulses_to_seconds(cost.fill_pulses))
-            runs.append(run)
-            externals.append(external)
-
-        # Per-stage stand-alone duration → (fill, stream) split.
-        stages = []
-        out_bytes = []
-        for member, run, external, fill in zip(members, runs, externals, fills):
-            nbytes_out = relation_bytes(run.relation, self.element_bits)
-            out_bytes.append(nbytes_out)
-            streams = [
-                self._memory(memory_name).transfer_seconds(
-                    self._memory(memory_name).size_of(key)
-                )
-                for key, memory_name in external
-            ]
-            if self.memories:
-                streams.append(self.memories[0].transfer_seconds(nbytes_out))
-            total = max([run.seconds] + streams)
-            fill = min(fill, total)
-            stages.append(StageCost(
-                name=member.label, fill=fill, stream=total - fill
-            ))
-
-        # Stage k's window relative to the chain start: the prefix form
-        # of the pipeline law — the last stage ends at Σ fill + max
-        # stream, analyze_chain's pipelined makespan.
-        offsets = PhysicalPlanner._stage_offsets(stages)
-
-        # Each stage needs its own inputs (and release) only by the time
-        # *it* starts — chain_start + lo_k — so an input arriving late to
-        # a downstream stage does not hold the upstream stages back.
-        start = 0.0
-        for member, (lo, _) in zip(members, offsets):
-            start = max(start, member.release - lo,
-                        roster.free_at(member.device) - lo)
-            for input_id in member.inputs:
-                if input_id not in internal:
-                    start = max(start, produced[input_id][2] - lo)
-
-        # Fixed point over the chain start: every stage's external input
-        # ports must be free over its window, plus one memory for the
-        # tail's output.  Intermediate results never touch a memory —
-        # they stream device→switch→device (§9), which is the point of
-        # fusing — so the chain needs |externals| + 1 ports in total.
-        all_external = {
-            memory for external in externals for _, memory in external
-        }
-        tail_index = len(members) - 1
-        tail_lo, tail_hi = offsets[tail_index]
-        out_memory: Optional[MemoryModule] = None
-        try:
-            for _ in range(64):
-                adjusted = start
-                for (lo, hi), external in zip(offsets, externals):
-                    duration = hi - lo
-                    for memory_name in {memory for _, memory in external}:
-                        adjusted = max(
-                            adjusted,
-                            self.crossbar.earliest_window(
-                                memory_name, adjusted + lo, duration
-                            ) - lo,
-                        )
-                out_memory, out_start = self._choose_memory(
-                    out_bytes[tail_index], avoid=all_external,
-                    ready=adjusted + tail_lo, duration=tail_hi - tail_lo,
-                )
-                adjusted = max(adjusted, out_start - tail_lo)
-                if adjusted == start:
-                    break
-                start = adjusted
-        except CapacityError:
-            # Not enough distinct memory ports for the fused chain on
-            # this machine — run its stages store-and-forward instead.
-            for fallback in members:
-                self._run_singleton(
-                    fallback, produced, report, roster, precomputed,
-                    task_spans,
-                )
-            return
-
-        # Commit: claim ports, occupy devices, store the tail's output.
-        metrics.inc("machine.chains.executed")
-        with obs.span(
-            "machine.chain", stages=len(members),
-            chain=" | ".join(m.label for m in members),
-        ) as chain_span:
-            key_of: dict[int, str] = {}
-            for k, (member, run, (lo, hi), external) in enumerate(
-                zip(members, runs, offsets, externals)
-            ):
-                stage_start, stage_end = start + lo, start + hi
-                with obs.span(
-                    "machine.op", op=member.label, device=member.device,
-                    kind=member.kind,
-                ) as sp:
-                    if task_spans is not None:
-                        obs.adopt(task_spans.get(member.op_id))
-                    key = self._new_key(member.node)
-                    key_of[member.op_id] = key
-                    external_memories = {memory for _, memory in external}
-                    for memory_name in external_memories:
-                        self.crossbar.establish(
-                            memory_name, member.device, stage_start, stage_end
-                        )
-                    if k == tail_index:
-                        memory_label = out_memory.name
-                        out_memory.store(key, run.relation, out_bytes[k])
-                        if out_memory.name not in external_memories:
-                            self.crossbar.establish(
-                                out_memory.name, member.device,
-                                stage_start, stage_end,
-                            )
-                    else:
-                        # Streamed straight into the next stage's array.
-                        memory_label = f"->{members[k + 1].device}"
-                    roster.occupy(member.device, stage_end)
-                    input_keys = tuple(
-                        key_of[i] if i in internal else produced[i][0]
-                        for i in member.inputs
-                    )
-                    report.steps.append(ScheduledStep(
-                        label=member.label,
-                        device=member.device,
-                        start=stage_start, end=stage_end,
-                        output_key=key, output_memory=memory_label,
-                        input_keys=input_keys,
-                        pulses=run.pulses, block_runs=run.block_runs,
-                        nbytes_out=out_bytes[k],
-                    ))
-                    produced[member.op_id] = (
-                        key, run.relation, stage_end, memory_label
-                    )
-                    sp.set(
-                        pulses=run.pulses, blocks=run.block_runs,
-                        rows_out=len(run.relation), nbytes_out=out_bytes[k],
-                        memory=memory_label,
-                        sim_start=stage_start, sim_end=stage_end,
-                    )
-                metrics.inc("machine.ops.executed")
-                metrics.observe(
-                    "machine.op.sim_seconds", stage_end - stage_start
-                )
-            chain_span.set(
-                sim_start=start + offsets[0][0], sim_end=start + tail_hi
-            )
-
-    def _memory(self, name: str) -> MemoryModule:
-        for memory in self.memories:
-            if memory.name == name:
-                return memory
-        raise PlanError(f"unknown memory {name!r}")
+        return env_flag("REPRO_MACHINE_PARALLEL", True)
 
     def __repr__(self) -> str:
         kinds = ", ".join(d.name for d in self.devices)

@@ -12,7 +12,8 @@ its kind and a one-line meaning.  The table is a *contract*:
   updating the docs (or vice versa) fails CI.
 
 Naming convention: ``layer.subject.event`` with layers ``lang``,
-``machine``, ``device``, ``engine`` (lowest to highest frequency).
+``machine``, ``device``, ``engine``, ``service`` (lowest to highest
+frequency; ``service`` is the multi-tenant engine-pool/serving layer).
 """
 
 from __future__ import annotations
@@ -57,6 +58,19 @@ METRICS: dict[str, tuple[str, str]] = {
         COUNTER, "compile calls that ran the physical planner"),
     "machine.plan_cache.size": (
         GAUGE, "physical plans currently held by the LRU cache"),
+    "service.admissions": (
+        COUNTER, "queries admitted past the engine pool's concurrency gate"),
+    "service.queries": (
+        COUNTER, "queries executed by the engine pool (all tenants)"),
+    "service.query.seconds": (
+        HISTOGRAM, "host wall-clock seconds per pooled query"),
+    "service.queue.depth": (
+        GAUGE, "queries currently waiting at the admission gate"),
+    "service.rejections": (
+        COUNTER, "queries refused with AdmissionError under backpressure"),
+    "service.tenant.queries": (
+        COUNTER, "pooled queries summed over tenants (per-tenant split in "
+                 "EnginePool.tenant_stats)"),
 }
 
 __all__ = ["COUNTER", "GAUGE", "HISTOGRAM", "METRICS"]

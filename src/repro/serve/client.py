@@ -1,0 +1,148 @@
+"""A blocking client for the ``repro serve`` line protocol.
+
+Plain stdlib sockets — usable from scripts, tests, and other
+processes without any async machinery.  One client holds one
+connection bound to one tenant::
+
+    with ServiceClient(host, port, tenant="acme") as db:
+        db.store("R", relation)
+        rows = db.query("project(join(R, S, #0 == #0), #0, #1)")["rows"]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from repro.errors import AdmissionError, ReproError
+from repro.relational.relation import Relation
+from repro.serve.protocol import decode_line, encode_line, relation_to_wire
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """One tenant's connection to a :class:`~repro.serve.server.ReproServer`.
+
+    Raises :class:`~repro.errors.ReproError` (or the server-side error's
+    matching class for admission refusals) when the server answers
+    ``ok: false``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rb")
+        self.hello(self.tenant)
+        return self
+
+    def close(self) -> None:
+        if self._sock is None:
+            return
+        try:
+            self._request({"op": "bye"})
+        except (ReproError, OSError):
+            pass
+        try:
+            self._file.close()
+            self._sock.close()
+        finally:
+            self._sock = None
+            self._file = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- verbs -------------------------------------------------------------
+
+    def hello(self, tenant: str) -> dict[str, Any]:
+        """Bind the connection to a tenant's catalog."""
+        self.tenant = tenant
+        return self._request({"op": "hello", "tenant": tenant})
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def store(self, name: str, relation: Relation) -> dict[str, Any]:
+        """Put a base relation on this tenant's disk."""
+        return self._request({
+            "op": "store", "name": name,
+            "relation": relation_to_wire(relation),
+        })
+
+    def preload(self, name: str, relation: Relation) -> dict[str, Any]:
+        """Mark a relation memory-resident for this tenant's queries."""
+        return self._request({
+            "op": "preload", "name": name,
+            "relation": relation_to_wire(relation),
+        })
+
+    def query(
+        self,
+        expr: str,
+        pipeline: bool = True,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """Run one algebra expression; returns the response payload.
+
+        The payload carries ``relation`` (wire format: columns +
+        decoded rows), ``rows``, and the simulated ``makespan_ms``.
+        """
+        request: dict[str, Any] = {
+            "op": "query", "expr": expr,
+            "pipeline": pipeline, "priority": priority,
+        }
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._request(request)
+
+    def stats(self) -> dict[str, Any]:
+        """The pool's serving snapshot (tenants, cache, admission gate)."""
+        return self._request({"op": "stats"})["stats"]
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if self._sock is None:
+            self.connect()
+        self._sock.sendall(encode_line(payload))
+        line = self._file.readline()
+        if not line:
+            raise ReproError("server closed the connection")
+        response = decode_line(line)
+        if not response.get("ok"):
+            message = response.get("error", "unknown server error")
+            if response.get("kind") == "AdmissionError":
+                raise AdmissionError(message)
+            raise ReproError(message)
+        return response
+
+    def __repr__(self) -> str:
+        state = "connected" if self._sock else "disconnected"
+        return (
+            f"ServiceClient({self.host}:{self.port}, "
+            f"tenant={self.tenant!r}, {state})"
+        )

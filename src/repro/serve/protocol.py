@@ -1,0 +1,111 @@
+"""The wire protocol of ``repro serve``: newline-delimited JSON.
+
+One request per line, one response per line, always a JSON object.
+Requests carry ``{"op": <verb>, ...}``; responses carry
+``{"ok": true, ...}`` or ``{"ok": false, "error": <message>,
+"kind": <exception class name>}``.  The verbs:
+
+========  =============================================================
+verb      payload
+========  =============================================================
+hello     ``tenant`` — bind this connection to a tenant's catalog
+store     ``name``, ``relation`` — put a base relation on the disk
+preload   ``name``, ``relation`` — mark a relation memory-resident
+query     ``expr`` (algebra text), optional ``pipeline``, ``priority``,
+          ``timeout`` — compile and run through the pool
+stats     — pool snapshot (tenants, per-tenant counts, cache, gate)
+ping      — liveness probe
+bye       — close the connection after acknowledging
+========  =============================================================
+
+Relations travel as ``{"columns": [[name, domain], ...], "rows":
+[[value, ...], ...]}`` with *decoded* (human) values, so the payload
+must be JSON-representable — strings, ints, floats, bools.  Column
+domains are resolved through a per-tenant
+:data:`~repro.relational.csv_io.DomainRegistry` on the server, so two
+relations sent over the wire with same-named domains stay
+join/union-compatible, exactly like two CSV files loaded with a shared
+registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ReproError
+from repro.relational.csv_io import DomainRegistry
+from repro.relational.domain import Domain
+from repro.relational.relation import Relation
+from repro.relational.schema import Column, Schema
+
+__all__ = [
+    "decode_line",
+    "encode_line",
+    "relation_from_wire",
+    "relation_to_wire",
+]
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one protocol line; raises :class:`ReproError` when malformed."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed protocol line: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ReproError(
+            f"protocol messages are JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def relation_to_wire(relation: Relation) -> dict[str, Any]:
+    """A relation as a JSON-representable payload (decoded values)."""
+    schema = relation.schema
+    return {
+        "columns": [
+            [name, domain.name]
+            for name, domain in zip(schema.names, schema.domains)
+        ],
+        "rows": [list(row) for row in relation.decoded()],
+    }
+
+
+def relation_from_wire(
+    payload: dict[str, Any], registry: DomainRegistry
+) -> Relation:
+    """Rebuild a relation, resolving domains through ``registry``.
+
+    The registry is keyed by **domain name** and shared per tenant, so
+    columns naming the same domain across requests share one encoding
+    (and therefore compare equal / join correctly).
+    """
+    try:
+        columns = payload["columns"]
+        rows = payload["rows"]
+    except (KeyError, TypeError):
+        raise ReproError(
+            "a wire relation needs 'columns' and 'rows'"
+        ) from None
+    specs = []
+    for entry in columns:
+        try:
+            name, domain_name = entry
+        except (ValueError, TypeError):
+            raise ReproError(
+                f"wire column must be [name, domain], got {entry!r}"
+            ) from None
+        domain = registry.get(domain_name)
+        if domain is None:
+            domain = registry.setdefault(domain_name, Domain(domain_name))
+        specs.append(Column(str(name), domain))
+    schema = Schema(specs)
+    return Relation.from_values(schema, [tuple(row) for row in rows])

@@ -1,0 +1,205 @@
+"""The asyncio serving loop over an :class:`EnginePool`.
+
+One :class:`ReproServer` owns one pool.  Each accepted connection gets
+a protocol handler coroutine; queries — the only slow verb — hop onto
+the default thread-pool executor, where the pool's admission gate,
+plan cache, and per-query machine state do their work.  The asyncio
+side stays single-threaded and non-blocking, so hellos, stats probes,
+and pings keep flowing while queries execute.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Optional
+
+from repro.errors import ReproError
+from repro.lang import optimize, parse
+from repro.machine.pool import EnginePool
+from repro.relational.csv_io import DomainRegistry
+from repro.serve.protocol import (
+    decode_line,
+    encode_line,
+    relation_from_wire,
+    relation_to_wire,
+)
+
+__all__ = ["ReproServer"]
+
+#: Longest accepted request line (a stored relation rides in one line).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ReproServer:
+    """Serves the line protocol of :mod:`repro.serve.protocol` over TCP.
+
+    ``await start()`` binds the socket (port 0 picks a free port;
+    read the result back from :attr:`address`), ``await stop()``
+    closes it and waits for in-flight connections to finish.  The
+    server can also be used as an async context manager.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[EnginePool] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **pool_kwargs: Any,
+    ) -> None:
+        self.pool = pool if pool is not None else EnginePool(**pool_kwargs)
+        self._host = host
+        self._port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.Task] = set()
+        #: one domain registry per tenant — wire relations naming the
+        #: same domain stay join-compatible within a tenant.
+        self._registries: dict[str, DomainRegistry] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); raises before :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise ReproError("server is not listening")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, then drain in-flight connections."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+
+    async def __aenter__(self) -> "ReproServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        tenant = "default"
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_line(line)
+                    response, tenant, closing = await self._dispatch(
+                        request, tenant
+                    )
+                except ReproError as exc:
+                    response, closing = _error(exc), False
+                except Exception as exc:  # defensive: never kill the loop
+                    response, closing = _error(exc), False
+                writer.write(encode_line(response))
+                await writer.drain()
+                if closing:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(
+        self, request: dict[str, Any], tenant: str
+    ) -> tuple[dict[str, Any], str, bool]:
+        """Handle one request; returns (response, tenant, closing)."""
+        op = request.get("op")
+        if op == "hello":
+            tenant = str(request.get("tenant", "default"))
+            self.pool.catalog(tenant)  # materialize eagerly
+            return {"ok": True, "tenant": tenant}, tenant, False
+        if op == "ping":
+            return {"ok": True, "pong": True}, tenant, False
+        if op == "bye":
+            return {"ok": True, "bye": True}, tenant, True
+        if op == "stats":
+            return {"ok": True, "stats": self.pool.stats()}, tenant, False
+        if op == "store" or op == "preload":
+            name = request.get("name")
+            if not isinstance(name, str) or not name:
+                raise ReproError(f"{op} needs a relation 'name'")
+            relation = relation_from_wire(
+                request.get("relation"), self._registry(tenant)
+            )
+            catalog = self.pool.catalog(tenant)
+            if op == "store":
+                catalog.store(name, relation)
+            else:
+                catalog.preload(name, relation)
+            return (
+                {"ok": True, "name": name, "rows": len(relation)},
+                tenant, False,
+            )
+        if op == "query":
+            expr = request.get("expr")
+            if not isinstance(expr, str) or not expr:
+                raise ReproError("query needs an algebra 'expr'")
+            plan = optimize(parse(expr))
+            catalog = self.pool.catalog(tenant)
+            loop = asyncio.get_running_loop()
+            results, report = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    self.pool.execute,
+                    catalog,
+                    plan,
+                    pipeline=bool(request.get("pipeline", True)),
+                    priority=int(request.get("priority", 0)),
+                    timeout=request.get("timeout"),
+                ),
+            )
+            result = results[0]
+            return (
+                {
+                    "ok": True,
+                    "relation": relation_to_wire(result),
+                    "rows": len(result),
+                    "makespan_ms": report.makespan * 1e3,
+                },
+                tenant, False,
+            )
+        raise ReproError(f"unknown op {op!r}")
+
+    def _registry(self, tenant: str) -> DomainRegistry:
+        return self._registries.setdefault(tenant, {})
+
+
+def _error(exc: Exception) -> dict[str, Any]:
+    return {"ok": False, "error": str(exc), "kind": type(exc).__name__}

@@ -31,12 +31,12 @@ cell network — both raise, pointing at ``backend="pulse"``.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Optional
 
 import numpy as np
 
 from repro import obs
+from repro.config import env_int
 from repro.errors import SimulationError
 from repro.obs import metrics
 from repro.systolic.engine.hexmesh import (
@@ -127,8 +127,9 @@ class LatticeEngine:
 
     def __init__(self, chunk_bytes: Optional[int] = None) -> None:
         if chunk_bytes is None:
-            env = os.environ.get("REPRO_LATTICE_CHUNK_BYTES")
-            chunk_bytes = int(env) if env else DEFAULT_CHUNK_BYTES
+            chunk_bytes = env_int(
+                "REPRO_LATTICE_CHUNK_BYTES", DEFAULT_CHUNK_BYTES, minimum=1
+            )
         if chunk_bytes < 1:
             raise SimulationError(
                 f"chunk_bytes must be >= 1, got {chunk_bytes}"

@@ -1,0 +1,89 @@
+"""The per-tenant Catalog layer: versioning, lookup, fingerprints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.machine import Catalog
+from repro.workloads import join_pair, overlapping_pair
+
+
+def _pair():
+    return join_pair(10, 8, 4, seed=31)
+
+
+class TestCatalogBasics:
+    def test_store_and_lookup(self):
+        catalog = Catalog(tenant="acme")
+        a, b = _pair()
+        catalog.store("R", a)
+        catalog.store("S", b)
+        assert catalog.names() == ["R", "S"]
+        assert catalog.relation("R") == a
+        assert "R" in catalog
+        assert "missing" not in catalog
+
+    def test_preload_and_shadowing(self):
+        catalog = Catalog()
+        a, b = _pair()
+        catalog.store("R", a)
+        catalog.preload("HOT", b)
+        assert set(catalog.names()) == {"R", "HOT"}
+        assert catalog.relation("HOT") == b
+        assert catalog.preloaded() == [("HOT", b)]
+
+    def test_double_preload_raises(self):
+        catalog = Catalog()
+        a, _ = _pair()
+        catalog.preload("X", a)
+        with pytest.raises(PlanError, match="already resident"):
+            catalog.preload("X", a)
+
+    def test_every_mutation_bumps_version(self):
+        catalog = Catalog()
+        a, b = _pair()
+        assert catalog.version == 0
+        catalog.store("R", a)
+        assert catalog.version == 1
+        catalog.preload("HOT", b)
+        assert catalog.version == 2
+
+
+class TestContentFingerprint:
+    def test_identical_catalogs_share_a_fingerprint(self):
+        """Two tenants loading statistically identical data agree —
+        the property that makes the pool's plan cache cross-tenant."""
+        first, second = Catalog(tenant="a"), Catalog(tenant="b")
+        for catalog in (first, second):
+            a, b = _pair()
+            catalog.store("R", a)
+            catalog.store("S", b)
+        assert first.content_fingerprint() == second.content_fingerprint()
+
+    def test_extra_relation_changes_the_fingerprint(self):
+        first, second = Catalog(), Catalog()
+        a, b = _pair()
+        first.store("R", a)
+        second.store("R", a)
+        before = second.content_fingerprint()
+        assert first.content_fingerprint() == before
+        second.store("S", b)
+        assert second.content_fingerprint() != before
+
+    def test_cardinality_changes_the_fingerprint(self):
+        small, large = Catalog(), Catalog()
+        small.store("R", join_pair(6, 5, 3, seed=1)[0])
+        large.store("R", join_pair(12, 5, 3, seed=1)[0])
+        assert small.content_fingerprint() != large.content_fingerprint()
+
+    def test_placement_changes_the_fingerprint(self):
+        """The same relation stored vs preloaded plans differently
+        (disk read vs resident), so the fingerprints must differ."""
+        stored, resident = Catalog(), Catalog()
+        a, _ = overlapping_pair(8, 6, 4, arity=2, seed=5)
+        stored.store("R", a)
+        resident.preload("R", a)
+        assert (
+            stored.content_fingerprint() != resident.content_fingerprint()
+        )

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import AdmissionError, ReproError
 from repro.lang import optimize, parse
+from repro.machine import EnginePool
 from repro.obs import COUNTER, GAUGE, HISTOGRAM, METRICS, MetricsRegistry, metrics
+from repro.workloads import join_pair
 
 from .conftest import build_machine, join_project_plan
 
@@ -72,7 +74,7 @@ class TestDeclaredNames:
             assert description, name
 
     def test_names_are_layer_prefixed(self):
-        prefixes = ("machine.", "device.", "engine.", "lang.")
+        prefixes = ("machine.", "device.", "engine.", "lang.", "service.")
         for name in METRICS:
             assert name.startswith(prefixes), name
 
@@ -91,6 +93,22 @@ class TestDeclaredNames:
 
         lattice = build_machine(backend="lattice")
         lattice.run(join_project_plan())      # engine.lattice.chunks
+
+        # The serving layer: one pooled query records the service.*
+        # counters/histogram, and a zero-timeout acquire against a full
+        # gate records the rejection counter.
+        pool = EnginePool(max_concurrent=1)
+        session = pool.session("acme")
+        a, b = join_pair(40, 30, 8, seed=31)
+        session.store("R", a)
+        session.store("S", b)
+        session.run(join_project_plan())
+        pool.gate.acquire()                   # hold the only slot
+        try:
+            with pytest.raises(AdmissionError):
+                pool.gate.acquire(timeout=0.0)
+        finally:
+            pool.gate.release()
 
         collected = metrics.collected_names()
         missing = set(METRICS) - collected

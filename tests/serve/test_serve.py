@@ -1,0 +1,178 @@
+"""The serving front-end: protocol, server loop, blocking client."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.relational import algebra
+from repro.serve import (
+    ReproServer,
+    ServiceClient,
+    decode_line,
+    encode_line,
+    relation_from_wire,
+    relation_to_wire,
+)
+from repro.workloads import join_pair, overlapping_pair
+
+
+class TestProtocol:
+    def test_line_round_trip(self):
+        payload = {"op": "query", "expr": "intersect(A, B)", "priority": 2}
+        assert decode_line(encode_line(payload)) == payload
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ReproError, match="malformed"):
+            decode_line(b"not json\n")
+        with pytest.raises(ReproError, match="JSON objects"):
+            decode_line(b"[1, 2]\n")
+
+    def test_relation_round_trip_preserves_rows_and_domains(self):
+        a, _ = join_pair(10, 8, 4, seed=31)
+        registry = {}
+        back = relation_from_wire(relation_to_wire(a), registry)
+        assert sorted(back.decoded()) == sorted(a.decoded())
+        assert back.schema.names == a.schema.names
+        assert [d.name for d in back.schema.domains] == [
+            d.name for d in a.schema.domains
+        ]
+
+    def test_shared_registry_keeps_relations_compatible(self):
+        """Two relations wired separately but naming the same domains
+        stay join/intersect-compatible — the CSV-registry behaviour."""
+        a, b = overlapping_pair(8, 6, 4, arity=2, seed=7)
+        registry = {}
+        wired_a = relation_from_wire(relation_to_wire(a), registry)
+        wired_b = relation_from_wire(relation_to_wire(b), registry)
+        expected = sorted(algebra.intersection(a, b).decoded())
+        assert sorted(
+            algebra.intersection(wired_a, wired_b).decoded()
+        ) == expected
+
+    def test_wire_relation_needs_columns_and_rows(self):
+        with pytest.raises(ReproError, match="columns"):
+            relation_from_wire({"rows": []}, {})
+
+
+class _ServerHarness:
+    """Runs a ReproServer on a private event-loop thread."""
+
+    def __init__(self, **pool_kwargs):
+        self.pool_kwargs = pool_kwargs
+        self.address = None
+        self._loop = None
+        self._server = None
+        self._thread = None
+        self._ready = threading.Event()
+
+    def __enter__(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(10.0), "server never started"
+        return self
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def main():
+            self._server = ReproServer(**self.pool_kwargs)
+            self.address = await self._server.start()
+            self._ready.set()
+            self._stop = asyncio.Event()
+            await self._stop.wait()
+            await self._server.stop()
+
+        self._loop.run_until_complete(main())
+        self._loop.close()
+
+    def __exit__(self, exc_type, exc, tb):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10.0)
+        assert not self._thread.is_alive(), "server thread leaked"
+
+
+class TestServer:
+    def test_store_query_stats_over_the_wire(self):
+        ja, jb = join_pair(10, 8, 4, seed=31)
+        with _ServerHarness() as harness:
+            host, port = harness.address
+            with ServiceClient(host, port, tenant="acme") as db:
+                assert db.ping()
+                db.store("R", ja)
+                db.store("S", jb)
+                reply = db.query("project(join(R, S, #0 == #0), #0, #1)")
+                assert reply["rows"] == len(reply["relation"]["rows"])
+                assert reply["makespan_ms"] > 0
+                stats = db.stats()
+                assert stats["tenants"] == ["acme"]
+                assert stats["tenant_queries"] == {"acme": 1}
+
+    def test_query_matches_in_process_execution(self):
+        a, b = overlapping_pair(10, 8, 5, arity=2, seed=9)
+        expected = sorted(algebra.intersection(a, b).decoded())
+        with _ServerHarness() as harness:
+            host, port = harness.address
+            with ServiceClient(host, port) as db:
+                db.store("A", a)
+                db.store("B", b)
+                reply = db.query("intersect(A, B)")
+                got = sorted(tuple(r) for r in reply["relation"]["rows"])
+                assert got == expected
+
+    def test_tenants_are_isolated(self):
+        a, b = overlapping_pair(10, 8, 5, arity=2, seed=9)
+        with _ServerHarness() as harness:
+            host, port = harness.address
+            with ServiceClient(host, port, tenant="one") as one:
+                one.store("A", a)
+                one.store("B", b)
+                with ServiceClient(host, port, tenant="two") as two:
+                    # Tenant two never stored anything.
+                    with pytest.raises(ReproError):
+                        two.query("intersect(A, B)")
+                    # Tenant one is unaffected.
+                    assert one.query("intersect(A, B)")["ok"]
+
+    def test_concurrent_clients_get_identical_answers(self):
+        a, b = overlapping_pair(12, 10, 5, arity=2, seed=11)
+        expected = sorted(algebra.intersection(a, b).decoded())
+        with _ServerHarness(max_concurrent=2) as harness:
+            host, port = harness.address
+            results = {}
+
+            def client(tag: str):
+                with ServiceClient(host, port, tenant=tag) as db:
+                    db.store("A", a)
+                    db.store("B", b)
+                    reply = db.query("intersect(A, B)")
+                    results[tag] = sorted(
+                        tuple(r) for r in reply["relation"]["rows"]
+                    )
+
+            threads = [
+                threading.Thread(target=client, args=(f"t{i}",))
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 3
+            for rows in results.values():
+                assert rows == expected
+
+    def test_unknown_op_and_bad_query_report_errors(self):
+        with _ServerHarness() as harness:
+            host, port = harness.address
+            with ServiceClient(host, port) as db:
+                with pytest.raises(ReproError, match="unknown op"):
+                    db._request({"op": "explode"})
+                with pytest.raises(ReproError):
+                    db.query("this is not algebra")
+                # The connection survives both errors.
+                assert db.ping()
