@@ -151,7 +151,9 @@ def _emit(relation: Relation, out: str | None) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    if args.machine:
+    if args.machine or getattr(args, "shards", 1) > 1:
+        # sharding is a property of the simulated machine cluster, so
+        # --shards implies the machine path
         return _run_on_machine(args)
     with _Observation(args) as observed:
         with observed.stage("load"):
@@ -177,6 +179,8 @@ def _run_on_machine(args: argparse.Namespace) -> int:
     """Shared body of ``machine`` and ``query --machine``."""
     from repro.machine import MachineDisk, SystolicDatabaseMachine
 
+    if getattr(args, "shards", 1) > 1:
+        return _run_sharded(args)
     with _Observation(args) as observed:
         with observed.stage("load"):
             catalog = _load_relations(args.relation)
@@ -212,6 +216,55 @@ def _run_on_machine(args: argparse.Namespace) -> int:
             print(
                 f"predicted makespan {physical.predicted_makespan * 1e3:.3f} "
                 f"ms, simulated {report.makespan * 1e3:.3f} ms"
+            )
+    return 0
+
+
+def _run_sharded(args: argparse.Namespace) -> int:
+    """``query/machine --shards N``: run on a cluster of machines."""
+    from repro.machine.pool import EnginePool
+
+    if getattr(args, "logic_per_track", False):
+        print("--logic-per-track is a single-disk feature; it cannot be "
+              "combined with --shards")
+        return 2
+    with _Observation(args) as observed:
+        with observed.stage("load"):
+            catalog = _load_relations(args.relation)
+            pool = EnginePool(backend=args.backend)
+            session = pool.session(
+                "cli", shards=args.shards,
+                shard_strategy=args.shard_strategy,
+            )
+            for name, relation in catalog.items():
+                session.store(name, relation)
+        with observed.stage("parse"):
+            plan = parse(args.expression)
+        if args.optimize:
+            with observed.stage("optimize"):
+                plan = optimize(
+                    plan, schemas={n: r.schema for n, r in catalog.items()}
+                )
+        pipeline = not getattr(args, "store_and_forward", False)
+        if args.explain:
+            with observed.stage("compile"):
+                compiled = session.compile(plan, pipeline=pipeline)
+            print(compiled.plan.explain())
+            print()
+        with observed.stage("execute"):
+            (result,), report = session.run_many([plan], pipeline=pipeline)
+        with observed.stage("materialize"):
+            _emit(result, args.out)
+        print()
+        print(report.timeline())
+        if args.explain:
+            print(
+                f"predicted makespan "
+                f"{compiled.predicted_makespan * 1e3:.3f} ms, simulated "
+                f"{report.makespan * 1e3:.3f} ms "
+                f"({args.shards} shards, "
+                f"{report.exchange_seconds * 1e3:.3f} ms on the "
+                f"interconnect)"
             )
     return 0
 
@@ -261,7 +314,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_concurrent=args.max_concurrent,
             admission_timeout=args.admission_timeout,
         )
-        server = ReproServer(pool, host=args.host, port=args.port)
+        server = ReproServer(
+            pool, host=args.host, port=args.port,
+            shards=args.shards, shard_strategy=args.shard_strategy,
+        )
         host, port = await server.start()
         print(f"serving on {host}:{port}", flush=True)
         stop = asyncio.Event()
@@ -340,6 +396,19 @@ def build_parser() -> argparse.ArgumentParser:
                  "optimize, compile, execute, materialize)",
         )
 
+    def shard_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--shards", type=int, default=1, metavar="N",
+            help="partition relations across N simulated machines and "
+                 "run the plan shard-local with costed exchanges "
+                 "(default 1: the single Fig 9-1 machine)",
+        )
+        p.add_argument(
+            "--shard-strategy", choices=("hash", "range"), default="hash",
+            help="how relations split across shards: multiplicative "
+                 "hashing of the key (default) or equi-depth key ranges",
+        )
+
     def obs_options(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace", metavar="FILE",
@@ -369,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_option(query)
     obs_options(query)
     backend_option(query)
+    shard_options(query)
     query.set_defaults(handler=_cmd_query)
 
     machine = sub.add_parser(
@@ -388,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_option(machine)
     obs_options(machine)
     backend_option(machine)
+    shard_options(machine)
     machine.set_defaults(handler=_cmd_machine)
 
     selftest = sub.add_parser(
@@ -438,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
              "shutdown, or embedded in --trace output)",
     )
     backend_option(serve)
+    shard_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     trace = sub.add_parser(

@@ -13,11 +13,11 @@ helpers here give every such knob the same, predictable behaviour:
 from __future__ import annotations
 
 import os
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 from repro.errors import ConfigError
 
-__all__ = ["env_flag", "env_int"]
+__all__ = ["env_flag", "env_int", "env_choice"]
 
 #: Spellings accepted for boolean environment flags.
 _TRUE = frozenset({"1", "true", "on", "yes"})
@@ -80,3 +80,28 @@ def env_int(
             f"{name}={raw!r} must be >= {minimum}"
         )
     return value
+
+
+def env_choice(
+    name: str,
+    default: str,
+    choices: Sequence[str],
+    environ: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Read an enumerated string from the environment.
+
+    Matching is case-insensitive (the canonical lower-case spelling is
+    returned).  Unset or empty means ``default``; any other value
+    raises :class:`ConfigError` naming the accepted spellings.
+    """
+    raw = (environ if environ is not None else os.environ).get(name)
+    if raw is None:
+        return default
+    text = raw.strip().lower()
+    if not text:
+        return default
+    if text in choices:
+        return text
+    raise ConfigError(
+        f"{name}={raw!r} is not one of {sorted(choices)}"
+    )

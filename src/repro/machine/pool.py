@@ -233,6 +233,7 @@ class EnginePool:
         self.gate = AdmissionGate(max_concurrent, admission_timeout)
         self._lock = threading.Lock()
         self._catalogs: dict[str, Catalog] = {}
+        self._sharded_catalogs: dict[tuple, "ShardedCatalog"] = {}
         self._tenant_queries: dict[str, int] = {}
 
     # -- tenancy -----------------------------------------------------------
@@ -246,17 +247,52 @@ class EnginePool:
                 self._catalogs[tenant] = cat
             return cat
 
+    def sharded_catalog(
+        self,
+        tenant: str,
+        shards: int,
+        strategy: str = "hash",
+        partitioner=None,
+    ) -> "ShardedCatalog":
+        """The tenant's sharded catalog for one (shards, strategy) layout.
+
+        Lazily created and shared, like :meth:`catalog`: two sessions
+        opened with the same shard layout see the same placements.
+        """
+        from repro.shard.catalog import ShardedCatalog
+
+        key = (tenant, shards, strategy)
+        with self._lock:
+            cat = self._sharded_catalogs.get(key)
+            if cat is None:
+                cat = ShardedCatalog(
+                    tenant=tenant, shards=shards, strategy=strategy,
+                    element_bits=self.element_bits,
+                    partitioner=partitioner,
+                )
+                self._sharded_catalogs[key] = cat
+            return cat
+
     def session(
         self,
         tenant: str = "default",
         priority: int = 0,
         parallel: Optional[bool] = None,
+        shards: Optional[int] = None,
+        shard_strategy: Optional[str] = None,
+        partitioner=None,
     ) -> "Session":
-        """Open a session bound to a tenant's catalog."""
+        """Open a session bound to a tenant's catalog.
+
+        ``shards > 1`` opens it against the tenant's sharded catalog
+        instead; see :class:`~repro.machine.session.Session`.
+        """
         from repro.machine.session import Session
 
         return Session(
-            self, self.catalog(tenant), priority=priority, parallel=parallel
+            self, self.catalog(tenant), priority=priority, parallel=parallel,
+            shards=shards, shard_strategy=shard_strategy,
+            partitioner=partitioner,
         )
 
     def tenants(self) -> list[str]:
@@ -379,18 +415,26 @@ class EnginePool:
                 sp.set(makespan_ms=report.makespan * 1e3)
         finally:
             self.gate.release()
-        metrics.inc("service.queries")
-        metrics.inc("service.tenant.queries")
-        metrics.observe(
-            "service.query.seconds", time.perf_counter() - started
-        )
-        with self._lock:
-            self._tenant_queries[catalog.tenant] = (
-                self._tenant_queries.get(catalog.tenant, 0) + 1
-            )
+        self.record_query(catalog.tenant, time.perf_counter() - started)
         return results, report
 
     # -- accounting --------------------------------------------------------
+
+    def record_query(self, tenant: str, seconds: float) -> None:
+        """Account one completed query against a tenant.
+
+        Shared by the pool's own execute path and the shard layer's
+        :class:`~repro.shard.executor.ShardedExecutor`, so a sharded
+        query counts once (not once per shard) in the service metrics
+        and ``tenant_stats``.
+        """
+        metrics.inc("service.queries")
+        metrics.inc("service.tenant.queries")
+        metrics.observe("service.query.seconds", seconds)
+        with self._lock:
+            self._tenant_queries[tenant] = (
+                self._tenant_queries.get(tenant, 0) + 1
+            )
 
     def plan_cache_info(self) -> dict[str, int]:
         """Hit/miss counters and occupancy of the shared plan cache."""

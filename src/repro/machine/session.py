@@ -13,11 +13,13 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.config import env_choice, env_int
 from repro.machine.catalog import Catalog
 from repro.machine.physical import PhysicalPlan
 from repro.machine.plan import PlanNode
 from repro.machine.scheduler import ExecutionReport
 from repro.relational.relation import Relation
+from repro.relational.schema import ColumnRef
 
 __all__ = ["Session"]
 
@@ -28,6 +30,15 @@ class Session:
     ``priority`` (lower wins) and ``parallel`` are defaults applied to
     every query issued through this session; both can be overridden
     per call.
+
+    ``shards`` opens the session against a *cluster* of simulated
+    machines instead of one: relations are partitioned (or replicated)
+    across per-shard catalogs and queries run through the
+    :class:`~repro.shard.executor.ShardedExecutor`, with results and
+    per-shard traces bit-identical to the single machine.  The defaults
+    come from ``REPRO_SHARD_COUNT`` / ``REPRO_SHARD_STRATEGY``;
+    ``shards=1`` (the default) is a literal pass-through to the
+    unsharded path.
     """
 
     def __init__(
@@ -36,25 +47,81 @@ class Session:
         catalog: Catalog,
         priority: int = 0,
         parallel: Optional[bool] = None,
+        shards: Optional[int] = None,
+        shard_strategy: Optional[str] = None,
+        partitioner=None,
     ) -> None:
         self.pool = pool
         self.catalog = catalog
         self.priority = priority
         self.parallel = parallel
+        if shards is None:
+            shards = env_int("REPRO_SHARD_COUNT", 1, minimum=1)
+        if shard_strategy is None:
+            from repro.shard.partition import STRATEGIES
+
+            shard_strategy = env_choice(
+                "REPRO_SHARD_STRATEGY", "hash", STRATEGIES
+            )
+        self.shards = shards
+        self.shard_strategy = shard_strategy
+        self._sharded = None
+        if shards > 1:
+            from repro.shard.executor import ShardedExecutor
+
+            self._sharded = ShardedExecutor(
+                pool,
+                pool.sharded_catalog(
+                    catalog.tenant, shards, shard_strategy,
+                    partitioner=partitioner,
+                ),
+            )
 
     @property
     def tenant(self) -> str:
         return self.catalog.tenant
 
+    @property
+    def sharded_catalog(self):
+        """The per-shard catalog map, or ``None`` when unsharded."""
+        return self._sharded.catalog if self._sharded else None
+
     # -- catalog -----------------------------------------------------------
 
-    def store(self, name: str, relation: Relation) -> None:
-        """Place a base relation on this tenant's disk."""
-        self.catalog.store(name, relation)
+    def store(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[ColumnRef] = None,
+        replicate: bool = False,
+    ) -> None:
+        """Place a base relation on this tenant's disk(s).
 
-    def preload(self, name: str, relation: Relation) -> None:
+        Sharded sessions split the relation by ``key`` (default:
+        column 0) or replicate it onto every shard; the single-machine
+        path has one disk, where both knobs are no-ops.
+        """
+        if self._sharded:
+            self._sharded.catalog.store(
+                name, relation, key=key, replicate=replicate
+            )
+        else:
+            self.catalog.store(name, relation)
+
+    def preload(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[ColumnRef] = None,
+        replicate: bool = False,
+    ) -> None:
         """Mark a relation memory-resident for this tenant's queries."""
-        self.catalog.preload(name, relation)
+        if self._sharded:
+            self._sharded.catalog.preload(
+                name, relation, key=key, replicate=replicate
+            )
+        else:
+            self.catalog.preload(name, relation)
 
     # -- queries -----------------------------------------------------------
 
@@ -65,7 +132,17 @@ class Session:
         pipeline: bool = True,
         use_cache: bool = True,
     ) -> PhysicalPlan:
-        """Lower logical plans against this tenant's catalog."""
+        """Lower logical plans against this tenant's catalog.
+
+        Sharded sessions return a
+        :class:`~repro.shard.executor.ShardedCompilation` (per-shard
+        physical plans plus the staged makespan prediction) instead of
+        one :class:`PhysicalPlan`.
+        """
+        if self._sharded:
+            return self._sharded.compile(
+                plans, arrivals, pipeline=pipeline, use_cache=use_cache
+            )
         return self.pool.compile(
             self.catalog, plans, arrivals,
             pipeline=pipeline, use_cache=use_cache,
@@ -107,6 +184,14 @@ class Session:
         resolved = (
             self.parallel if parallel is None else parallel
         )
+        if self._sharded:
+            return self._sharded.execute(
+                plans, arrivals,
+                pipeline=pipeline,
+                parallel=SystolicDatabaseMachine._resolve_parallel(resolved),
+                priority=self.priority if priority is None else priority,
+                timeout=timeout,
+            )
         return self.pool.execute(
             self.catalog, plans, arrivals,
             pipeline=pipeline,
@@ -120,4 +205,8 @@ class Session:
         return self.pool.plan_cache_info()
 
     def __repr__(self) -> str:
-        return f"Session(tenant={self.tenant!r}, priority={self.priority})"
+        sharding = f", shards={self.shards}" if self.shards > 1 else ""
+        return (
+            f"Session(tenant={self.tenant!r}, "
+            f"priority={self.priority}{sharding})"
+        )

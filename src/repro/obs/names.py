@@ -12,8 +12,9 @@ its kind and a one-line meaning.  The table is a *contract*:
   updating the docs (or vice versa) fails CI.
 
 Naming convention: ``layer.subject.event`` with layers ``lang``,
-``machine``, ``device``, ``engine``, ``service`` (lowest to highest
-frequency; ``service`` is the multi-tenant engine-pool/serving layer).
+``machine``, ``device``, ``engine``, ``service``, ``shard`` (lowest to
+highest frequency; ``service`` is the multi-tenant engine-pool/serving
+layer, ``shard`` the cross-machine partitioned-execution layer).
 """
 
 from __future__ import annotations
@@ -71,6 +72,16 @@ METRICS: dict[str, tuple[str, str]] = {
     "service.tenant.queries": (
         COUNTER, "pooled queries summed over tenants (per-tenant split in "
                  "EnginePool.tenant_stats)"),
+    "shard.broadcasts": (
+        COUNTER, "relations replicated onto every shard by an exchange step"),
+    "shard.local_joins": (
+        COUNTER, "equi-joins run shard-local on co-partitioned inputs "
+                 "(zero cross-shard traffic)"),
+    "shard.merge_seconds": (
+        HISTOGRAM, "host wall-clock seconds merging per-shard results into "
+                   "the final relation"),
+    "shard.repartition_tuples": (
+        COUNTER, "tuples that changed shard during re-partition exchanges"),
 }
 
 __all__ = ["COUNTER", "GAUGE", "HISTOGRAM", "METRICS"]

@@ -21,6 +21,7 @@ stream).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.errors import ReproError
@@ -32,10 +33,14 @@ from repro.systolic.engine.schedule import (
 
 __all__ = [
     "OpCost",
+    "ExchangeCost",
+    "SHARD_LINK_BYTES_PER_SECOND",
     "block_spans",
     "comparison_cost",
     "join_cost",
     "division_cost",
+    "broadcast_cost",
+    "shuffle_cost",
 ]
 
 
@@ -102,9 +107,16 @@ def comparison_cost(
     a_spans = block_spans(n_a, size)
     b_spans = block_spans(n_b, size)
     col_spans = block_spans(arity, max_cols)
+    # Every span value is the full block size except possibly the last,
+    # so each dimension has at most two distinct values: summing per
+    # distinct (sa, sb, sc) triple with multiplicities is exact (integer
+    # pulse counts) and keeps million-row costing out of the
+    # blocks² loop.
     total = sum(
-        CounterStreamSchedule(sa, sb, sc).comparison_pulses
-        for sa in a_spans for sb in b_spans for sc in col_spans
+        CounterStreamSchedule(sa, sb, sc).comparison_pulses * ca * cb * cc
+        for sa, ca in Counter(a_spans).items()
+        for sb, cb in Counter(b_spans).items()
+        for sc, cc in Counter(col_spans).items()
     )
     fill = CounterStreamSchedule(a_spans[0], b_spans[0], col_spans[0]).rows
     return OpCost(
@@ -147,9 +159,12 @@ def division_cost(
         )
     x_spans = block_spans(n_distinct, max_rows)
     divisor_spans = block_spans(n_divisor, divisor_cols)
+    # Same distinct-span aggregation as comparison_cost: exact, and
+    # independent of the block-pair count.
     total = sum(
-        DivisionSchedule(n_pairs, sx, sd).total_pulses
-        for sx in x_spans for sd in divisor_spans
+        DivisionSchedule(n_pairs, sx, sd).total_pulses * cx * cd
+        for sx, cx in Counter(x_spans).items()
+        for sd, cd in Counter(divisor_spans).items()
     )
     # First quotient bit: the bottom row's result of the first block.
     first = DivisionSchedule(n_pairs, x_spans[0], divisor_spans[0])
@@ -157,4 +172,95 @@ def division_cost(
     return OpCost(
         fill_pulses=min(fill, total), stream_pulses=max(0, total - fill),
         a_blocks=len(x_spans), b_blocks=len(divisor_spans), column_blocks=1,
+    )
+
+
+#: Sustained rate of one cross-shard link.  A shard interconnect of the
+#: paper's era moves data at about the §8 disk's streaming rate — one
+#: 500 KB cylinder per 17 ms revolution — so exchanges are costed
+#: against the same channel the storage hierarchy already models.
+SHARD_LINK_BYTES_PER_SECOND: float = 500_000 / (60.0 / 3600.0)
+
+
+@dataclass(frozen=True)
+class ExchangeCost:
+    """Predicted cost of one cross-shard data movement.
+
+    ``tuples`` counts tuples that cross a link, ``nbytes`` the bytes
+    they occupy on the wire, and ``seconds`` the completion time with
+    every shard's link running in parallel — the shard-level analogue
+    of :class:`OpCost` for the planner's placement choice.
+    """
+
+    tuples: int
+    nbytes: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.tuples < 0 or self.nbytes < 0 or self.seconds < 0:
+            raise ReproError(f"exchange cost must be non-negative: {self}")
+
+
+_NO_EXCHANGE = ExchangeCost(tuples=0, nbytes=0, seconds=0.0)
+
+
+def _element_bytes(element_bits: int) -> int:
+    if element_bits < 1:
+        raise ReproError(f"element_bits must be >= 1, got {element_bits}")
+    return (element_bits + 7) // 8
+
+
+def broadcast_cost(
+    n_tuples: int,
+    arity: int,
+    element_bits: int,
+    shards: int,
+    bytes_per_second: float = SHARD_LINK_BYTES_PER_SECOND,
+) -> ExchangeCost:
+    """Cost of replicating a relation onto every shard.
+
+    With the relation spread roughly evenly, each shard already holds
+    ``1/shards`` of it and must receive the rest; every shard's link
+    receives concurrently, so the completion time is one shard's
+    missing bytes over one link — ``shards``× the per-link bill of
+    :func:`shuffle_cost` for the same relation.
+    """
+    if shards < 1:
+        raise ReproError(f"shard count must be >= 1, got {shards}")
+    if shards == 1 or n_tuples == 0:
+        return _NO_EXCHANGE
+    tuple_bytes = arity * _element_bytes(element_bits)
+    moved = n_tuples * (shards - 1)
+    received = n_tuples * tuple_bytes * (shards - 1) // shards
+    return ExchangeCost(
+        tuples=moved,
+        nbytes=moved * tuple_bytes,
+        seconds=received / bytes_per_second,
+    )
+
+
+def shuffle_cost(
+    n_tuples: int,
+    arity: int,
+    element_bits: int,
+    shards: int,
+    bytes_per_second: float = SHARD_LINK_BYTES_PER_SECOND,
+) -> ExchangeCost:
+    """Cost of re-partitioning a relation by a new key.
+
+    A deterministic hash sends each tuple to an effectively uniform
+    shard, so ``(shards - 1) / shards`` of the relation changes shard;
+    the moved bytes spread over all ``shards`` parallel links.
+    """
+    if shards < 1:
+        raise ReproError(f"shard count must be >= 1, got {shards}")
+    if shards == 1 or n_tuples == 0:
+        return _NO_EXCHANGE
+    tuple_bytes = arity * _element_bytes(element_bits)
+    moved = n_tuples * (shards - 1) // shards
+    nbytes = moved * tuple_bytes
+    return ExchangeCost(
+        tuples=moved,
+        nbytes=nbytes,
+        seconds=nbytes / (bytes_per_second * shards),
     )

@@ -85,19 +85,46 @@ class ServiceClient:
     def ping(self) -> bool:
         return bool(self._request({"op": "ping"}).get("pong"))
 
-    def store(self, name: str, relation: Relation) -> dict[str, Any]:
-        """Put a base relation on this tenant's disk."""
-        return self._request({
+    def store(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[str] = None,
+        replicate: bool = False,
+    ) -> dict[str, Any]:
+        """Put a base relation on this tenant's disk(s).
+
+        ``key`` and ``replicate`` direct placement when the server runs
+        sharded (``repro serve --shards N``); an unsharded server
+        ignores them.
+        """
+        return self._request(self._placed({
             "op": "store", "name": name,
             "relation": relation_to_wire(relation),
-        })
+        }, key, replicate))
 
-    def preload(self, name: str, relation: Relation) -> dict[str, Any]:
+    def preload(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[str] = None,
+        replicate: bool = False,
+    ) -> dict[str, Any]:
         """Mark a relation memory-resident for this tenant's queries."""
-        return self._request({
+        return self._request(self._placed({
             "op": "preload", "name": name,
             "relation": relation_to_wire(relation),
-        })
+        }, key, replicate))
+
+    @staticmethod
+    def _placed(
+        payload: dict[str, Any], key: Optional[str], replicate: bool
+    ) -> dict[str, Any]:
+        if key is not None:
+            payload["key"] = key
+        if replicate:
+            payload["replicate"] = True
+        return payload
 
     def query(
         self,

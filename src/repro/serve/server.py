@@ -45,11 +45,19 @@ class ReproServer:
         pool: Optional[EnginePool] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        shards: int = 1,
+        shard_strategy: str = "hash",
         **pool_kwargs: Any,
     ) -> None:
         self.pool = pool if pool is not None else EnginePool(**pool_kwargs)
         self._host = host
         self._port = port
+        #: shards > 1 routes every tenant's relations and queries
+        #: through a sharded session (docs/SHARDING.md); ``store`` then
+        #: honours the optional ``key``/``replicate`` request fields.
+        self.shards = shards
+        self.shard_strategy = shard_strategy
+        self._sessions: dict[str, Any] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
         #: one domain registry per tenant — wire relations naming the
@@ -158,11 +166,22 @@ class ReproServer:
             relation = relation_from_wire(
                 request.get("relation"), self._registry(tenant)
             )
-            catalog = self.pool.catalog(tenant)
-            if op == "store":
-                catalog.store(name, relation)
+            if self.shards > 1:
+                session = self._session(tenant)
+                placement = {
+                    "key": request.get("key"),
+                    "replicate": bool(request.get("replicate", False)),
+                }
+                if op == "store":
+                    session.store(name, relation, **placement)
+                else:
+                    session.preload(name, relation, **placement)
             else:
-                catalog.preload(name, relation)
+                catalog = self.pool.catalog(tenant)
+                if op == "store":
+                    catalog.store(name, relation)
+                else:
+                    catalog.preload(name, relation)
             return (
                 {"ok": True, "name": name, "rows": len(relation)},
                 tenant, False,
@@ -172,19 +191,25 @@ class ReproServer:
             if not isinstance(expr, str) or not expr:
                 raise ReproError("query needs an algebra 'expr'")
             plan = optimize(parse(expr))
-            catalog = self.pool.catalog(tenant)
             loop = asyncio.get_running_loop()
-            results, report = await loop.run_in_executor(
-                None,
-                functools.partial(
+            if self.shards > 1:
+                call = functools.partial(
+                    self._session(tenant).run_many,
+                    [plan],
+                    pipeline=bool(request.get("pipeline", True)),
+                    priority=int(request.get("priority", 0)),
+                    timeout=request.get("timeout"),
+                )
+            else:
+                call = functools.partial(
                     self.pool.execute,
-                    catalog,
+                    self.pool.catalog(tenant),
                     plan,
                     pipeline=bool(request.get("pipeline", True)),
                     priority=int(request.get("priority", 0)),
                     timeout=request.get("timeout"),
-                ),
-            )
+                )
+            results, report = await loop.run_in_executor(None, call)
             result = results[0]
             return (
                 {
@@ -199,6 +224,17 @@ class ReproServer:
 
     def _registry(self, tenant: str) -> DomainRegistry:
         return self._registries.setdefault(tenant, {})
+
+    def _session(self, tenant: str):
+        """The tenant's sharded session (server-lifetime, lazily made)."""
+        session = self._sessions.get(tenant)
+        if session is None:
+            session = self.pool.session(
+                tenant, shards=self.shards,
+                shard_strategy=self.shard_strategy,
+            )
+            self._sessions[tenant] = session
+        return session
 
 
 def _error(exc: Exception) -> dict[str, Any]:

@@ -1,0 +1,228 @@
+"""The sharded catalog: one logical namespace over per-shard catalogs.
+
+A :class:`ShardedCatalog` presents the same ``store``/``preload`` verbs
+as a single-tenant :class:`~repro.machine.catalog.Catalog`, but splits
+every relation across ``shards`` ordinary catalogs — one per simulated
+machine — and remembers *how* each relation was placed:
+
+* **partitioned** (the default): the relation is split by a key column
+  through the catalog's :class:`~repro.shard.partition.Partitioner`;
+  shard *i* holds exactly the tuples whose key maps to *i*;
+* **replicated** (``replicate=True``): every shard holds a full copy —
+  the right placement for small divisors and broadcast-style lookup
+  relations.
+
+The placement map is what the :class:`~repro.shard.planner.ShardPlanner`
+reads to prove operations shard-local; the per-shard catalogs are what
+the executor compiles and runs against, so every existing machine layer
+(physical planner, plan cache, executor) works unchanged below the
+shard layer.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PlanError
+from repro.machine.catalog import Catalog
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnRef, Schema
+from repro.shard.partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    STRATEGIES,
+)
+
+__all__ = ["Placement", "ShardedCatalog", "PARTITIONED", "REPLICATED"]
+
+PARTITIONED = "partitioned"
+REPLICATED = "replicated"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """How one logical relation is laid out across the shards."""
+
+    kind: str
+    key: Optional[int] = None  # partition-key column position
+    fp: Optional[tuple] = None  # partitioner fingerprint
+
+    def describe(self) -> str:
+        if self.kind == REPLICATED:
+            return "replicated"
+        return f"partitioned(col {self.key}, {self.fp[0]})"
+
+
+class ShardedCatalog:
+    """Maps a logical relation namespace onto ``shards`` catalogs.
+
+    Thread-safe like the single-machine catalog.  The partitioner is
+    fixed per catalog: ``strategy="hash"`` builds one eagerly;
+    ``strategy="range"`` derives equi-depth cuts from the first
+    partitioned relation's key values (deterministic), so later
+    relations sharing the key domain co-partition with it.
+    """
+
+    def __init__(
+        self,
+        tenant: str = "default",
+        shards: int = 2,
+        strategy: str = "hash",
+        element_bits: int = 32,
+        partitioner: Optional[Partitioner] = None,
+    ) -> None:
+        if shards < 1:
+            raise PlanError(f"shard count must be >= 1, got {shards}")
+        if strategy not in STRATEGIES:
+            raise PlanError(
+                f"unknown shard strategy {strategy!r}; "
+                f"use one of {sorted(STRATEGIES)}"
+            )
+        self.tenant = tenant
+        self.shard_count = shards
+        self.strategy = strategy
+        self.element_bits = element_bits
+        self.shards = [
+            Catalog(tenant=f"{tenant}/shard{i}", element_bits=element_bits)
+            for i in range(shards)
+        ]
+        self._lock = threading.RLock()
+        self._partitioner = partitioner
+        if self._partitioner is None and strategy == "hash":
+            self._partitioner = HashPartitioner()
+        self._placements: dict[str, Placement] = {}
+        self._schemas: dict[str, Schema] = {}
+        self._cardinalities: dict[str, int] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def store(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[ColumnRef] = None,
+        replicate: bool = False,
+    ) -> None:
+        """Place a relation on every shard's disk (split or replicated).
+
+        ``key`` names the partition column (default: column 0);
+        ``replicate=True`` stores a full copy per shard instead.
+        """
+        self._place(name, relation, key, replicate, preload=False)
+
+    def preload(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[ColumnRef] = None,
+        replicate: bool = False,
+    ) -> None:
+        """Mark a relation memory-resident on every shard."""
+        self._place(name, relation, key, replicate, preload=True)
+
+    def _place(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[ColumnRef],
+        replicate: bool,
+        preload: bool,
+    ) -> None:
+        with self._lock:
+            if replicate:
+                pieces = [relation] * self.shard_count
+                placement = Placement(REPLICATED)
+            else:
+                position = relation.schema.resolve(0 if key is None else key)
+                partitioner = self._ensure_partitioner(relation, position)
+                pieces = partitioner.partition(
+                    relation, position, self.shard_count
+                )
+                placement = Placement(
+                    PARTITIONED, key=position, fp=partitioner.fingerprint()
+                )
+            for catalog, piece in zip(self.shards, pieces):
+                if preload:
+                    catalog.preload(name, piece)
+                else:
+                    catalog.store(name, piece)
+            self._placements[name] = placement
+            self._schemas[name] = relation.schema
+            self._cardinalities[name] = len(relation)
+
+    def _ensure_partitioner(
+        self, relation: Relation, position: int
+    ) -> Partitioner:
+        if self._partitioner is None:
+            # strategy == "range": equi-depth cuts from the first
+            # partitioned relation's key values.
+            self._partitioner = RangePartitioner.from_values(
+                relation.column_values(position), self.shard_count
+            )
+        return self._partitioner
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def partitioner(self) -> Optional[Partitioner]:
+        """The catalog's partitioner (None until a range one is derived)."""
+        with self._lock:
+            return self._partitioner
+
+    def placement(self, name: str) -> Placement:
+        with self._lock:
+            try:
+                return self._placements[name]
+            except KeyError:
+                raise PlanError(
+                    f"no relation named {name!r} in the sharded catalog; "
+                    f"have {sorted(self._placements)}"
+                ) from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._placements)
+
+    def schemas(self) -> dict[str, Schema]:
+        """Logical name → schema, for planning."""
+        with self._lock:
+            return dict(self._schemas)
+
+    def cardinalities(self) -> dict[str, int]:
+        """Logical name → total (cross-shard) cardinality."""
+        with self._lock:
+            return dict(self._cardinalities)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._placements
+
+    def content_fingerprint(self) -> tuple:
+        """Everything shard planning reads, as a hashable value.
+
+        Composed from the per-shard catalog fingerprints plus the shard
+        count, strategy, and placement map — so plans cached against a
+        2-shard layout can never answer a 4-shard compile.
+        """
+        with self._lock:
+            placements = tuple(
+                (name, p.kind, p.key, p.fp)
+                for name, p in sorted(self._placements.items())
+            )
+            return (
+                self.shard_count,
+                self.strategy,
+                placements,
+                tuple(c.content_fingerprint() for c in self.shards),
+            )
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ShardedCatalog(tenant={self.tenant!r}, "
+                f"{self.shard_count} shards, {self.strategy}, "
+                f"{len(self._placements)} relations)"
+            )

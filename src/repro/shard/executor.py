@@ -1,0 +1,382 @@
+"""Executing sharded plans on a cluster of simulated machines.
+
+The :class:`ShardedExecutor` is the shard layer's counterpart of
+:class:`~repro.machine.pool.EnginePool.execute`: it admits one query
+through the pool's gate, then drives *per-shard* machines — each an
+ordinary fresh :class:`~repro.machine.execution.MachineState` compiled
+through the pool's shared plan cache — in stages:
+
+1. for every :class:`~repro.shard.planner.ExchangeStep`, each shard
+   evaluates the step's fragment locally, the per-shard results are
+   redistributed (broadcast or re-partition), and every shard preloads
+   the exchanged relation under the step's name;
+2. each shard evaluates the final per-shard plans;
+3. the per-shard answers merge — in shard order, under the relation's
+   set semantics — into the logical results.
+
+Determinism mirrors the single machine's two-phase contract: shard
+machines may *compute* on concurrent host threads, but every
+cross-shard decision (bucket assignment, merge order, timeline
+composition) is a pure function of the plan and the data, so a
+parallel sharded run is bit-identical — results, report, and trace —
+to a serial one, and each shard's ``machine.run`` span is exactly what
+a standalone machine produces on that shard's piece of the data.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from itertools import chain
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.machine.catalog import Catalog
+from repro.machine.execution import PlanExecutor
+from repro.machine.inference import infer_schema
+from repro.machine.plan import PlanNode
+from repro.machine.scheduler import (
+    ExecutionReport,
+    HostExecutor,
+    ScheduledStep,
+)
+from repro.obs import metrics
+from repro.relational.relation import Relation
+from repro.shard.catalog import ShardedCatalog
+from repro.shard.planner import (
+    BROADCAST,
+    ExchangeStep,
+    ShardedPlan,
+    ShardPlanner,
+)
+
+__all__ = [
+    "ShardedCompilation",
+    "ShardedExecutionReport",
+    "ShardedExecutor",
+    "INTERCONNECT",
+]
+
+#: Device name carried by exchange steps on the composed timeline.
+INTERCONNECT = "interconnect"
+
+
+@dataclass
+class ShardedCompilation:
+    """A sharded plan plus its per-shard physical compilations."""
+
+    plan: ShardedPlan
+    physicals: list  # final-stage PhysicalPlan per shard
+    predicted_makespan: float
+
+    @property
+    def shards(self) -> int:
+        return self.plan.shards
+
+
+@dataclass
+class ShardedExecutionReport(ExecutionReport):
+    """The composed cross-shard timeline of one sharded query.
+
+    ``steps`` holds every shard's replayed steps — labelled
+    ``shard{i}:`` and offset so stages follow each other in simulated
+    time — plus one ``interconnect`` step per exchange.  The plain
+    :class:`ExecutionReport` accessors (makespan, timeline, busy
+    seconds) work unchanged; ``shard_reports`` keeps each shard's final
+    unshifted report for per-machine inspection.
+    """
+
+    shards: int = 1
+    shard_reports: list[ExecutionReport] = field(default_factory=list)
+    exchanges: list[ExchangeStep] = field(default_factory=list)
+
+    @property
+    def exchange_seconds(self) -> float:
+        """Simulated seconds spent on the cross-shard interconnect."""
+        return sum(
+            s.duration for s in self.steps if s.device == INTERCONNECT
+        )
+
+
+class ShardedExecutor:
+    """Runs logical plans over a :class:`ShardedCatalog` on a pool.
+
+    One executor per (tenant, shard layout); sessions construct one
+    lazily when opened with ``shards > 1``.  The pool supplies the
+    device complement, plan cache, host thread budget, and admission
+    gate; every shard of every query still executes against a private
+    fresh machine state.
+    """
+
+    def __init__(self, pool, catalog: ShardedCatalog) -> None:
+        self.pool = pool
+        self.catalog = catalog
+        self.shards = catalog.shard_count
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(self, plans: Sequence[PlanNode] | PlanNode) -> ShardedPlan:
+        """Lower logical plans into per-shard plans plus exchanges."""
+        return ShardPlanner(
+            self.catalog,
+            devices=self.pool.devices,
+            element_bits=self.catalog.element_bits,
+        ).lower(plans)
+
+    def compile(
+        self,
+        plans: Sequence[PlanNode] | PlanNode,
+        arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
+        use_cache: bool = True,
+    ) -> ShardedCompilation:
+        """Lower and compile without executing.
+
+        Exchange intermediates are compiled against empty placeholder
+        relations (their true sizes are data-dependent), so the
+        predicted makespan is the planner's estimate — exact for
+        exchange-free plans, a documented approximation otherwise.
+        """
+        sharded = self.plan(plans)
+        lanes = self._lanes()
+        predicted = 0.0
+        for step in sharded.exchanges:
+            per_shard = [
+                self.pool.compile(
+                    lane, step.plan, pipeline=pipeline, use_cache=use_cache
+                )
+                for lane in lanes
+            ]
+            predicted += max(
+                p.predicted_makespan for p in per_shard
+            ) + step.cost.seconds
+            schema = infer_schema(step.plan, self.catalog.schemas())
+            for lane in lanes:
+                lane.preload(step.name, Relation(schema))
+        physicals = [
+            self.pool.compile(
+                lane, sharded.roots, arrivals,
+                pipeline=pipeline, use_cache=use_cache,
+            )
+            for lane in lanes
+        ]
+        predicted += max(p.predicted_makespan for p in physicals)
+        return ShardedCompilation(
+            plan=sharded, physicals=physicals, predicted_makespan=predicted
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        plans: Sequence[PlanNode] | PlanNode,
+        arrivals: Optional[Sequence[float]] = None,
+        pipeline: bool = True,
+        parallel: bool = True,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> tuple[list[Relation], ShardedExecutionReport]:
+        """Admit, lower, and run one query across all shards.
+
+        Occupies **one** admission slot: the shards of a query are one
+        unit of work to the pool, like the devices of one machine.
+        """
+        if isinstance(plans, PlanNode):
+            plans = [plans]
+        pool = self.pool
+        pool.gate.acquire(priority=priority, timeout=timeout)
+        started = time.perf_counter()
+        try:
+            with obs.span(
+                "service.query", tenant=self.catalog.tenant,
+                plans=len(plans), priority=priority, shards=self.shards,
+            ) as sp:
+                sharded = self.plan(plans)
+                lanes = self._lanes()
+                report = ShardedExecutionReport(
+                    shards=self.shards, exchanges=list(sharded.exchanges),
+                )
+                offset = 0.0
+                for index, step in enumerate(sharded.exchanges):
+                    with obs.span(
+                        "shard.stage", stage=index, kind=step.kind,
+                        relation=step.name,
+                    ):
+                        outcomes = self._run_stage(
+                            lanes, [step.plan], None, pipeline, parallel
+                        )
+                        pieces = self._redistribute(
+                            step, [res[0] for res, _ in outcomes]
+                        )
+                        for lane, piece in zip(lanes, pieces):
+                            lane.preload(step.name, piece)
+                    offset = self._fold_stage(
+                        report, outcomes, offset, step
+                    )
+                with obs.span("shard.stage", stage="final"):
+                    outcomes = self._run_stage(
+                        lanes, sharded.roots, arrivals, pipeline, parallel
+                    )
+                self._fold_stage(report, outcomes, offset, None)
+                report.shard_reports = [rep for _, rep in outcomes]
+                results = self._merge(
+                    sharded.roots, [res for res, _ in outcomes]
+                )
+                if sharded.local_joins:
+                    metrics.inc("shard.local_joins", sharded.local_joins)
+                sp.set(
+                    makespan_ms=report.makespan * 1e3,
+                    exchanges=len(sharded.exchanges),
+                )
+        finally:
+            pool.gate.release()
+        pool.record_query(
+            self.catalog.tenant, time.perf_counter() - started
+        )
+        return results, report
+
+    # -- stages ------------------------------------------------------------
+
+    def _lanes(self) -> list[Catalog]:
+        """Per-query shard catalogs: shared disks, private preload sets.
+
+        Exchange intermediates are preloaded per query, so they must
+        not leak into the shard catalogs other queries read.
+        """
+        lanes = []
+        for shard in self.catalog.shards:
+            lane = Catalog(tenant=shard.tenant, disk=shard.disk)
+            for name, relation in shard.preloaded():
+                lane.preload(name, relation)
+            lanes.append(lane)
+        return lanes
+
+    def _run_stage(
+        self,
+        lanes: list[Catalog],
+        plans: Sequence[PlanNode],
+        arrivals: Optional[Sequence[float]],
+        pipeline: bool,
+        parallel: bool,
+    ) -> list[tuple[list[Relation], ExecutionReport]]:
+        """Run one stage's plans on every shard; returns shard-ordered
+        ``(results, report)`` pairs.
+
+        Shards compute on host threads through the same wave scheduler
+        the machine uses for its thunks; each shard's subtree is a
+        detached ``shard.run`` span adopted back in shard order, so the
+        trace (like the results) is independent of thread timing.
+        """
+        pool = self.pool
+        spans: dict[int, object] = {}
+
+        def shard_thunk(index: int):
+            lane = lanes[index]
+
+            def run(_resolved) -> tuple[list[Relation], ExecutionReport]:
+                with obs.detached("shard.run", shard=index) as sp:
+                    physical = pool.compile(
+                        lane, plans, arrivals, pipeline=pipeline
+                    )
+                    executor = PlanExecutor(
+                        pool.fresh_state(lane),
+                        host_workers=pool.host_workers,
+                        roster_fairness=pool.roster_fairness,
+                    )
+                    outcome = executor.run_physical(
+                        physical, parallel=parallel
+                    )
+                spans[index] = sp
+                return outcome
+
+            return run
+
+        thunks = {
+            i: ((), shard_thunk(i)) for i in range(len(lanes))
+        }
+        workers = pool.host_workers if parallel else 1
+        resolved = HostExecutor(max_workers=workers).run(thunks)
+        for index in range(len(lanes)):
+            span = spans.get(index)
+            if span is not None:
+                obs.adopt(span)
+        return [resolved[i] for i in range(len(lanes))]
+
+    def _redistribute(
+        self, step: ExchangeStep, pieces: list[Relation]
+    ) -> list[Relation]:
+        """Move a stage's per-shard results where the plan needs them."""
+        schema = pieces[0].schema
+        if step.kind == BROADCAST:
+            full = Relation(
+                schema, chain.from_iterable(p.tuples for p in pieces)
+            )
+            metrics.inc("shard.broadcasts")
+            return [full] * self.shards
+        buckets: list[list] = [[] for _ in range(self.shards)]
+        moved = 0
+        for source, piece in enumerate(pieces):
+            for row in piece.tuples:
+                dest = step.partitioner.shard_of(row[step.key], self.shards)
+                buckets[dest].append(row)
+                if dest != source:
+                    moved += 1
+        metrics.inc("shard.repartition_tuples", moved)
+        return [Relation(schema, bucket) for bucket in buckets]
+
+    def _fold_stage(
+        self,
+        report: ShardedExecutionReport,
+        outcomes: list[tuple[list[Relation], ExecutionReport]],
+        offset: float,
+        step: Optional[ExchangeStep],
+    ) -> float:
+        """Append one stage's shard timelines (plus its exchange) to the
+        composed report; returns the next stage's start offset."""
+        stage_span = 0.0
+        for index, (_, shard_report) in enumerate(outcomes):
+            stage_span = max(stage_span, shard_report.makespan)
+            for st in shard_report.steps:
+                report.steps.append(replace(
+                    st,
+                    label=f"shard{index}:{st.label}",
+                    start=st.start + offset,
+                    end=st.end + offset,
+                ))
+        end = offset + stage_span
+        if step is None:
+            return end
+        report.steps.append(ScheduledStep(
+            label=f"exchange:{step.kind}:{step.name}",
+            device=INTERCONNECT,
+            start=end,
+            end=end + step.cost.seconds,
+            output_key=step.name,
+            output_memory=INTERCONNECT,
+            nbytes_out=step.cost.nbytes,
+        ))
+        return end + step.cost.seconds
+
+    def _merge(
+        self, roots: Sequence[PlanNode], per_shard: list[list[Relation]]
+    ) -> list[Relation]:
+        """Union each root's shard pieces, in shard order, as sets."""
+        started = time.perf_counter()
+        results = []
+        with obs.span("shard.merge", roots=len(roots)):
+            for position in range(len(roots)):
+                pieces = [shard[position] for shard in per_shard]
+                results.append(Relation(
+                    pieces[0].schema,
+                    chain.from_iterable(p.tuples for p in pieces),
+                ))
+        metrics.observe(
+            "shard.merge_seconds", time.perf_counter() - started
+        )
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedExecutor(tenant={self.catalog.tenant!r}, "
+            f"{self.shards} shards)"
+        )

@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import AdmissionError, ReproError
 from repro.lang import optimize, parse
-from repro.machine import EnginePool
+from repro.machine import Base, EnginePool, Join
 from repro.obs import COUNTER, GAUGE, HISTOGRAM, METRICS, MetricsRegistry, metrics
 from repro.workloads import join_pair
 
@@ -74,7 +74,9 @@ class TestDeclaredNames:
             assert description, name
 
     def test_names_are_layer_prefixed(self):
-        prefixes = ("machine.", "device.", "engine.", "lang.", "service.")
+        prefixes = (
+            "machine.", "device.", "engine.", "lang.", "service.", "shard.",
+        )
         for name in METRICS:
             assert name.startswith(prefixes), name
 
@@ -109,6 +111,19 @@ class TestDeclaredNames:
                 pool.gate.acquire(timeout=0.0)
         finally:
             pool.gate.release()
+
+        # The shard layer: one 2-shard transaction with a
+        # co-partitioned equi-join (local), an equi-join on a non-key
+        # column (re-partition exchange), and a θ-join (broadcast
+        # exchange), merged at the end — the four shard.* metrics.
+        cluster = pool.session("acme", shards=2)
+        cluster.store("R", a)
+        cluster.store("S", b)
+        cluster.run_many([
+            join_project_plan(),
+            Join(Base("R"), Base("S"), on=((1, 1),)),
+            Join(Base("R"), Base("S"), on=((1, 1),), ops=("<=",)),
+        ])
 
         collected = metrics.collected_names()
         missing = set(METRICS) - collected
