@@ -1,20 +1,38 @@
-"""E12 — the word→bit-level design transformation (§8, ref [3]).
+#!/usr/bin/env python3
+"""E12/E21 — the word→bit-level design transformation (§8, ref [3]).
 
 Claims reproduced: partitioning word processors into bit processors
 changes the implementation, not the answer — the bit-level arrays
 compute identical results, and their size is expressible directly in
 §8's bit-comparator unit, feeding the E8 area arithmetic.
+
+E21 measures what the packed-bitplane engine buys on *wide* tuples:
+the same bit-level intersection, pulse-simulated cell by cell vs
+evaluated as uint64 bitplane kernels, with identical results and pulse
+counts.  Run standalone to (re)generate ``BENCH_bitlevel.json`` at the
+repo root — CI's benchmark smoke job does exactly this::
+
+    python benchmarks/bench_bitlevel.py [--out BENCH_bitlevel.json]
 """
 
 from __future__ import annotations
 
-from repro.arrays import compare_all_pairs
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.arrays import ArrayCapacity, compare_all_pairs
 from repro.bitlevel import (
     bit_array_stats,
     bit_level_compare_all_pairs,
+    bit_level_intersection,
     bit_level_three_way_compare,
 )
+from repro.machine.device import SystolicDevice
+from repro.machine.plan import DEVICE_COMPARISON, Base, Intersect
 from repro.perf import PAPER_CONSERVATIVE, estimate_array_area
+from repro.perf.cost import bit_comparison_cost
 from repro.workloads import overlapping_pair
 
 
@@ -76,3 +94,194 @@ def test_magnitude_comparator_chain(benchmark, experiment_report):
         ("pulses per comparison", "width = 6", "6"),
     ])
     assert correct == total
+
+
+# -- E21: packed bitplanes vs the pulse-simulated bit-level array --------------
+
+#: Element width for the wide-tuple workloads: two 32-bit columns make
+#: a 64-bit tuple — §8's "1000-bit" regime scaled to one plane set.
+_WIDTH = 32
+
+
+def _time(thunk, repeats: int = 1):
+    """Best-of-``repeats`` wall-clock (same discipline as bench_engines)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _wide_pair(n: int, seed: int):
+    return overlapping_pair(n, n, n // 2, arity=2, seed=seed)
+
+
+def run_wide_matrix():
+    """E21: time the bit-level intersection both ways.
+
+    The pulse engine steps every bit-comparator cell once per pulse, so
+    it is only run at calibration size; the measured cell-pulse rate
+    projects its wall-clock at scale (reported, never gated).
+    """
+    entries = []
+
+    # Calibration: small enough for the pulse engine, wide enough that
+    # the 64 bit columns dominate.  Both backends run the *same*
+    # expanded bit-level array, so pulse counts must agree exactly.
+    a, b = _wide_pair(48, seed=21)
+    pulse_seconds, pulse_result = _time(
+        lambda: bit_level_intersection(a, b, width=_WIDTH, backend="pulse")
+    )
+    plane_seconds, plane_result = _time(
+        lambda: bit_level_intersection(a, b, width=_WIDTH, backend="bitplane"),
+        repeats=5,
+    )
+    assert plane_result.relation == pulse_result.relation
+    assert plane_result.run.pulses == pulse_result.run.pulses
+    speedup = pulse_seconds / plane_seconds
+    entries.append({
+        "experiment": "E21",
+        "operation": "wide-intersection",
+        "n": len(a),
+        "tuple_bits": a.arity * _WIDTH,
+        "pulses": pulse_result.run.pulses,
+        "result_tuples": len(pulse_result.relation),
+        "pulse_seconds": round(pulse_seconds, 6),
+        "bitplane_seconds": round(plane_seconds, 6),
+        "speedup": round(speedup, 1),
+    })
+    calibration = (pulse_seconds, pulse_result.run)
+
+    # At scale the pulse engine is out of reach; the bitplane engine
+    # sweeps the same arrays in bulk.
+    for n in (4096,):
+        a, b = _wide_pair(n, seed=n)
+        seconds, result = _time(
+            lambda: bit_level_intersection(
+                a, b, width=_WIDTH, backend="bitplane"
+            ),
+            repeats=3,
+        )
+        entries.append({
+            "experiment": "E21",
+            "operation": "wide-intersection",
+            "n": n,
+            "tuple_bits": a.arity * _WIDTH,
+            "pulses": result.run.pulses,
+            "result_tuples": len(result.relation),
+            "bitplane_seconds": round(seconds, 6),
+        })
+        scale_run = result.run
+
+    return entries, calibration, scale_run
+
+
+def _projection(calibration, scale_run):
+    """Projected pulse-engine wall-clock at scale (informational)."""
+    pulse_seconds, run = calibration
+    work = run.pulses * run.rows * run.cols
+    scale_work = scale_run.pulses * scale_run.rows * scale_run.cols
+    projected = pulse_seconds * scale_work / work
+    return {
+        "cell_pulses_calibration": work,
+        "cell_pulses_at_scale": scale_work,
+        "pulse_engine_projected_hours": round(projected / 3600.0, 2),
+    }
+
+
+def _device_prediction():
+    """The planner's bit-comparator cost terms vs an executed device."""
+    a, b = _wide_pair(200, seed=7)
+    capacity = ArrayCapacity(max_rows=63, max_cols=128)
+    device = SystolicDevice(
+        "bit0", DEVICE_COMPARISON, capacity, element_bits=_WIDTH,
+        backend="bitplane",
+    )
+    predicted = bit_comparison_cost(
+        len(a), len(b), a.arity, _WIDTH,
+        capacity.max_rows, capacity.max_cols,
+    )
+    run = device.execute(Intersect(Base("A"), Base("B")), [a, b])
+    assert predicted.total_pulses == run.pulses, (
+        f"bit cost model predicted {predicted.total_pulses} pulses, "
+        f"device executed {run.pulses}"
+    )
+    return {
+        "n": len(a),
+        "tuple_bits": a.arity * _WIDTH,
+        "device_cols": capacity.max_cols,
+        "predicted_pulses": predicted.total_pulses,
+        "simulated_pulses": run.pulses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parents[1] / "BENCH_bitlevel.json"
+        ),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    entries, calibration, scale_run = run_wide_matrix()
+    prediction = _device_prediction()
+    report = {
+        "description": "E21 packed-bitplane engine vs pulse-simulated "
+                       "bit-level arrays, identical results and pulse "
+                       "counts (see docs/ENGINES.md)",
+        "entries": entries,
+        "pulse_projection": _projection(calibration, scale_run),
+        "cost_model": prediction,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for e in entries:
+        pulse = (f"pulse {e['pulse_seconds']:>9.4f}s  "
+                 if "pulse_seconds" in e else " " * 22)
+        tail = f"{e['speedup']:>8.1f}x" if "speedup" in e else ""
+        print(f"{e['experiment']} {e['operation']:<18} n={e['n']:>5}  "
+              f"{pulse}bitplane {e['bitplane_seconds']:>9.6f}s  {tail}")
+    print(f"cost model: predicted {prediction['predicted_pulses']} == "
+          f"simulated {prediction['simulated_pulses']} pulses")
+    print(f"wrote {args.out}")
+    # The tentpole claim: two orders of magnitude on wide tuples.
+    calib = entries[0]
+    assert calib["speedup"] >= 100, (
+        f"bitplane only {calib['speedup']}x faster than the pulse "
+        f"bit-level array on n={calib['n']}"
+    )
+    return 0
+
+
+def test_bitplane_matches_pulse_on_wide_tuples(benchmark, experiment_report):
+    """E21: packed bitplanes — identical answer, bulk speed."""
+    a, b = _wide_pair(32, seed=5)
+    pulse = bit_level_intersection(a, b, width=_WIDTH, backend="pulse")
+    result = benchmark(
+        lambda: bit_level_intersection(a, b, width=_WIDTH, backend="bitplane")
+    )
+    assert result.relation == pulse.relation
+    assert result.run.pulses == pulse.run.pulses
+    pulse_seconds, _ = _time(
+        lambda: bit_level_intersection(a, b, width=_WIDTH, backend="pulse")
+    )
+    plane_seconds, _ = _time(
+        lambda: bit_level_intersection(a, b, width=_WIDTH, backend="bitplane"),
+        repeats=3,
+    )
+    experiment_report("E21 packed bitplanes vs pulse bit-level (n=32)", [
+        ("identical relation + pulses", "yes", "yes"),
+        ("tuple width", "64 bits", f"{a.arity * _WIDTH} bits"),
+        ("pulse bit-level array", "O(bit-cells×pulses)",
+         f"{pulse_seconds:.4f}s"),
+        ("bitplane kernels", "uint64 planes", f"{plane_seconds:.6f}s"),
+        ("speedup", ">100x", f"{pulse_seconds / plane_seconds:.0f}x"),
+    ])
+    assert pulse_seconds > plane_seconds
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -374,11 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def backend_option(p: argparse.ArgumentParser) -> None:
+        from repro.systolic.engine import DEFAULT_BACKEND, ENGINES
+
         p.add_argument(
-            "--backend", choices=("pulse", "lattice"), default="pulse",
-            help="array execution backend: cycle-accurate cell network "
-                 "(pulse, default) or vectorized wavefront evaluation "
-                 "(lattice) — results and pulse counts are identical",
+            "--backend", choices=sorted(ENGINES), default=None,
+            help="array execution backend: "
+                 f"{', '.join(sorted(ENGINES))} — results and pulse "
+                 "counts are identical (default: $REPRO_BACKEND or "
+                 f"{DEFAULT_BACKEND})",
         )
 
     def explain_option(p: argparse.ArgumentParser) -> None:

@@ -79,11 +79,13 @@ def bit_level_compare_tuples(
     b: Sequence[int],
     width: int | None = None,
     seed: bool = True,
+    backend=None,
 ) -> LinearComparisonResult:
     """Fig 3-1 at bit level: the linear array widened by the bit expansion."""
     bit_width = _width_for([a], [b], width=width)
     return compare_tuples(
-        expand_tuple(a, bit_width), expand_tuple(b, bit_width), seed=seed
+        expand_tuple(a, bit_width), expand_tuple(b, bit_width), seed=seed,
+        backend=backend,
     )
 
 
@@ -91,12 +93,13 @@ def bit_level_compare_all_pairs(
     a_tuples: Sequence[Sequence[int]],
     b_tuples: Sequence[Sequence[int]],
     width: int | None = None,
+    backend=None,
 ) -> ComparisonMatrixResult:
     """Fig 3-3 at bit level: same T matrix from the expanded tuples."""
     bit_width = _width_for(a_tuples, b_tuples, width=width)
     expanded_a = [expand_tuple(row, bit_width) for row in a_tuples]
     expanded_b = [expand_tuple(row, bit_width) for row in b_tuples]
-    return compare_all_pairs(expanded_a, expanded_b)
+    return compare_all_pairs(expanded_a, expanded_b, backend=backend)
 
 
 def bit_level_three_way_compare(
@@ -134,13 +137,15 @@ def bit_level_three_way_compare(
     return token.value
 
 
-def bit_level_intersection(a, b, width: int | None = None):
+def bit_level_intersection(a, b, width: int | None = None, backend=None):
     """``A ∩ B`` with the whole Fig 4-1 array at bit level (§8).
 
     Tuples are expanded to their MSB-first bit vectors and the full
     intersection array — bit comparators plus the accumulation column —
     runs on the widened relations.  The answer is identical to the
     word-level array's; the pulse count grows by the extra columns.
+    ``backend`` picks the engine the widened array runs on, like every
+    word-level operator.
     """
     from repro.arrays.intersection import systolic_intersection
     from repro.relational.domain import Domain
@@ -150,7 +155,7 @@ def bit_level_intersection(a, b, width: int | None = None):
     a_tuples, b_tuples = a.tuples, b.tuples
     a.schema.require_union_compatible(b.schema)
     if not a_tuples or not b_tuples:
-        word = systolic_intersection(a, b)
+        word = systolic_intersection(a, b, backend=backend)
         return word
     bit_width = _width_for(a_tuples, b_tuples, width=width)
     bit_domain = Domain("bit", values=(0, 1), frozen=True)
@@ -164,7 +169,7 @@ def bit_level_intersection(a, b, width: int | None = None):
     expanded_b = Relation(
         bit_schema, (expand_tuple(row, bit_width) for row in b_tuples)
     )
-    result = systolic_intersection(expanded_a, expanded_b)
+    result = systolic_intersection(expanded_a, expanded_b, backend=backend)
     # Map the surviving bit tuples back to the original rows via the
     # (order-preserving, injective) expansion.
     kept = (

@@ -1,0 +1,265 @@
+"""Packed bitplanes: §8's bit-serial comparators as bulk word ops.
+
+The word→bit transformation of :mod:`repro.bitlevel` replaces every
+word comparator by ``width`` bit comparators.  Simulating those bit
+cells one token at a time is exactly as slow as it sounds; this module
+applies the PR 1 lattice treatment one level down, the way bulk-bitwise
+processing-in-memory evaluates bit-serial logic: lay each **bit
+position** out as one plane of packed ``uint64`` machine words (64
+tuples per word, over the tuple axis) and evaluate the whole plane with
+one ``np.bitwise_*`` sweep.
+
+* **Equality** is an XOR/OR-reduce over the planes: two values differ
+  iff any bit position differs, so ``NEQ = OR_p (a_p XOR b_p)`` and the
+  verdict plane is its complement.
+* **Magnitude** is the :class:`~repro.bitlevel.cells.BitMagnitudeCell`
+  state ripple (EQ / LT / GT, MSB-first) vectorized across the plane:
+  at each bit position the still-EQ lanes whose bits differ resolve to
+  GT or LT by the ``a`` bit, exactly the cell's transition table.
+
+Values are signed ``int64`` (the lattice engine's element type); they
+are translated by the common minimum into ``uint64`` — a shift that
+preserves both equality and order, keeps every element in
+``[0, 2⁶⁴)``, and makes the MSB-first ripple correct for negative
+inputs too.  ``n`` not a multiple of 64 leaves a ragged tail in the
+last word; every kernel masks by slicing the unpacked plane back to
+``n``, so tail garbage never reaches a verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "PLANE_BITS",
+    "plane_shift_width",
+    "pack_bits",
+    "unpack_bits",
+    "pack_planes",
+    "equality_planes",
+    "magnitude_planes",
+    "PLANE_OPS",
+    "plane_op",
+    "plane_equal_matrix",
+    "plane_three_way",
+]
+
+#: Tuples packed per machine word — one ``uint64`` lane per plane word.
+PLANE_BITS = 64
+
+_SHIFTS = np.arange(PLANE_BITS, dtype=np.uint64)
+_ONE = np.uint64(1)
+_ZERO = np.uint64(0)
+_ALL = ~np.uint64(0)
+_MASK64 = (1 << 64) - 1
+
+
+def plane_shift_width(*matrices: np.ndarray) -> tuple[list[np.ndarray], int]:
+    """Translate signed matrices into ``uint64`` planes-ready form.
+
+    Subtracting the common minimum preserves equality and order; the
+    translated range fits ``[0, 2⁶⁴)`` for any ``int64`` inputs, so the
+    wrapping ``uint64`` arithmetic is exact.  Returns the translated
+    matrices and the bit width of the widest translated value.
+    """
+    mats = [np.asarray(m, dtype=np.int64) for m in matrices]
+    if not mats or all(m.size == 0 for m in mats):
+        return [m.astype(np.uint64) for m in mats], 1
+    lo = min(int(m.min()) for m in mats if m.size)
+    hi = max(int(m.max()) for m in mats if m.size)
+    width = max(1, (hi - lo).bit_length())
+    shift = np.uint64(lo & _MASK64)
+    return [m.astype(np.uint64) - shift for m in mats], width
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a 1-D 0/1 vector into ``uint64`` words, 64 lanes per word.
+
+    Lane ``j`` of word ``w`` holds element ``64·w + j`` (LSB-first
+    within the word); a ragged tail is zero-padded.
+    """
+    n = bits.shape[0]
+    n_words = max(1, -(-n // PLANE_BITS))
+    padded = np.zeros(n_words * PLANE_BITS, dtype=np.uint64)
+    padded[:n] = bits.astype(np.uint64)
+    lanes = padded.reshape(n_words, PLANE_BITS)
+    return np.bitwise_or.reduce(lanes << _SHIFTS[None, :], axis=1)
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Unpack plane words back to a boolean vector of length ``n``.
+
+    The inverse of :func:`pack_bits`; slicing to ``n`` drops the ragged
+    tail, so padding lanes never surface.  Works on any leading shape
+    (the last axis is the word axis).
+    """
+    lanes = (words[..., :, None] >> _SHIFTS) & _ONE
+    flat = lanes.reshape(*words.shape[:-1], words.shape[-1] * PLANE_BITS)
+    return flat[..., :n].astype(bool)
+
+
+def pack_planes(matrix: np.ndarray, width: int) -> np.ndarray:
+    """Bitplanes of a translated ``(n, m)`` ``uint64`` matrix.
+
+    Returns a ``(m, width, n_words)`` array: plane ``[k, p]`` packs bit
+    position ``p`` (MSB-first, matching
+    :func:`repro.bitlevel.bits.word_to_bits`) of column ``k`` across
+    all ``n`` tuples.
+    """
+    if width < 1 or width > PLANE_BITS:
+        raise SimulationError(
+            f"plane width must be in [1, {PLANE_BITS}], got {width}"
+        )
+    n, m = matrix.shape
+    n_words = max(1, -(-n // PLANE_BITS))
+    planes = np.empty((m, width, n_words), dtype=np.uint64)
+    for k in range(m):
+        column = matrix[:, k]
+        for p in range(width):
+            bit = (column >> np.uint64(width - 1 - p)) & _ONE
+            planes[k, p] = pack_bits(bit)
+    return planes
+
+
+def _lane_masks(values: np.ndarray, position: int, width: int) -> np.ndarray:
+    """Broadcast masks (all-ones / all-zeros per lane) of one bit
+    position of a streamed ``uint64`` value vector."""
+    bit = (values >> np.uint64(width - 1 - position)) & _ONE
+    return np.where(bit != 0, _ALL, _ZERO)[:, None]
+
+
+def equality_planes(
+    a_matrix: np.ndarray, b_planes: np.ndarray, width: int
+) -> np.ndarray:
+    """Packed NEQ accumulation of ``a`` rows against ``b`` planes.
+
+    ``a_matrix`` is ``(c, m)`` translated values (the streamed side),
+    ``b_planes`` ``(m, width, n_words)`` packed planes (the resident
+    side).  Returns the packed equality verdicts, ``(c, n_words)``:
+    lane ``j`` of row ``i`` is set iff tuples ``a[i]`` and ``b[j]``
+    agree on every bit of every column — the XOR/OR-reduce.
+    """
+    c = a_matrix.shape[0]
+    m, _, n_words = b_planes.shape
+    neq = np.zeros((c, n_words), dtype=np.uint64)
+    for k in range(m):
+        for p in range(width):
+            a_mask = _lane_masks(a_matrix[:, k], p, width)
+            neq |= a_mask ^ b_planes[k, p][None, :]
+    return ~neq
+
+
+def magnitude_planes(
+    a_values: np.ndarray, b_planes_k: np.ndarray, width: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The bit-magnitude ripple of one column, whole planes at a time.
+
+    ``a_values`` is ``(c,)`` translated stream values, ``b_planes_k``
+    the ``(width, n_words)`` planes of the resident column.  Rips the
+    EQ / GT / LT state MSB-first exactly as a chain of
+    :class:`~repro.bitlevel.cells.BitMagnitudeCell`\\ s would: a lane
+    still EQ whose bits differ resolves by the ``a`` bit.  Returns the
+    packed ``(eq, gt, lt)`` state planes, each ``(c, n_words)``.
+    """
+    c = a_values.shape[0]
+    n_words = b_planes_k.shape[1]
+    eq = np.full((c, n_words), _ALL, dtype=np.uint64)
+    gt = np.zeros((c, n_words), dtype=np.uint64)
+    lt = np.zeros((c, n_words), dtype=np.uint64)
+    for p in range(width):
+        a_mask = _lane_masks(a_values, p, width)
+        b_plane = b_planes_k[p][None, :]
+        diff = a_mask ^ b_plane
+        gt |= eq & diff & a_mask
+        lt |= eq & diff & ~a_mask
+        eq &= ~diff
+    return eq, gt, lt
+
+
+#: Comparison op code → verdict plane from the rippled (eq, gt, lt)
+#: state, matching :data:`repro.relational.algebra.COMPARISON_OPS`.
+PLANE_OPS = {
+    "==": lambda eq, gt, lt: eq,
+    "!=": lambda eq, gt, lt: ~eq,
+    "<": lambda eq, gt, lt: lt,
+    "<=": lambda eq, gt, lt: lt | eq,
+    ">": lambda eq, gt, lt: gt,
+    ">=": lambda eq, gt, lt: gt | eq,
+}
+
+
+def plane_op(op: str):
+    try:
+        return PLANE_OPS[op]
+    except KeyError:
+        raise SimulationError(
+            f"unknown comparison operator {op!r}; have {sorted(PLANE_OPS)}"
+        ) from None
+
+
+def plane_equal_matrix(
+    a_values: Sequence[int], b_values: Sequence[int]
+) -> tuple[np.ndarray, int]:
+    """Boolean equality matrix ``a[i] == b[j]`` via packed planes.
+
+    Returns ``(matrix, planes)`` where ``planes`` counts the bit planes
+    the kernel swept (``width``, the work unit the bitplane engine
+    meters).
+    """
+    a = np.asarray(a_values, dtype=np.int64)
+    b = np.asarray(b_values, dtype=np.int64)
+    if a.size == 0 or b.size == 0:
+        return np.zeros((a.size, b.size), dtype=bool), 0
+    (a_s, b_s), width = plane_shift_width(a, b)
+    b_planes = pack_planes(b_s.reshape(-1, 1), width)
+    packed = equality_planes(a_s.reshape(-1, 1), b_planes, width)
+    return unpack_bits(packed, b.size), width
+
+
+def plane_three_way(
+    a_values: Sequence[int],
+    b_values: Sequence[int],
+    width: Optional[int] = None,
+) -> np.ndarray:
+    """Element-wise three-way compare (−1 / 0 / +1) via the ripple.
+
+    The vectorized counterpart of
+    :func:`repro.bitlevel.arrays.bit_level_three_way_compare`: each
+    ``(a[i], b[i])`` pair resolves by the same MSB-first EQ/GT/LT state
+    machine, evaluated one packed plane per bit position.  ``width``
+    (when given) must hold every translated value.
+    """
+    a = np.asarray(a_values, dtype=np.int64)
+    b = np.asarray(b_values, dtype=np.int64)
+    if a.shape != b.shape:
+        raise SimulationError(
+            f"three-way compare needs matched shapes, got {a.shape} "
+            f"vs {b.shape}"
+        )
+    if a.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    (a_s, b_s), data_width = plane_shift_width(a, b)
+    if width is None:
+        width = data_width
+    elif width < data_width:
+        raise SimulationError(
+            f"width {width} cannot hold {data_width}-bit translated "
+            f"values"
+        )
+    if width > PLANE_BITS:
+        raise SimulationError(
+            f"plane width must be in [1, {PLANE_BITS}], got {width}"
+        )
+    b_planes = pack_planes(b_s.reshape(-1, 1), width)[0]
+    # Pair i compares against resident lane i: ripple each stream value
+    # against the diagonal of the resident planes.  Packing keeps the
+    # kernel identical; only lane i of row i is read back.
+    eq, gt, lt = magnitude_planes(a_s, b_planes, width)
+    n = a.size
+    gt_diag = np.diagonal(unpack_bits(gt, n))
+    lt_diag = np.diagonal(unpack_bits(lt, n))
+    return gt_diag.astype(np.int64) - lt_diag.astype(np.int64)

@@ -6,6 +6,15 @@ technology that converts pulse counts to seconds.  Problems larger than
 the device run blocked (§8's decomposition); the device reports how
 many sub-problems it executed and the total pulse count.
 
+A comparison device built with ``element_bits`` is §8's **bit-level**
+variant of the same box: its columns are bit comparators, every tuple
+streams as its MSB-first bit expansion
+(:func:`~repro.bitlevel.bits.expand_tuple`), and its capacity's
+``max_cols`` counts bit comparators rather than word comparators.  Bit
+devices execute the equality-based comparison operations only — the
+word→bit transformation is mechanical exactly for those — and report
+the pulse counts :func:`repro.perf.cost.bit_comparison_cost` predicts.
+
 The CPU device models the conventional host of Fig 9-1: it executes
 selections (and nothing else — everything the paper makes systolic
 *is* systolic here) at a configurable per-tuple cost.
@@ -14,6 +23,7 @@ selections (and nothing else — everything the paper makes systolic
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.arrays.decomposition import (
     ArrayCapacity,
@@ -22,9 +32,11 @@ from repro.arrays.decomposition import (
     blocked_divide,
     blocked_intersection,
     blocked_join,
+    blocked_pair_matrix,
     blocked_remove_duplicates,
     blocked_union,
 )
+from repro.bitlevel.bits import expand_tuple
 from repro import obs
 from repro.errors import PlanError
 from repro.machine.plan import (
@@ -70,19 +82,36 @@ class SystolicDevice:
         capacity: ArrayCapacity = ArrayCapacity(max_rows=63, max_cols=8),
         technology: TechnologyModel = PAPER_CONSERVATIVE,
         backend=None,
+        element_bits: Optional[int] = None,
     ) -> None:
         if kind not in (DEVICE_COMPARISON, DEVICE_JOIN, DEVICE_DIVISION):
             raise PlanError(
                 f"device {name!r}: unknown kind {kind!r}; systolic kinds are "
                 f"{DEVICE_COMPARISON!r}, {DEVICE_JOIN!r}, {DEVICE_DIVISION!r}"
             )
+        if element_bits is not None:
+            if element_bits < 1:
+                raise PlanError(
+                    f"device {name!r}: element_bits must be >= 1, got "
+                    f"{element_bits}"
+                )
+            if kind != DEVICE_COMPARISON:
+                raise PlanError(
+                    f"device {name!r}: bit-level devices are §8 comparison "
+                    f"arrays (equality only); {kind!r} needs word cells"
+                )
         self.name = name
         self.kind = kind
         self.capacity = capacity
         self.technology = technology
-        #: execution engine for block runs ("pulse", "lattice", or an
-        #: Engine instance); pulse counts and results are identical.
+        #: execution engine for block runs ("pulse", "lattice",
+        #: "bitplane", or an Engine instance); pulse counts and results
+        #: are identical.
         self.backend = backend
+        #: bit width of one element on a §8 bit-level device (None for
+        #: a word device).  Tuples stream as their MSB-first expansions
+        #: and ``capacity.max_cols`` counts bit comparators.
+        self.element_bits = element_bits
 
     def execute(self, node: PlanNode, inputs: list[Relation]) -> DeviceRun:
         """Run one plan node's operation on this device."""
@@ -113,6 +142,8 @@ class SystolicDevice:
                 f"device {self.name!r} ({self.kind}) cannot execute "
                 f"{node.describe()} ({node.device_kind})"
             )
+        if self.element_bits is not None:
+            return self._dispatch_bits(node, inputs)
         backend = self.backend
         if isinstance(node, Intersect):
             return blocked_intersection(
@@ -153,10 +184,73 @@ class SystolicDevice:
             f"device {self.name!r} has no implementation for {node.describe()}"
         )
 
+    # -- §8 bit-level execution ---------------------------------------------
+
+    def _bit_matrix(
+        self, a_tuples, b_tuples, t_init=lambda i, j: True
+    ) -> tuple[list[list[bool]], BlockedReport]:
+        """The blocked T matrix over the MSB-first bit expansions.
+
+        Same §8 decomposition as a word device, with ``max_cols``
+        bounding *bit* columns — so the reported pulses equal
+        :func:`repro.perf.cost.bit_comparison_cost` exactly.
+        """
+        width = self.element_bits
+        expanded_a = [expand_tuple(row, width) for row in a_tuples]
+        expanded_b = [expand_tuple(row, width) for row in b_tuples]
+        return blocked_pair_matrix(
+            expanded_a, expanded_b, self.capacity, t_init=t_init,
+            backend=self.backend,
+        )
+
+    def _dispatch_bits(
+        self, node: PlanNode, inputs: list[Relation]
+    ) -> tuple[Relation, BlockedReport]:
+        if isinstance(node, (Intersect, Difference)):
+            a, b = inputs
+            a.schema.require_union_compatible(b.schema)
+            keep_members = isinstance(node, Intersect)
+            if not a:
+                return Relation(a.schema), BlockedReport()
+            if not b:
+                rows = () if keep_members else a.tuples
+                return Relation(a.schema, rows), BlockedReport()
+            matrix, report = self._bit_matrix(a.tuples, b.tuples)
+            members = (
+                row for row, hit in zip(a.tuples, map(any, matrix))
+                if hit == keep_members
+            )
+            return Relation(a.schema, members), report
+        if isinstance(node, (Union, Dedup, Project)):
+            if isinstance(node, Union):
+                inputs[0].schema.require_union_compatible(inputs[1].schema)
+                multi = inputs[0].to_multi().concat(inputs[1])
+            elif isinstance(node, Dedup):
+                multi = inputs[0].to_multi()
+            else:
+                multi = algebra.project_multi(inputs[0], list(node.columns))
+            if not multi:
+                return Relation(multi.schema), BlockedReport()
+            matrix, report = self._bit_matrix(
+                multi.tuples, multi.tuples, t_init=lambda i, j: j < i
+            )
+            kept = (
+                row for row, dropped in zip(multi.tuples, map(any, matrix))
+                if not dropped
+            )
+            return Relation(multi.schema, kept), report
+        raise PlanError(
+            f"bit-level device {self.name!r} is equality-only; "
+            f"{node.describe()} needs a word device"
+        )
+
     def __repr__(self) -> str:
+        bits = (
+            f", {self.element_bits}b" if self.element_bits is not None else ""
+        )
         return (
             f"SystolicDevice({self.name!r}, {self.kind}, "
-            f"{self.capacity.max_rows}×{self.capacity.max_cols})"
+            f"{self.capacity.max_rows}×{self.capacity.max_cols}{bits})"
         )
 
 

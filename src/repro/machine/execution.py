@@ -70,22 +70,27 @@ def build_devices(
 ) -> list[SystolicDevice | CpuDevice]:
     """The device complement for a roster: systolic arrays plus the CPU.
 
-    Each spec is ``(kind, count)`` or ``(kind, count, ArrayCapacity)`` —
-    the third element gives one roster heterogeneous array sizes, which
-    is what makes cost-aware device choice interesting.
+    Each spec is ``(kind, count)``, ``(kind, count, ArrayCapacity)``,
+    or ``(kind, count, ArrayCapacity, element_bits)`` — the third
+    element gives one roster heterogeneous array sizes, which is what
+    makes cost-aware device choice interesting; the fourth builds §8
+    **bit-level** comparison arrays (``max_cols`` bit comparators,
+    ``element_bits`` bits per word element), which the planner prices
+    against the word devices.
     """
     devices: list[SystolicDevice | CpuDevice] = []
     kind_index: dict[str, itertools.count] = {}
     for spec in specs:
         kind, count = spec[0], spec[1]
         device_capacity = spec[2] if len(spec) > 2 else capacity
+        element_bits = spec[3] if len(spec) > 3 else None
         indices = kind_index.setdefault(kind, itertools.count())
         for _ in range(count):
             devices.append(
                 SystolicDevice(
                     f"{kind}{next(indices)}", kind,
                     capacity=device_capacity, technology=technology,
-                    backend=backend,
+                    backend=backend, element_bits=element_bits,
                 )
             )
     devices.append(CpuDevice("cpu"))
@@ -102,6 +107,7 @@ def roster_fingerprint(
             device.kind,
             getattr(getattr(device, "capacity", None), "max_rows", None),
             getattr(getattr(device, "capacity", None), "max_cols", None),
+            getattr(device, "element_bits", None),
         )
         for device in devices
     )
@@ -563,6 +569,7 @@ class PlanExecutor:
             cost = actual_cost(
                 member.node, inputs,
                 device.capacity.max_rows, device.capacity.max_cols,
+                element_bits=getattr(device, "element_bits", None),
             )
             fills.append(device.technology.pulses_to_seconds(cost.fill_pulses))
             runs.append(run)

@@ -48,11 +48,13 @@ from repro.machine.plan import (
 )
 from repro.perf.cost import (
     OpCost,
+    bit_comparison_cost,
     comparison_cost,
     division_cost,
     join_cost,
 )
 from repro.relational.relation import Relation
+from repro.systolic.engine import resolve_backend
 
 __all__ = [
     "OP_LOAD",
@@ -117,13 +119,40 @@ def estimate_cost(
     n_columns: int,
     max_rows: int,
     max_cols: int,
+    element_bits: Optional[int] = None,
 ) -> OpCost:
     """Predicted device cost of an array operation from size estimates.
 
     ``n_columns`` is the operator's column-stream width: the projected
     column count for :class:`Project`, the join-pair count for
-    :class:`Join`, the input arity otherwise.
+    :class:`Join`, the input arity otherwise.  ``element_bits`` prices
+    the operation on a §8 **bit-level** device instead (every streamed
+    column becomes ``element_bits`` bit columns, ``max_cols`` counts
+    bit comparators); only the equality-based comparison operations
+    have a bit-level form.
     """
+    if element_bits is not None:
+        if isinstance(node, (Intersect, Difference)):
+            return bit_comparison_cost(
+                n_a, n_b, arity_a, element_bits, max_rows, max_cols
+            )
+        if isinstance(node, Union):
+            both = n_a + n_b
+            return bit_comparison_cost(
+                both, both, arity_a, element_bits, max_rows, max_cols
+            )
+        if isinstance(node, Dedup):
+            return bit_comparison_cost(
+                n_a, n_a, arity_a, element_bits, max_rows, max_cols
+            )
+        if isinstance(node, Project):
+            return bit_comparison_cost(
+                n_a, n_a, n_columns, element_bits, max_rows, max_cols
+            )
+        raise PlanError(
+            f"{node.describe()} has no bit-level device form "
+            f"(equality-based comparison operations only)"
+        )
     if isinstance(node, (Intersect, Difference)):
         return comparison_cost(n_a, n_b, arity_a, max_rows, max_cols)
     if isinstance(node, Union):
@@ -147,12 +176,14 @@ def actual_cost(
     inputs: Sequence[Relation],
     max_rows: int,
     max_cols: int,
+    element_bits: Optional[int] = None,
 ) -> OpCost:
     """Exact device cost of an array operation over its actual inputs.
 
     Uses the same schedule arithmetic the blocked operators execute, so
     ``actual_cost(...).total_pulses`` equals the device run's reported
-    pulse count.
+    pulse count — on bit-level devices too (pass the device's
+    ``element_bits``).
     """
     n_a = len(inputs[0])
     n_b = len(inputs[1]) if len(inputs) > 1 else n_a
@@ -169,10 +200,15 @@ def actual_cost(
         return division_cost(n_a, max(1, n_distinct), n_divisor,
                              max_rows, max_cols)
     if isinstance(node, Project):
+        if element_bits is not None:
+            return bit_comparison_cost(
+                n_a, n_a, len(node.columns), element_bits,
+                max_rows, max_cols,
+            )
         return comparison_cost(n_a, n_a, len(node.columns),
                                max_rows, max_cols)
     return estimate_cost(node, n_a, n_b, inputs[0].arity, 0,
-                         max_rows, max_cols)
+                         max_rows, max_cols, element_bits=element_bits)
 
 
 @dataclass
@@ -190,6 +226,10 @@ class PhysicalOp:
     est_bytes_out: int
     est_seconds: float
     est_fill_seconds: float = 0.0
+    #: streamed comparator width in bits (columns × bits per element);
+    #: 0 for non-array steps.  On a §8 bit-level device this is the
+    #: column count itself — each streamed column is one bit.
+    est_bits: int = 0
     cost: Optional[OpCost] = None
     chain: Optional[int] = None
     selection: Optional[tuple] = None
@@ -233,11 +273,15 @@ class PhysicalPlan:
         chains: list[PipelinedChain],
         outputs: list[int],
         pipeline: bool,
+        backend: Optional[str] = None,
     ) -> None:
         self.ops = ops
         self.chains = chains
         self.outputs = outputs
         self.pipeline = pipeline
+        #: name of the execution engine the machine's devices run block
+        #: runs on (explain footer); None when unknown.
+        self.backend = backend
         self._by_id = {op.op_id: op for op in ops}
 
     def __getitem__(self, op_id: int) -> PhysicalOp:
@@ -264,8 +308,8 @@ class PhysicalPlan:
         lines = [
             f"physical plan ({discipline}, {len(self.ops)} ops, "
             f"{sum(1 for c in self.chains if len(c) > 1)} fused chains)",
-            f"{'op':>4}  {'device':<14} {'rows(est)':>9}  {'blocks':<12} "
-            f"{'chain':<6} {'t(est)':>10}  step",
+            f"{'op':>4}  {'device':<14} {'rows(est)':>9}  {'bits':>5}  "
+            f"{'blocks':<12} {'chain':<6} {'t(est)':>10}  step",
         ]
         for op in self.ops:
             chain = self.chain_of(op)
@@ -273,14 +317,18 @@ class PhysicalPlan:
                 f"#{chain.chain_id}" if chain is not None and len(chain) > 1
                 else "-"
             )
+            bits_label = str(op.est_bits) if op.est_bits else "-"
             lines.append(
                 f"{op.op_id:>4}  {op.device:<14} {op.est_rows_out:>9}  "
+                f"{bits_label:>5}  "
                 f"{op.blocks_label():<12} {chain_label:<6} "
                 f"{op.est_seconds * 1e3:>8.3f}ms  {op.label}"
             )
         lines.append(
             f"predicted makespan {self.predicted_makespan * 1e3:.3f} ms"
         )
+        if self.backend is not None:
+            lines.append(f"backend {self.backend}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -338,7 +386,19 @@ class PhysicalPlanner:
                 ops=len(ops),
                 chains=sum(1 for c in chains if len(c) > 1),
             )
-        return PhysicalPlan(ops, chains, outputs, pipeline)
+        return PhysicalPlan(
+            ops, chains, outputs, pipeline, backend=self._backend_name()
+        )
+
+    def _backend_name(self) -> str:
+        """Name of the engine the machine's devices execute with."""
+        spec = next(
+            (d.backend for d in self.machine.devices
+             if hasattr(d, "backend")),
+            None,
+        )
+        engine = resolve_backend(spec)
+        return getattr(engine, "name", type(engine).__name__)
 
     # -- plan walk -----------------------------------------------------------
 
@@ -512,6 +572,7 @@ class PhysicalPlanner:
                 cost = estimate_cost(
                     node, n_a, n_b, arity_a, n_columns,
                     device.capacity.max_rows, device.capacity.max_cols,
+                    element_bits=getattr(device, "element_bits", None),
                 )
                 streams = [transfer(op.est_bytes_out) for op in in_ops]
                 streams.append(transfer(bytes_out))
@@ -522,12 +583,24 @@ class PhysicalPlanner:
                     best = (key, device, cost, seconds, start)
             _, device, cost, seconds, start = best
             fill = min(cost.fill_seconds(device.technology), seconds)
+            if isinstance(node, Project):
+                stream_cols = n_columns
+            elif isinstance(node, Join):
+                stream_cols = len(node.on)
+            elif isinstance(node, Divide):
+                stream_cols = 2  # the (group, value) dividend pair
+            else:
+                stream_cols = arity_a
+            per_element = (
+                getattr(device, "element_bits", None) or machine.element_bits
+            )
             op = add(PhysicalOp(
                 op_id=op_id, node=node, kind=OP_ARRAY, device=device.name,
                 inputs=input_ids, release=release[id(node)],
                 label=node.describe(), est_rows_out=rows_out,
                 est_bytes_out=bytes_out, est_seconds=seconds,
-                est_fill_seconds=fill, cost=cost,
+                est_fill_seconds=fill, est_bits=stream_cols * per_element,
+                cost=cost,
             ))
             op.est_start, op.est_end = start, start + seconds
             est_free[device.name] = op.est_end

@@ -31,10 +31,12 @@ METRICS: dict[str, tuple[str, str]] = {
         COUNTER, "total simulated pulses run on systolic devices"),
     "device.executions": (
         COUNTER, "operations executed on machine devices (incl. the CPU)"),
+    "engine.bitplane_planes": (
+        COUNTER, "packed uint64 bitplanes swept by the bitplane engine"),
     "engine.lattice.chunks": (
         COUNTER, "row chunks evaluated by the lattice engine's grid path"),
     "engine.run.pulses": (
-        HISTOGRAM, "pulses per engine run (pulse and lattice alike)"),
+        HISTOGRAM, "pulses per engine run (every engine alike)"),
     "engine.runs": (
         COUNTER, "array plans executed by any engine"),
     "lang.optimize.calls": (

@@ -39,6 +39,8 @@ __all__ = [
     "comparison_cost",
     "join_cost",
     "division_cost",
+    "bit_comparison_cost",
+    "bit_join_cost",
     "broadcast_cost",
     "shuffle_cost",
 ]
@@ -173,6 +175,56 @@ def division_cost(
         fill_pulses=min(fill, total), stream_pulses=max(0, total - fill),
         a_blocks=len(x_spans), b_blocks=len(divisor_spans), column_blocks=1,
     )
+
+
+def bit_comparison_cost(
+    n_a: int,
+    n_b: int,
+    arity: int,
+    element_bits: int,
+    max_rows: int,
+    max_cols: int,
+) -> OpCost:
+    """Cost of a comparison-array run on a §8 **bit-level** device.
+
+    The word→bit transformation replaces every word column by
+    ``element_bits`` bit columns, so the same run streams
+    ``arity × element_bits`` columns through a device whose
+    ``max_cols`` counts *bit comparators* — §8's area unit.  Identical
+    schedule arithmetic otherwise, which keeps the prediction
+    pulse-exact against a bit-level device's blocked execution (the
+    expanded tuples run through the same
+    :func:`repro.arrays.decomposition.blocked_pair_matrix`).
+    """
+    if element_bits < 1:
+        raise ReproError(
+            f"element_bits must be >= 1, got {element_bits}"
+        )
+    return comparison_cost(
+        n_a, n_b, arity * element_bits, max_rows, max_cols
+    )
+
+
+def bit_join_cost(
+    n_a: int,
+    n_b: int,
+    n_on: int,
+    element_bits: int,
+    max_rows: int,
+    max_cols: int,
+) -> OpCost:
+    """Cost of an equality join on a bit-level device.
+
+    Only the ``n_on`` join columns stream through the array, each
+    expanded to ``element_bits`` bit columns.  (θ-joins with magnitude
+    operators keep word devices — the bit-level device kind is
+    equality-only.)
+    """
+    if element_bits < 1:
+        raise ReproError(
+            f"element_bits must be >= 1, got {element_bits}"
+        )
+    return join_cost(n_a, n_b, n_on * element_bits, max_rows, max_cols)
 
 
 #: Sustained rate of one cross-shard link.  A shard interconnect of the

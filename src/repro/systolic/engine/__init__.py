@@ -2,28 +2,35 @@
 
 The split: a *plan* (:mod:`~repro.systolic.engine.plan`) says what an
 array computes — operands, timing discipline, taps — and an *engine*
-says how.  Two ship:
+says how.  Three ship:
 
 * ``"pulse"`` — :class:`PulseEngine`, the cycle-accurate reference:
   every cell and latch of the paper's design, driven pulse by pulse.
 * ``"lattice"`` — :class:`LatticeEngine`, the same schedule arithmetic
   evaluated as bulk numpy wavefronts; bit-identical outputs, orders of
   magnitude faster on large relations.
+* ``"bitplane"`` — :class:`BitplaneEngine`, the §8 word→bit design
+  executed as packed ``uint64`` bitplane sweeps; bit-identical outputs
+  again, and the only engine whose work unit is §8's bit comparator.
 
 ``resolve_backend`` turns the user-facing ``backend=`` argument (a
-name, ``None``, or an engine instance) into an engine.
+name, ``None``, or an engine instance) into an engine; ``None`` means
+the process default — :data:`DEFAULT_BACKEND` unless the
+``REPRO_BACKEND`` environment variable picks another registered name.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro.config import env_choice
 from repro.errors import SimulationError
 from repro.systolic.engine.hexmesh import (
     BOOLEAN_SEMIRING,
     COMPARISON_SEMIRING,
     Semiring,
 )
+from repro.systolic.engine.bitplane import BitplaneEngine
 from repro.systolic.engine.lattice import DEFAULT_CHUNK_BYTES, LatticeEngine
 from repro.systolic.engine.plan import (
     ColumnarTap,
@@ -66,8 +73,10 @@ __all__ = [
     "BOOLEAN_SEMIRING",
     "PulseEngine",
     "LatticeEngine",
+    "BitplaneEngine",
     "ENGINES",
     "DEFAULT_BACKEND",
+    "default_backend",
     "resolve_backend",
 ]
 
@@ -75,6 +84,7 @@ __all__ = [
 ENGINES: dict[str, type] = {
     "pulse": PulseEngine,
     "lattice": LatticeEngine,
+    "bitplane": BitplaneEngine,
 }
 
 DEFAULT_BACKEND = "pulse"
@@ -82,15 +92,27 @@ DEFAULT_BACKEND = "pulse"
 BackendSpec = Union[str, Engine, None]
 
 
+def default_backend() -> str:
+    """The process-wide default engine name.
+
+    :data:`DEFAULT_BACKEND` unless the ``REPRO_BACKEND`` environment
+    variable selects another registered engine
+    (:class:`~repro.errors.ConfigError` on an unknown name, matching
+    every other ``REPRO_*`` knob).
+    """
+    return env_choice("REPRO_BACKEND", DEFAULT_BACKEND, tuple(ENGINES))
+
+
 def resolve_backend(backend: BackendSpec = None) -> Engine:
     """Resolve a ``backend=`` argument to an engine instance.
 
     Accepts an engine name from :data:`ENGINES`, ``None`` (meaning
+    :func:`default_backend` — ``REPRO_BACKEND`` or
     :data:`DEFAULT_BACKEND`), or any object with a ``run`` method
     (a caller-supplied engine, passed through untouched).
     """
     if backend is None:
-        backend = DEFAULT_BACKEND
+        backend = default_backend()
     if isinstance(backend, str):
         try:
             return ENGINES[backend]()

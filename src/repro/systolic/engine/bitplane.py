@@ -1,0 +1,146 @@
+"""The bitplane engine: §8's bit-level arrays as packed-plane sweeps.
+
+The third backend.  The pulse engine simulates the paper's cells token
+by token; the lattice engine evaluates the word-level comparators as
+bulk numpy wavefronts; this engine evaluates the **bit-level** design
+(§8's word→bit transformation, :mod:`repro.bitlevel`) the same bulk
+way: every element is its MSB-first bit expansion, every bit position
+one packed ``uint64`` plane (:mod:`repro.bitlevel.planes`), and one
+``np.bitwise_*`` sweep per plane replaces ``width`` columns of bit
+comparators —
+
+* equality as the XOR/OR-reduce over all ``arity × width`` planes;
+* magnitude (``<``, ``<=``, ``>``, ``>=``, ``!=``) as the
+  :class:`~repro.bitlevel.cells.BitMagnitudeCell` EQ/GT/LT state
+  rippled MSB-first across whole planes at once;
+* the division array's gating as two packed equality matrices.
+
+All observable outputs — collector records, pulse stamps, ghost tags,
+activity metering — are the word-level plan's, reconstructed through
+the shared :class:`~repro.systolic.engine.lattice.LatticeEngine`
+schedule arithmetic; only the comparator kernels differ, so the run is
+bit-identical to the other engines (the equivalence harness enforces
+it).  Signed elements are translated by the common minimum before
+packing, which preserves equality and order exactly (see
+:mod:`repro.bitlevel.planes`).
+
+Limits are the lattice engine's: trace recording and hex-mesh metering
+need the pulse-level cell network; the hexagonal mesh (whose payloads
+are arbitrary semiring values, not bit-encodable words) falls back to
+the inherited lattice walk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bitlevel.planes import (
+    equality_planes,
+    magnitude_planes,
+    pack_planes,
+    plane_equal_matrix,
+    plane_op,
+    plane_shift_width,
+    unpack_bits,
+)
+from repro.errors import SimulationError
+from repro.obs import metrics
+from repro.systolic.engine.lattice import LatticeEngine
+from repro.systolic.engine.plan import GridPlan, LinearPlan
+
+__all__ = ["BitplaneEngine"]
+
+
+class BitplaneEngine(LatticeEngine):
+    """Bit-level execution of the same plans, one packed plane a sweep.
+
+    ``chunk_bytes`` bounds the transient per-plane intermediate (the
+    ``chunk × n_words`` ``uint64`` state planes), sharing the lattice
+    engine's default and ``REPRO_LATTICE_CHUNK_BYTES`` override.
+    """
+
+    name = "bitplane"
+
+    # -- the rectangular grid: packed-plane comparator kernels ---------------
+
+    def _verdict_matrix(
+        self, plan: GridPlan, A: np.ndarray, B: np.ndarray
+    ) -> np.ndarray:
+        sched = plan.schedule
+        n_a, n_b, m = sched.n_a, sched.n_b, sched.arity
+        (A_s, B_s), width = plane_shift_width(A, B)
+        b_planes = pack_planes(B_s, width)
+        n_words = b_planes.shape[2]
+        V = np.empty((n_a, n_b), dtype=bool)
+        # Each rippled state plane is chunk × n_words uint64 words.
+        chunk = max(1, self.chunk_bytes // max(1, 8 * n_words))
+        swept = 0
+        for lo in range(0, n_a, chunk):
+            hi = min(n_a, lo + chunk)
+            if plan.ops is None:
+                packed = equality_planes(A_s[lo:hi], b_planes, width)
+                swept += m * width
+            else:
+                packed = None
+                for k, op in enumerate(plan.ops):
+                    eq, gt, lt = magnitude_planes(
+                        A_s[lo:hi, k], b_planes[k], width
+                    )
+                    col = plane_op(op)(eq, gt, lt)
+                    packed = col if packed is None else packed & col
+                    swept += width
+            V[lo:hi] = unpack_bits(packed, n_b)
+        metrics.inc("engine.bitplane_planes", swept)
+        return V
+
+    # -- the division array: gating as packed equality matrices --------------
+
+    def _division_bits(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        divisor: np.ndarray,
+        distinct: np.ndarray,
+    ) -> np.ndarray:
+        d_vals = np.unique(divisor)
+        # Row r's gate fires for pair q iff xs[q] == distinct[r]; the
+        # gated y covers divisor value d iff ys[q] == d — both equality
+        # matrices evaluated plane-wise.
+        gates, w_x = plane_equal_matrix(xs, distinct)
+        covers, w_y = plane_equal_matrix(ys, d_vals)
+        metrics.inc("engine.bitplane_planes", w_x + w_y)
+        if d_vals.size == 0 or xs.size == 0:
+            return np.zeros(distinct.shape[0], dtype=bool)
+        covered = (
+            gates.T.astype(np.int64) @ covers.astype(np.int64)
+        ) > 0
+        return covered.all(axis=1)
+
+    # -- the linear array: one tuple pair, still plane-wise -----------------
+
+    def _linear_equal(self, plan: LinearPlan) -> bool:
+        try:
+            a = np.asarray(plan.a, dtype=np.int64)
+            b = np.asarray(plan.b, dtype=np.int64)
+        except (ValueError, TypeError, OverflowError) as exc:
+            raise SimulationError(
+                f"the bitplane engine needs integer-encoded elements "
+                f"(see §2.3 domain encoding): {exc}"
+            ) from None
+        if a.size == 0:
+            return bool(plan.seed)
+        (a_s, b_s), width = plane_shift_width(a, b)
+        one = np.uint64(1)
+        neq = False
+        for p in range(width):
+            shift = np.uint64(width - 1 - p)
+            neq = neq or bool(
+                (((a_s >> shift) ^ (b_s >> shift)) & one).any()
+            )
+        metrics.inc("engine.bitplane_planes", width)
+        return bool(plan.seed) and not neq
+
+    def __repr__(self) -> str:
+        return f"BitplaneEngine(chunk_bytes={self.chunk_bytes})"

@@ -178,20 +178,7 @@ class LatticeEngine:
         A = _int_matrix(plan.a_tuples, n_a, m, "A")
         B = _int_matrix(plan.b_tuples, n_b, m, "B")
 
-        # V[i, j] = the t value pair (i, j) exits with, evaluated in
-        # bulk (row-chunked to bound the n_a × n_b × m intermediate).
-        V = np.empty((n_a, n_b), dtype=bool)
-        chunk = max(1, self.chunk_bytes // max(1, 8 * n_b * m))
-        for lo in range(0, n_a, chunk):
-            metrics.inc("engine.lattice.chunks")
-            hi = min(n_a, lo + chunk)
-            if plan.ops is None:
-                V[lo:hi] = (A[lo:hi, None, :] == B[None, :, :]).all(axis=2)
-            else:
-                acc = np.ones((hi - lo, n_b), dtype=bool)
-                for k, op in enumerate(plan.ops):
-                    acc &= _op_ufunc(op)(A[lo:hi, k][:, None], B[None, :, k])
-                V[lo:hi] = acc
+        V = self._verdict_matrix(plan, A, B)
         if plan.t_init is not None:
             mask_fn = getattr(plan.t_init, "lattice_mask", None)
             if mask_fn is not None:
@@ -218,6 +205,29 @@ class LatticeEngine:
             engine=self.name, pulses=plan.pulses, cells=plan.cells,
             columnar=taps, meter=meter,
         )
+
+    def _verdict_matrix(
+        self, plan: GridPlan, A: np.ndarray, B: np.ndarray
+    ) -> np.ndarray:
+        """``V[i, j]`` = the comparison verdict pair ``(i, j)`` exits
+        with (before ``t_init``), evaluated in bulk — row-chunked to
+        bound the ``n_a × n_b × m`` intermediate.  The word-level
+        comparator kernel; subclasses substitute their own."""
+        sched = plan.schedule
+        n_a, n_b, m = sched.n_a, sched.n_b, sched.arity
+        V = np.empty((n_a, n_b), dtype=bool)
+        chunk = max(1, self.chunk_bytes // max(1, 8 * n_b * m))
+        for lo in range(0, n_a, chunk):
+            metrics.inc("engine.lattice.chunks")
+            hi = min(n_a, lo + chunk)
+            if plan.ops is None:
+                V[lo:hi] = (A[lo:hi, None, :] == B[None, :, :]).all(axis=2)
+            else:
+                acc = np.ones((hi - lo, n_b), dtype=bool)
+                for k, op in enumerate(plan.ops):
+                    acc &= _op_ufunc(op)(A[lo:hi, k][:, None], B[None, :, k])
+                V[lo:hi] = acc
+        return V
 
     def _row_taps(self, plan: GridPlan, V: np.ndarray) -> dict[str, ColumnarTap]:
         """Every ``t_row[r]`` tap at once: the schedule's meeting rows
@@ -313,20 +323,7 @@ class LatticeEngine:
         distinct = np.asarray(plan.distinct_x, dtype=np.int64)
         p_rows = len(plan.distinct_x)
 
-        # Row `row` sees exactly the y values gated by its stored x; its
-        # quotient bit is "divisor ⊆ that set".  Evaluated in bulk: count
-        # the distinct divisor values each distinct x co-occurs with.
-        d_vals = np.unique(divisor)
-        u_vals, x_codes = np.unique(xs, return_inverse=True)
-        y_pos = np.searchsorted(d_vals, ys).clip(0, d_vals.size - 1)
-        gated = d_vals[y_pos] == ys
-        codes = np.unique(x_codes[gated] * d_vals.size + y_pos[gated])
-        counts = np.bincount(codes // d_vals.size, minlength=u_vals.size)
-        u_bits = counts == d_vals.size
-        # Map each dividend row's stored x onto its unique-x slot; a
-        # stored x that never streams past gates nothing (bit FALSE).
-        row_pos = np.searchsorted(u_vals, distinct).clip(0, u_vals.size - 1)
-        bits = (u_vals[row_pos] == distinct) & u_bits[row_pos]
+        bits = self._division_bits(xs, ys, divisor, distinct)
 
         rows = np.arange(p_rows, dtype=np.int64)
         pulses = (sched.n_pairs + 2 + (p_rows - 1 - rows)
@@ -348,6 +345,31 @@ class LatticeEngine:
             engine=self.name, pulses=plan.pulses, cells=plan.cells,
             columnar=taps, meter=meter,
         )
+
+    def _division_bits(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        divisor: np.ndarray,
+        distinct: np.ndarray,
+    ) -> np.ndarray:
+        """Quotient bit of every dividend row, evaluated in bulk.
+
+        Row ``r`` sees exactly the y values gated by its stored x; its
+        quotient bit is "divisor ⊆ that set" — here: count the distinct
+        divisor values each distinct x co-occurs with.  Subclasses
+        substitute their own gating kernel."""
+        d_vals = np.unique(divisor)
+        u_vals, x_codes = np.unique(xs, return_inverse=True)
+        y_pos = np.searchsorted(d_vals, ys).clip(0, d_vals.size - 1)
+        gated = d_vals[y_pos] == ys
+        codes = np.unique(x_codes[gated] * d_vals.size + y_pos[gated])
+        counts = np.bincount(codes // d_vals.size, minlength=u_vals.size)
+        u_bits = counts == d_vals.size
+        # Map each dividend row's stored x onto its unique-x slot; a
+        # stored x that never streams past gates nothing (bit FALSE).
+        row_pos = np.searchsorted(u_vals, distinct).clip(0, u_vals.size - 1)
+        return (u_vals[row_pos] == distinct) & u_bits[row_pos]
 
     def _division_busy(self, plan: DivisionPlan) -> dict[str, int]:
         sched = plan.schedule
@@ -373,9 +395,7 @@ class LatticeEngine:
     def _run_linear(
         self, plan: LinearPlan, meter: Optional[ActivityMeter]
     ) -> EngineRun:
-        equal = bool(plan.seed)
-        for x, y in zip(plan.a, plan.b):
-            equal = equal and (x == y)
+        equal = self._linear_equal(plan)
         records = {"t": [(
             plan.arity - 1,
             Token(equal, ("t", 0, 0) if plan.tagged else None),
@@ -391,6 +411,15 @@ class LatticeEngine:
             engine=self.name, pulses=plan.pulses, cells=plan.cells,
             collectors=_make_collectors(records), meter=meter,
         )
+
+    def _linear_equal(self, plan: LinearPlan) -> bool:
+        """The travelling ``t`` value of the linear chain — the seed
+        ANDed with every element comparison.  The word-level kernel;
+        subclasses substitute their own."""
+        equal = bool(plan.seed)
+        for x, y in zip(plan.a, plan.b):
+            equal = equal and (x == y)
+        return equal
 
     # -- the hexagonal mesh (§2.1, [5]) -------------------------------------
 

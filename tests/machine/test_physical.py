@@ -276,3 +276,101 @@ class TestLoadOps:
         assert len(loads) == 3
         for before, after in zip(loads, loads[1:]):
             assert after.est_start >= before.est_end
+
+
+class TestBitLevelDevices:
+    """§8 bit-level comparison arrays in the roster: the planner prices
+    word columns against bit comparators and picks whichever finishes
+    first."""
+
+    ROSTER = (
+        # A column-starved word device: arity-8 tuples re-stream 8×.
+        (DEVICE_COMPARISON, 1, ArrayCapacity(max_rows=63, max_cols=1)),
+        # The same silicon spent on bit comparators: 256 bit columns
+        # swallow an 8-word × 32-bit tuple in one pass.
+        (DEVICE_COMPARISON, 1, ArrayCapacity(max_rows=63, max_cols=256), 32),
+    )
+
+    def test_planner_picks_the_bit_device_for_wide_tuples(self):
+        a, b = overlapping_pair(60, 60, 20, arity=8, seed=9)
+        machine = preloaded(
+            {"A": a, "B": b}, devices=self.ROSTER, backend="bitplane"
+        )
+        physical = machine.compile(Intersect(Base("A"), Base("B")))
+        [op] = [op for op in physical.ops if op.kind == OP_ARRAY]
+        assert op.device == "comparison1"
+        assert op.est_bits == 8 * 32
+        result, report = machine.run_physical(physical)
+        assert result[0] == algebra.intersection(a, b)
+        # Base inputs have exact sizes: the bit-comparison cost terms
+        # predict the bit device's executed pulses exactly.
+        [step] = [s for s in report.steps if s.device == "comparison1"]
+        assert op.cost.total_pulses == step.pulses
+        assert op.block_runs == step.block_runs
+
+    def test_word_device_keeps_narrow_tuples(self):
+        a, b = overlapping_pair(60, 60, 20, arity=2, seed=9)
+        machine = preloaded(
+            {"A": a, "B": b},
+            devices=(
+                (DEVICE_COMPARISON, 1,
+                 ArrayCapacity(max_rows=63, max_cols=8)),
+                (DEVICE_COMPARISON, 1,
+                 ArrayCapacity(max_rows=63, max_cols=256), 32),
+            ),
+        )
+        physical = machine.compile(Intersect(Base("A"), Base("B")))
+        [op] = [op for op in physical.ops if op.kind == OP_ARRAY]
+        assert op.device == "comparison0"
+        assert op.est_bits == 2 * machine.element_bits
+
+    def test_bit_device_runs_every_equality_operator(self):
+        a, b = overlapping_pair(30, 25, 10, arity=4, seed=4)
+        bit_only = (
+            (DEVICE_COMPARISON, 1,
+             ArrayCapacity(max_rows=63, max_cols=128), 32),
+        )
+        machine = preloaded(
+            {"A": a, "B": b}, devices=bit_only, backend="lattice"
+        )
+        from repro.machine import Difference, Union
+        cases = [
+            (Intersect(Base("A"), Base("B")), algebra.intersection(a, b)),
+            (Difference(Base("A"), Base("B")), algebra.difference(a, b)),
+            (Union(Base("A"), Base("B")), algebra.union(a, b)),
+            (Dedup(Base("A")), a),
+            (Project(Base("A"), ("c0", "c1")),
+             algebra.project(a, ["c0", "c1"])),
+        ]
+        for plan, expected in cases:
+            result, _ = machine.run(plan)
+            assert result == expected, plan.describe()
+
+    def test_explain_shows_bits_and_backend(self):
+        a, b = overlapping_pair(60, 60, 20, arity=8, seed=9)
+        machine = preloaded({"A": a, "B": b}, devices=self.ROSTER)
+        text = machine.compile(Intersect(Base("A"), Base("B"))).explain()
+        assert "bits" in text
+        assert "256" in text          # 8 columns × 32 bits on the bit device
+        assert "backend pulse" in text
+
+    def test_bit_devices_are_comparison_only(self):
+        from repro.errors import PlanError
+        from repro.machine.device import SystolicDevice
+        from repro.machine.plan import DEVICE_JOIN
+        with pytest.raises(PlanError, match="comparison"):
+            SystolicDevice("j0", DEVICE_JOIN, element_bits=32)
+        with pytest.raises(PlanError, match=">= 1"):
+            SystolicDevice("c0", DEVICE_COMPARISON, element_bits=0)
+
+    def test_roster_fingerprint_sees_element_bits(self):
+        # Two machines whose rosters differ only in element_bits must
+        # not share compiled plans.
+        word = preloaded({}, devices=(
+            (DEVICE_COMPARISON, 1, ArrayCapacity(max_rows=63, max_cols=64)),
+        ))
+        bit = preloaded({}, devices=(
+            (DEVICE_COMPARISON, 1,
+             ArrayCapacity(max_rows=63, max_cols=64), 8),
+        ))
+        assert word._roster_fingerprint != bit._roster_fingerprint

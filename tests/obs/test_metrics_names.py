@@ -96,6 +96,9 @@ class TestDeclaredNames:
         lattice = build_machine(backend="lattice")
         lattice.run(join_project_plan())      # engine.lattice.chunks
 
+        bitplane = build_machine(backend="bitplane")
+        bitplane.run(join_project_plan())     # engine.bitplane_planes
+
         # The serving layer: one pooled query records the service.*
         # counters/histogram, and a zero-timeout acquire against a full
         # gate records the rejection counter.

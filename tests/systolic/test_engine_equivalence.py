@@ -1,9 +1,10 @@
-"""Differential equivalence: the lattice engine equals the pulse engine.
+"""Differential equivalence: every engine equals the pulse engine.
 
-The :class:`~repro.systolic.engine.LatticeEngine` promises bit-identical
+The :class:`~repro.systolic.engine.LatticeEngine` and
+:class:`~repro.systolic.engine.BitplaneEngine` promise bit-identical
 edge outputs, pulse counts, and utilization without simulating cells.
 Hypothesis drives randomized workloads through every plan type and
-through every operator, running each on both engines and comparing the
+through every operator, running each on all engines and comparing the
 complete observable surface: collector dumps (pulse, value, tag),
 pulses, cells, busy counts, utilization, and hex peak firing.
 """
@@ -42,6 +43,7 @@ from repro.arrays.schedule import (
 from repro.errors import SimulationError
 from repro.relational import Domain, MultiRelation, Relation, Schema
 from repro.systolic.engine import (
+    BitplaneEngine,
     DivisionPlan,
     GridPlan,
     HexPlan,
@@ -73,12 +75,13 @@ ops_strategy = st.lists(
 
 
 def run_both(plan):
-    """Run one plan on both engines (fresh meters) and return both runs."""
-    # The lattice engine declines to meter the hexagonal mesh (it needs
-    # the cell network), so hex equivalence is checked meterless.
+    """Run one plan on every engine (fresh meters) and return the runs."""
+    # The lattice-family engines decline to meter the hexagonal mesh
+    # (it needs the cell network), so hex equivalence is checked
+    # meterless.
     meterable = not isinstance(plan, HexPlan)
     runs = []
-    for engine in (PulseEngine(), LatticeEngine()):
+    for engine in (PulseEngine(), LatticeEngine(), BitplaneEngine()):
         meter = ActivityMeter() if meterable else None
         runs.append((engine.run(plan, meter=meter), meter))
     return runs
@@ -93,17 +96,18 @@ def dump(run):
 
 
 def assert_identical(plan):
-    (pulse_run, pulse_meter), (lattice_run, lattice_meter) = run_both(plan)
-    assert dump(lattice_run) == dump(pulse_run)
-    assert lattice_run.pulses == pulse_run.pulses
-    assert lattice_run.cells == pulse_run.cells
-    if pulse_meter is not None:
-        assert lattice_meter.busy_pulses == pulse_meter.busy_pulses
-        assert lattice_meter.pulses_observed == pulse_meter.pulses_observed
-        assert (lattice_meter.report().utilization
-                == pulse_meter.report().utilization)
-    assert lattice_run.peak_firing == pulse_run.peak_firing
-    return pulse_run, lattice_run
+    (pulse_run, pulse_meter), *others = run_both(plan)
+    for other_run, other_meter in others:
+        assert dump(other_run) == dump(pulse_run)
+        assert other_run.pulses == pulse_run.pulses
+        assert other_run.cells == pulse_run.cells
+        if pulse_meter is not None:
+            assert other_meter.busy_pulses == pulse_meter.busy_pulses
+            assert other_meter.pulses_observed == pulse_meter.pulses_observed
+            assert (other_meter.report().utilization
+                    == pulse_meter.report().utilization)
+        assert other_run.peak_firing == pulse_run.peak_firing
+    return pulse_run, others[0][0]
 
 
 def grid_schedule(variant, n_a, n_b, arity):
@@ -195,10 +199,12 @@ class TestHexPlans:
 class TestOperatorsAcrossBackends:
     """Operator-level: identical relations and run stats per backend."""
 
+    BACKENDS = ("pulse", "lattice", "bitplane")
+
     def _pair(self, op, *args, **kwargs):
         return [
             op(*args, backend=backend, **kwargs)
-            for backend in ("pulse", "lattice")
+            for backend in self.BACKENDS
         ]
 
     @SMALL
@@ -206,34 +212,38 @@ class TestOperatorsAcrossBackends:
            variant=st.sampled_from(["counter", "fixed"]))
     def test_set_operators(self, a, b, variant):
         for op in (systolic_intersection, systolic_difference):
-            pulse, lattice = self._pair(op, a, b, variant=variant, tagged=True)
-            assert lattice.relation == pulse.relation
-            assert lattice.run.pulses == pulse.run.pulses
-            assert lattice.t_vector == pulse.t_vector
+            pulse, *others = self._pair(op, a, b, variant=variant, tagged=True)
+            for other in others:
+                assert other.relation == pulse.relation
+                assert other.run.pulses == pulse.run.pulses
+                assert other.t_vector == pulse.t_vector
 
     @SMALL
     @given(a=relations, b=relations)
     def test_union(self, a, b):
-        pulse, lattice = self._pair(systolic_union, a, b, tagged=True)
-        assert lattice.relation == pulse.relation
-        assert lattice.run.pulses == pulse.run.pulses
+        pulse, *others = self._pair(systolic_union, a, b, tagged=True)
+        for other in others:
+            assert other.relation == pulse.relation
+            assert other.run.pulses == pulse.run.pulses
 
     @SMALL
     @given(multi=multis, variant=st.sampled_from(["counter", "fixed"]))
     def test_remove_duplicates(self, multi, variant):
-        pulse, lattice = self._pair(
+        pulse, *others = self._pair(
             systolic_remove_duplicates, multi, variant=variant, tagged=True
         )
-        assert lattice.relation == pulse.relation
-        assert lattice.drop_vector == pulse.drop_vector
+        for other in others:
+            assert other.relation == pulse.relation
+            assert other.drop_vector == pulse.drop_vector
 
     @SMALL
     @given(a=relations, b=relations)
     def test_semijoin_antijoin(self, a, b):
         on = [("x", "x"), ("y", "y")]
         for op in (systolic_semijoin, systolic_antijoin):
-            pulse, lattice = self._pair(op, a, b, on, tagged=True)
-            assert lattice.relation == pulse.relation
+            pulse, *others = self._pair(op, a, b, on, tagged=True)
+            for other in others:
+                assert other.relation == pulse.relation
 
     @SMALL
     @given(a=relations, b=relations, ops=ops_strategy)
@@ -244,9 +254,10 @@ class TestOperatorsAcrossBackends:
             (systolic_theta_join, (ops,)),
             (systolic_dynamic_theta_join, (ops,)),
         ):
-            pulse, lattice = self._pair(op, a, b, on, *extra, tagged=True)
-            assert lattice.relation == pulse.relation
-            assert lattice.run.pulses == pulse.run.pulses
+            pulse, *others = self._pair(op, a, b, on, *extra, tagged=True)
+            for other in others:
+                assert other.relation == pulse.relation
+                assert other.run.pulses == pulse.run.pulses
 
     @SMALL
     @given(a=relations, b=st.lists(st.integers(0, 3), min_size=0,
@@ -255,28 +266,32 @@ class TestOperatorsAcrossBackends:
         divisor = Relation(
             Schema.of(("y", _DOMAIN)), [(value,) for value in b]
         )
-        pulse, lattice = self._pair(systolic_divide, a, divisor, tagged=True)
-        assert lattice.relation == pulse.relation
-        assert lattice.run.pulses == pulse.run.pulses
+        pulse, *others = self._pair(systolic_divide, a, divisor, tagged=True)
+        for other in others:
+            assert other.relation == pulse.relation
+            assert other.run.pulses == pulse.run.pulses
 
     @SMALL
     @given(a=tuple_lists, b=tuple_lists)
     def test_comparison_matrices(self, a, b):
-        pulse, lattice = self._pair(compare_all_pairs, a, b, tagged=True)
-        assert lattice.t_matrix == pulse.t_matrix
-        hex_pulse, hex_lattice = self._pair(
+        pulse, *others = self._pair(compare_all_pairs, a, b, tagged=True)
+        for other in others:
+            assert other.t_matrix == pulse.t_matrix
+        hex_pulse, *hex_others = self._pair(
             hex_compare_all_pairs, a, b, tagged=True
         )
-        assert hex_lattice.t_matrix == hex_pulse.t_matrix
-        assert hex_lattice.peak_firing == hex_pulse.peak_firing
-        assert hex_lattice.t_matrix == lattice.t_matrix
+        for hex_other in hex_others:
+            assert hex_other.t_matrix == hex_pulse.t_matrix
+            assert hex_other.peak_firing == hex_pulse.peak_firing
+        assert hex_pulse.t_matrix == pulse.t_matrix
 
     @SMALL
     @given(a=tuples2, b=tuples2, seed=st.booleans())
     def test_linear_comparison(self, a, b, seed):
-        pulse, lattice = self._pair(compare_tuples, a, b, seed=seed)
-        assert lattice.equal == pulse.equal
-        assert lattice.run.pulses == pulse.run.pulses
+        pulse, *others = self._pair(compare_tuples, a, b, seed=seed)
+        for other in others:
+            assert other.equal == pulse.equal
+            assert other.run.pulses == pulse.run.pulses
 
 
 class TestBlockedAcrossBackends:
@@ -287,21 +302,23 @@ class TestBlockedAcrossBackends:
     def test_blocked_set_ops(self, a, b):
         runs = [
             blocked_intersection(a, b, self.CAP, backend=backend)
-            for backend in ("pulse", "lattice")
+            for backend in ("pulse", "lattice", "bitplane")
         ]
-        assert runs[0][0] == runs[1][0]
-        assert runs[0][1].total_pulses == runs[1][1].total_pulses
-        assert runs[0][1].block_runs == runs[1][1].block_runs
+        for run in runs[1:]:
+            assert runs[0][0] == run[0]
+            assert runs[0][1].total_pulses == run[1].total_pulses
+            assert runs[0][1].block_runs == run[1].block_runs
 
     @FEWER
     @given(multi=multis)
     def test_blocked_dedup(self, multi):
         runs = [
             blocked_remove_duplicates(multi, self.CAP, backend=backend)
-            for backend in ("pulse", "lattice")
+            for backend in ("pulse", "lattice", "bitplane")
         ]
-        assert runs[0][0] == runs[1][0]
-        assert runs[0][1].total_pulses == runs[1][1].total_pulses
+        for run in runs[1:]:
+            assert runs[0][0] == run[0]
+            assert runs[0][1].total_pulses == run[1].total_pulses
 
     @FEWER
     @given(a=relations, b=relations)
@@ -309,10 +326,11 @@ class TestBlockedAcrossBackends:
         on = [("x", "x")]
         runs = [
             blocked_join(a, b, on, self.CAP, backend=backend)
-            for backend in ("pulse", "lattice")
+            for backend in ("pulse", "lattice", "bitplane")
         ]
-        assert runs[0][0] == runs[1][0]
-        assert runs[0][1].total_pulses == runs[1][1].total_pulses
+        for run in runs[1:]:
+            assert runs[0][0] == run[0]
+            assert runs[0][1].total_pulses == run[1].total_pulses
 
     @FEWER
     @given(a=relations, b=st.lists(st.integers(0, 3), min_size=1,
@@ -324,10 +342,11 @@ class TestBlockedAcrossBackends:
         capacity = ArrayCapacity(max_rows=5, max_cols=4)
         runs = [
             blocked_divide(a, divisor, capacity, backend=backend)
-            for backend in ("pulse", "lattice")
+            for backend in ("pulse", "lattice", "bitplane")
         ]
-        assert runs[0][0] == runs[1][0]
-        assert runs[0][1].total_pulses == runs[1][1].total_pulses
+        for run in runs[1:]:
+            assert runs[0][0] == run[0]
+            assert runs[0][1].total_pulses == run[1].total_pulses
 
 
 class TestBackendResolution:
@@ -337,6 +356,7 @@ class TestBackendResolution:
     def test_names_resolve(self):
         assert isinstance(resolve_backend("pulse"), PulseEngine)
         assert isinstance(resolve_backend("lattice"), LatticeEngine)
+        assert isinstance(resolve_backend("bitplane"), BitplaneEngine)
 
     def test_engine_instances_pass_through(self):
         engine = LatticeEngine()
