@@ -128,6 +128,16 @@ class _Observation:
         print(f"  {'total':<{width}}  {total * 1e3:>9.3f} ms")
 
 
+def _fault_plan(args: argparse.Namespace):
+    """The ``--faults`` plan, or None when chaos is off."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults import parse_faults
+
+    return parse_faults(spec, seed=getattr(args, "fault_seed", 0))
+
+
 def _load_relations(specs: list[str]) -> dict[str, Relation]:
     registry: DomainRegistry = {}
     catalog: dict[str, Relation] = {}
@@ -151,9 +161,13 @@ def _emit(relation: Relation, out: str | None) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    if args.machine or getattr(args, "shards", 1) > 1:
-        # sharding is a property of the simulated machine cluster, so
-        # --shards implies the machine path
+    if (
+        args.machine
+        or getattr(args, "shards", 1) > 1
+        or getattr(args, "faults", None)
+    ):
+        # sharding and fault injection are properties of the simulated
+        # machine cluster, so --shards/--faults imply the machine path
         return _run_on_machine(args)
     with _Observation(args) as observed:
         with observed.stage("load"):
@@ -181,6 +195,7 @@ def _run_on_machine(args: argparse.Namespace) -> int:
 
     if getattr(args, "shards", 1) > 1:
         return _run_sharded(args)
+    faults = _fault_plan(args)
     with _Observation(args) as observed:
         with observed.stage("load"):
             catalog = _load_relations(args.relation)
@@ -189,6 +204,7 @@ def _run_on_machine(args: argparse.Namespace) -> int:
                     logic_per_track=getattr(args, "logic_per_track", False)
                 ),
                 backend=args.backend,
+                faults=faults,
             )
             for name, relation in catalog.items():
                 machine.store(name, relation)
@@ -207,11 +223,21 @@ def _run_on_machine(args: argparse.Namespace) -> int:
             print(physical.explain())
             print()
         with observed.stage("execute"):
-            (result,), report = machine.run_physical(physical)
+            if faults is not None:
+                # run_many owns the quarantine-and-replan loop; the
+                # pre-compiled plan above still feeds --explain.
+                (result,), report = machine.run_many(
+                    [plan],
+                    pipeline=not getattr(args, "store_and_forward", False),
+                )
+            else:
+                (result,), report = machine.run_physical(physical)
         with observed.stage("materialize"):
             _emit(result, args.out)
         print()
         print(report.timeline())
+        if faults is not None:
+            print(faults.summary())
         if args.explain:
             print(
                 f"predicted makespan {physical.predicted_makespan * 1e3:.3f} "
@@ -228,10 +254,11 @@ def _run_sharded(args: argparse.Namespace) -> int:
         print("--logic-per-track is a single-disk feature; it cannot be "
               "combined with --shards")
         return 2
+    faults = _fault_plan(args)
     with _Observation(args) as observed:
         with observed.stage("load"):
             catalog = _load_relations(args.relation)
-            pool = EnginePool(backend=args.backend)
+            pool = EnginePool(backend=args.backend, faults=faults)
             session = pool.session(
                 "cli", shards=args.shards,
                 shard_strategy=args.shard_strategy,
@@ -257,6 +284,8 @@ def _run_sharded(args: argparse.Namespace) -> int:
             _emit(result, args.out)
         print()
         print(report.timeline())
+        if faults is not None:
+            print(faults.summary())
         if args.explain:
             print(
                 f"predicted makespan "
@@ -308,11 +337,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.trace:
         tracer = obs.start()
 
+    faults = _fault_plan(args)
+
     async def serve() -> None:
         pool = EnginePool(
             backend=args.backend,
             max_concurrent=args.max_concurrent,
             admission_timeout=args.admission_timeout,
+            faults=faults,
+            query_deadline=args.query_deadline,
         )
         server = ReproServer(
             pool, host=args.host, port=args.port,
@@ -328,6 +361,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await stop.wait()
         finally:
             await server.stop()
+            if faults is not None:
+                print(faults.summary(), flush=True)
             print("server stopped", flush=True)
 
     try:
@@ -412,6 +447,21 @@ def build_parser() -> argparse.ArgumentParser:
                  "hashing of the key (default) or equi-depth key ranges",
         )
 
+    def fault_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--faults", metavar="SPEC", default=None,
+            help="inject deterministic faults and recover from them: "
+                 "comma-separated rules like "
+                 "'device:join0:2,disk:R,shard:1,exchange:*,"
+                 "device:join1:kill' (grammar in docs/ROBUSTNESS.md); "
+                 "recovered results are bit-identical to a fault-free run",
+        )
+        p.add_argument(
+            "--fault-seed", type=int, default=0, metavar="N",
+            help="seed for the fault plan's deterministic coin flips "
+                 "(probability rules; default 0)",
+        )
+
     def obs_options(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace", metavar="FILE",
@@ -442,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs_options(query)
     backend_option(query)
     shard_options(query)
+    fault_options(query)
     query.set_defaults(handler=_cmd_query)
 
     machine = sub.add_parser(
@@ -462,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs_options(machine)
     backend_option(machine)
     shard_options(machine)
+    fault_options(machine)
     machine.set_defaults(handler=_cmd_machine)
 
     selftest = sub.add_parser(
@@ -511,8 +563,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect the metrics registry while serving (printed on "
              "shutdown, or embedded in --trace output)",
     )
+    serve.add_argument(
+        "--query-deadline", type=float, default=None, metavar="SECONDS",
+        help="cancel any query still running after SECONDS with a "
+             "deadline error and free its pool slot (default: "
+             "$REPRO_QUERY_DEADLINE, else unlimited)",
+    )
     backend_option(serve)
     shard_options(serve)
+    fault_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     trace = sub.add_parser(

@@ -17,7 +17,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.errors import ConfigError
 
-__all__ = ["env_flag", "env_int", "env_choice"]
+__all__ = ["env_flag", "env_int", "env_float", "env_choice"]
 
 #: Spellings accepted for boolean environment flags.
 _TRUE = frozenset({"1", "true", "on", "yes"})
@@ -75,6 +75,40 @@ def env_int(
         raise ConfigError(
             f"{name}={raw!r} is not an integer"
         ) from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(
+            f"{name}={raw!r} must be >= {minimum}"
+        )
+    return value
+
+
+def env_float(
+    name: str,
+    default: Optional[float],
+    minimum: Optional[float] = None,
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[float]:
+    """Read a float from the environment.
+
+    Unset or empty means ``default`` (which may be ``None`` for knobs
+    like deadlines where absence means "off").  A value that does not
+    parse as a float, is not finite, or falls below ``minimum``, raises
+    :class:`ConfigError` naming the variable.
+    """
+    raw = (environ if environ is not None else os.environ).get(name)
+    if raw is None:
+        return default
+    text = raw.strip()
+    if not text:
+        return default
+    try:
+        value = float(text)
+    except ValueError:
+        raise ConfigError(
+            f"{name}={raw!r} is not a number"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ConfigError(f"{name}={raw!r} must be finite")
     if minimum is not None and value < minimum:
         raise ConfigError(
             f"{name}={raw!r} must be >= {minimum}"

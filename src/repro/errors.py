@@ -62,9 +62,89 @@ class AdmissionError(ReproError):
 
     Raised when a query waits longer than its admission timeout for one
     of the pool's concurrency slots — the serving layer's signal to shed
-    load instead of queueing without bound.
+    load instead of queueing without bound.  Retryable: the refusal is a
+    property of the instant, not of the query.
     """
 
 
 class ParseError(ReproError):
     """The relational-algebra expression language failed to parse."""
+
+
+class FaultError(ReproError):
+    """A (possibly injected) hardware or interconnect fault.
+
+    The paper's machine is built from many identical VLSI cells and
+    arrays, so defective cells and dead devices are the *expected*
+    failure mode.  :mod:`repro.faults` injects them deterministically;
+    the recovery layer retries, re-dispatches, and replans.  A
+    ``FaultError`` escaping to the caller means recovery was exhausted.
+    """
+
+
+class DeviceFaultError(FaultError):
+    """A systolic device failed while executing an operation.
+
+    ``device`` names the faulty array; ``quarantined`` is True when the
+    device exhausted its retry budget and has been removed from the
+    healthy roster (the signal for the pool to replan the query against
+    the surviving devices).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        device: str | None = None,
+        quarantined: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.device = device
+        self.quarantined = quarantined
+
+
+class DiskFaultError(FaultError):
+    """A base-relation read failed (bad sector, dead head, ...)."""
+
+
+class ShardFaultError(FaultError):
+    """A shard machine crashed while running its piece of a query."""
+
+
+class ExchangeFaultError(ShardFaultError):
+    """A cross-shard interconnect exchange dropped its payload."""
+
+
+class DeadlineError(ReproError):
+    """A query exceeded its deadline and was cancelled.
+
+    Raised by the engine pool when ``query_deadline`` (or the
+    ``REPRO_QUERY_DEADLINE`` environment variable) lapses before the
+    query finishes; the pool slot is freed so waiting queries proceed.
+    """
+
+
+class ServiceRetryableError(ReproError):
+    """A transient client-side service failure (timeout, lost socket).
+
+    The :class:`~repro.serve.client.ServiceClient` raises this after
+    tearing down a connection whose request/response stream can no
+    longer be trusted (a reply might otherwise be read as the answer to
+    the *next* request).  Safe to retry on a fresh connection.
+    """
+
+
+def error_class(kind: str) -> type[ReproError]:
+    """The :class:`ReproError` subclass named ``kind``.
+
+    The serve protocol encodes a server-side error's class name in the
+    response's ``kind`` field; clients re-raise the matching class so
+    ``AdmissionError``/``PlanError``/``SchemaError``/... survive the
+    wire.  Unknown or non-error names fall back to :class:`ReproError`.
+    """
+    candidate = globals().get(kind)
+    if (
+        isinstance(candidate, type)
+        and issubclass(candidate, ReproError)
+    ):
+        return candidate
+    return ReproError

@@ -28,7 +28,17 @@ from typing import Any, Iterable, Optional, Sequence
 
 from repro import obs
 from repro.arrays.decomposition import ArrayCapacity
-from repro.errors import CapacityError, PlanError
+from repro.errors import (
+    CapacityError,
+    DeviceFaultError,
+    DiskFaultError,
+    PlanError,
+)
+from repro.faults.recovery import (
+    DEFAULT_RETRY_POLICY,
+    cancellable_sleep,
+    retry_call,
+)
 from repro.obs import metrics
 from repro.machine.crossbar import CrossbarSwitch
 from repro.machine.device import CpuDevice, SystolicDevice
@@ -177,10 +187,24 @@ class PlanExecutor:
         state: MachineState,
         host_workers: Optional[int] = None,
         roster_fairness: bool = False,
+        faults=None,
+        cancel=None,
+        retry_policy=None,
+        fault_scope: str = "",
     ) -> None:
         self.state = state
         self.host_workers = host_workers
         self.roster_fairness = roster_fairness
+        #: Active :class:`~repro.faults.plan.FaultPlan` (None = no faults).
+        self.faults = faults
+        #: :class:`~repro.faults.recovery.CancelToken` polled at dispatch
+        #: boundaries (None = not cancellable).
+        self.cancel = cancel
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
+        #: Distinguishes fault sites across shards/queries sharing a plan.
+        self.fault_scope = fault_scope
 
     def run_physical(
         self,
@@ -281,16 +305,16 @@ class PlanExecutor:
                 seed[op.op_id] = state.resident[op.node.name][1]
             elif op.kind == OP_LOAD:
                 def load(resolved, op=op):
-                    return state.disk.read(op.base_name, selection=op.selection)
+                    return self._guarded_read(op)
 
                 thunks[op.op_id] = ((), load)
             else:
                 device = self._device(op.device)
                 deps = tuple(op.inputs)
 
-                def execute(resolved, node=op.node, device=device, deps=deps):
+                def execute(resolved, op=op, device=device, deps=deps):
                     inputs = [relation_of(resolved[d]) for d in deps]
-                    return device.execute(node, inputs)
+                    return self._guarded_execute(op, device, inputs)
 
                 thunks[op.op_id] = (deps, execute)
         task_spans: dict[int, Any] = {}
@@ -324,6 +348,89 @@ class PlanExecutor:
             return result
 
         return traced
+
+    # -- fault-aware dispatch --------------------------------------------------
+
+    def _guarded_read(self, op: PhysicalOp):
+        """One disk read, retried through the fault plan's injections.
+
+        Injection happens *here*, at the dispatch boundary and before
+        any span opens, so a failed attempt leaves no trace in the span
+        tree — recovered runs keep traces bit-identical to fault-free
+        runs.
+        """
+        state = self.state
+        if self.cancel is not None:
+            self.cancel.check()
+        if self.faults is None:
+            return state.disk.read(op.base_name, selection=op.selection)
+        faults = self.faults
+
+        def attempt():
+            fault = faults.disk_fault(op.base_name, scope=self.fault_scope)
+            if fault is not None:
+                raise fault
+            delay = faults.slowness("disk")
+            if delay:
+                cancellable_sleep(delay, self.cancel)
+            return state.disk.read(op.base_name, selection=op.selection)
+
+        return retry_call(
+            attempt,
+            policy=self.retry_policy,
+            site=f"disk:{self.fault_scope}:{op.op_id}",
+            plan=faults,
+            cancel=self.cancel,
+            retryable=(DiskFaultError,),
+        )
+
+    def _guarded_execute(self, op: PhysicalOp, device, inputs: list):
+        """One device execute, retried on the *same* planned device.
+
+        A transient fault heals under retry, so the recovered run made
+        exactly the dispatches the plan prescribed — results, timeline,
+        and spans all bit-identical to fault-free.  A device whose
+        budget exhausts is quarantined and the error re-raised as
+        *permanent* (``quarantined=True``): the pool's replan loop then
+        degrades gracefully onto the surviving roster.
+        """
+        if self.cancel is not None:
+            self.cancel.check()
+        if self.faults is None:
+            return device.execute(op.node, inputs)
+        faults = self.faults
+        blocks = op.block_runs or None
+
+        def attempt():
+            fault = faults.device_fault(
+                device.name, f"op{op.op_id}:{op.label}",
+                scope=self.fault_scope, blocks=blocks,
+            )
+            if fault is not None:
+                raise fault
+            delay = faults.slowness(device.name)
+            if delay:
+                cancellable_sleep(delay, self.cancel)
+            return device.execute(op.node, inputs)
+
+        try:
+            return retry_call(
+                attempt,
+                policy=self.retry_policy,
+                site=f"device:{self.fault_scope}:{op.op_id}",
+                plan=faults,
+                cancel=self.cancel,
+                retryable=(DeviceFaultError,),
+            )
+        except DeviceFaultError as exc:
+            faults.quarantine(device.name)
+            raise DeviceFaultError(
+                f"device {device.name!r} exhausted its retry budget of "
+                f"{self.retry_policy.attempts} on {op.label!r} and was "
+                f"quarantined",
+                device=device.name,
+                quarantined=True,
+            ) from exc
 
     # -- internals ------------------------------------------------------------
 

@@ -35,7 +35,9 @@ from typing import Callable, Optional, Sequence
 
 from repro import obs
 from repro.arrays.decomposition import ArrayCapacity
-from repro.errors import AdmissionError, PlanError
+from repro.config import env_float
+from repro.errors import AdmissionError, DeviceFaultError, PlanError
+from repro.faults.recovery import CancelToken, run_with_deadline
 from repro.obs import metrics
 from repro.machine.catalog import Catalog
 from repro.machine.crossbar import CrossbarSwitch
@@ -211,6 +213,8 @@ class EnginePool:
         max_concurrent: int = 4,
         admission_timeout: Optional[float] = 30.0,
         roster_fairness: bool = True,
+        faults=None,
+        query_deadline: Optional[float] = None,
     ) -> None:
         from repro.machine.system import DEFAULT_DEVICES  # avoid cycle
 
@@ -229,6 +233,17 @@ class EnginePool:
             capacity, technology, backend,
         )
         self._roster_fingerprint = roster_fingerprint(self.devices)
+        #: Active :class:`~repro.faults.plan.FaultPlan` (None = no faults).
+        self.faults = faults
+        #: Per-query wall-clock budget; a query that outlives it is
+        #: cancelled with :class:`~repro.errors.DeadlineError` and its
+        #: slot freed.  Defaults to ``REPRO_QUERY_DEADLINE`` (unset =
+        #: no deadline).
+        self.query_deadline = (
+            query_deadline
+            if query_deadline is not None
+            else env_float("REPRO_QUERY_DEADLINE", None, minimum=0.0)
+        )
         self.plan_cache = PlanCache(plan_cache_size)
         self.gate = AdmissionGate(max_concurrent, admission_timeout)
         self._lock = threading.Lock()
@@ -308,6 +323,7 @@ class EnginePool:
         arrivals: Optional[Sequence[float]] = None,
         pipeline: bool = True,
         use_cache: bool = True,
+        devices: Optional[Sequence] = None,
     ) -> PhysicalPlan:
         """Lower logical plans against a tenant's catalog.
 
@@ -315,7 +331,9 @@ class EnginePool:
         (not its tenant or version counter), so two tenants whose
         catalogs agree on names, placement, cardinalities, and schemas
         share entries — the cross-tenant reuse the serving layer is
-        for.
+        for.  ``devices`` plans against a reduced roster (the recovery
+        path after a quarantine); its fingerprint keys the cache, so
+        degraded plans never collide with full-roster plans.
         """
         if isinstance(plans, PlanNode):
             plans = [plans]
@@ -324,7 +342,7 @@ class EnginePool:
             "machine.compile", plans=len(plans), pipeline=bool(pipeline),
             tenant=catalog.tenant,
         ) as sp:
-            view = _PlannerView(self, catalog)
+            view = _PlannerView(self, catalog, devices)
             if not use_cache or self.plan_cache.maxsize == 0:
                 physical = PhysicalPlanner(view).compile(
                     plans, arrivals, pipeline=pipeline
@@ -336,7 +354,8 @@ class EnginePool:
                 tuple(arrivals) if arrivals is not None else None,
                 bool(pipeline),
                 catalog.content_fingerprint(),
-                self._roster_fingerprint,
+                self._roster_fingerprint if devices is None
+                else roster_fingerprint(devices),
             )
             cached = self.plan_cache.get(key)
             if cached is not None:
@@ -351,29 +370,44 @@ class EnginePool:
 
     # -- execution ---------------------------------------------------------
 
-    def fresh_state(self, catalog: Catalog) -> MachineState:
+    def fresh_state(
+        self, catalog: Catalog, devices: Optional[Sequence] = None
+    ) -> MachineState:
         """A private simulated machine for one query.
 
         Fresh memories, crossbar, and resident placement (preloads in
         catalog order, emptiest module first) — byte-for-byte the state
         a fresh single-tenant machine would present, which is what
         makes pooled execution bit-identical to running alone.  Only
-        the (pure) devices are shared.
+        the (pure) devices are shared.  ``devices`` substitutes a
+        reduced roster (recovery after a quarantine).
         """
+        roster = list(devices) if devices is not None else self.devices
         memories = [
             MemoryModule(f"mem{m}", capacity_bytes=self.memory_bytes)
             for m in range(self.memory_count)
         ]
         crossbar = CrossbarSwitch(
             [m.name for m in memories],
-            [d.name for d in self.devices] + ["disk"],
+            [d.name for d in roster] + ["disk"],
         )
         state = MachineState(
-            self.element_bits, catalog.disk, memories, self.devices, crossbar
+            self.element_bits, catalog.disk, memories, roster, crossbar
         )
         for name, relation in catalog.preloaded():
             place_resident(state, name, relation)
         return state
+
+    def healthy_devices(self) -> Optional[list]:
+        """The non-quarantined roster, or None when all devices are
+        healthy (the common case keeps the precomputed fingerprint and
+        the full-roster plan-cache entries)."""
+        if self.faults is None:
+            return None
+        quarantined = set(self.faults.quarantined())
+        if not quarantined:
+            return None
+        return [d for d in self.devices if d.name not in quarantined]
 
     def execute(
         self,
@@ -396,27 +430,116 @@ class EnginePool:
             plans = [plans]
         self.gate.acquire(priority=priority, timeout=timeout)
         started = time.perf_counter()
+        cancel = CancelToken() if self.query_deadline is not None else None
         try:
-            with obs.span(
-                "service.query", tenant=catalog.tenant, plans=len(plans),
-                priority=priority,
-            ) as sp:
-                physical = self.compile(
-                    catalog, plans, arrivals, pipeline=pipeline
-                )
-                executor = PlanExecutor(
-                    self.fresh_state(catalog),
-                    host_workers=self.host_workers,
-                    roster_fairness=self.roster_fairness,
-                )
-                results, report = executor.run_physical(
-                    physical, parallel=parallel
-                )
-                sp.set(makespan_ms=report.makespan * 1e3)
+            results, report = run_with_deadline(
+                lambda: self._run_admitted(
+                    catalog, plans, arrivals, pipeline, parallel, priority,
+                    cancel,
+                ),
+                self.query_deadline,
+                cancel=cancel,
+                label=f"query[{catalog.tenant}]",
+            )
         finally:
+            # Freed even when the deadline fires: the cancelled worker
+            # holds only a fresh private MachineState, so releasing the
+            # slot before it unwinds cannot corrupt shared resources.
             self.gate.release()
         self.record_query(catalog.tenant, time.perf_counter() - started)
         return results, report
+
+    def _run_admitted(
+        self,
+        catalog: Catalog,
+        plans: Sequence[PlanNode],
+        arrivals: Optional[Sequence[float]],
+        pipeline: bool,
+        parallel: bool,
+        priority: int,
+        cancel: Optional[CancelToken],
+    ) -> tuple[list[Relation], ExecutionReport]:
+        """Compile and run one admitted query, replanning around
+        quarantined devices — graceful degradation to fewer (slower)
+        devices rather than failure."""
+        replans = 0
+        while True:
+            physical: Optional[PhysicalPlan] = None
+            devices = self.healthy_devices()
+            try:
+                with obs.span(
+                    "service.query", tenant=catalog.tenant,
+                    plans=len(plans), priority=priority,
+                ) as sp:
+                    try:
+                        physical = self.compile(
+                            catalog, plans, arrivals, pipeline=pipeline,
+                            devices=devices,
+                        )
+                    except PlanError as exc:
+                        if devices is None:
+                            raise
+                        # device=None marks this permanent wrapper as
+                        # non-replannable below.
+                        raise DeviceFaultError(
+                            f"no healthy device can run the plan after "
+                            f"quarantining "
+                            f"{self.faults.quarantined()}",
+                            quarantined=True,
+                        ) from exc
+                    executor = PlanExecutor(
+                        self.fresh_state(catalog, devices=devices),
+                        host_workers=self.host_workers,
+                        roster_fairness=self.roster_fairness,
+                        faults=self.faults,
+                        cancel=cancel,
+                        fault_scope=catalog.tenant,
+                    )
+                    results, report = executor.run_physical(
+                        physical, parallel=parallel
+                    )
+                    sp.set(makespan_ms=report.makespan * 1e3)
+                return results, report
+            except DeviceFaultError as exc:
+                if (
+                    not exc.quarantined
+                    or exc.device is None
+                    or replans >= len(self.devices)
+                ):
+                    raise
+                replans += 1
+                metrics.inc("faults.replans")
+                if physical is not None:
+                    self._count_redispatches(
+                        catalog, plans, arrivals, pipeline, physical
+                    )
+
+    def _count_redispatches(
+        self,
+        catalog: Catalog,
+        plans: Sequence[PlanNode],
+        arrivals: Optional[Sequence[float]],
+        pipeline: bool,
+        previous: PhysicalPlan,
+    ) -> None:
+        """Count ops whose device changed in the post-quarantine replan
+        (``faults.redispatches`` — the visible cost of degradation)."""
+        devices = self.healthy_devices()
+        if devices is None:
+            return
+        try:
+            replanned = self.compile(
+                catalog, plans, arrivals, pipeline=pipeline, devices=devices
+            )
+        except PlanError:
+            return  # the replan loop will surface this properly
+        moved = sum(
+            1
+            for old, new in zip(previous.ops, replanned.ops)
+            if old.device != new.device
+        )
+        if moved:
+            metrics.inc("faults.redispatches", moved)
 
     # -- accounting --------------------------------------------------------
 
@@ -452,6 +575,10 @@ class EnginePool:
             "tenant_queries": self.tenant_stats(),
             "plan_cache": self.plan_cache_info(),
             "admission": self.gate.stats(),
+            "query_deadline": self.query_deadline,
+            "faults": (
+                self.faults.snapshot() if self.faults is not None else None
+            ),
         }
 
     def __repr__(self) -> str:
@@ -472,10 +599,15 @@ class _PlannerView:
     (all the pool's modules are identical).
     """
 
-    def __init__(self, pool: EnginePool, catalog: Catalog) -> None:
+    def __init__(
+        self,
+        pool: EnginePool,
+        catalog: Catalog,
+        devices: Optional[Sequence] = None,
+    ) -> None:
         self.disk = catalog.disk
         self.element_bits = pool.element_bits
-        self.devices = pool.devices
+        self.devices = list(devices) if devices is not None else pool.devices
         self.memories = [
             MemoryModule("mem0", capacity_bytes=pool.memory_bytes)
         ]

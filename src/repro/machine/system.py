@@ -32,7 +32,7 @@ from typing import Optional, Sequence
 from repro import obs
 from repro.arrays.decomposition import ArrayCapacity
 from repro.config import env_flag
-from repro.errors import CapacityError, PlanError
+from repro.errors import CapacityError, DeviceFaultError, PlanError
 from repro.obs import metrics
 from repro.machine.crossbar import CrossbarSwitch
 from repro.machine.disk import MachineDisk
@@ -86,6 +86,7 @@ class SystolicDatabaseMachine:
         backend=None,
         host_workers: Optional[int] = None,
         plan_cache_size: int = 64,
+        faults=None,
     ) -> None:
         if memories < 2:
             raise CapacityError(
@@ -112,7 +113,11 @@ class SystolicDatabaseMachine:
             element_bits, machine_disk, machine_memories, machine_devices,
             crossbar,
         )
-        self._executor = PlanExecutor(self._state, host_workers=host_workers)
+        #: Active :class:`~repro.faults.plan.FaultPlan` (None = no faults).
+        self.faults = faults
+        self._executor = PlanExecutor(
+            self._state, host_workers=host_workers, faults=faults
+        )
         if plan_cache_size < 0:
             raise PlanError(
                 f"plan_cache_size must be >= 0, got {plan_cache_size}"
@@ -273,9 +278,59 @@ class SystolicDatabaseMachine:
         compute overlaps on threads unless ``parallel=False`` (or the
         ``REPRO_MACHINE_PARALLEL`` environment variable disables it);
         results and reports are identical either way.
+
+        With a :class:`~repro.faults.plan.FaultPlan` attached, transient
+        device/disk faults are retried in place; a device that exhausts
+        its retry budget is quarantined and the transaction replanned
+        against the surviving roster (graceful degradation).  A
+        compute-phase failure mutates no persistent state — memories
+        and crossbar windows only change during replay — so the replan
+        re-executes from a clean slate.
         """
-        physical = self.compile(plans, arrivals, pipeline=pipeline)
-        return self.run_physical(physical, parallel=parallel)
+        replans = 0
+        previous: Optional[PhysicalPlan] = None
+        while True:
+            quarantined = (
+                set(self.faults.quarantined()) if self.faults else set()
+            )
+            if quarantined:
+                healthy = [
+                    d for d in self.devices if d.name not in quarantined
+                ]
+                try:
+                    # Bypass the cache: its key carries the full-roster
+                    # fingerprint, and degraded plans must not collide.
+                    physical = PhysicalPlanner(
+                        _HealthyView(self, healthy)
+                    ).compile(plans, arrivals, pipeline=pipeline)
+                except PlanError as exc:
+                    raise DeviceFaultError(
+                        f"no healthy device can run the plan after "
+                        f"quarantining {sorted(quarantined)}",
+                        quarantined=True,
+                    ) from exc
+                if previous is not None:
+                    moved = sum(
+                        1
+                        for old, new in zip(previous.ops, physical.ops)
+                        if old.device != new.device
+                    )
+                    if moved:
+                        metrics.inc("faults.redispatches", moved)
+            else:
+                physical = self.compile(plans, arrivals, pipeline=pipeline)
+            try:
+                return self.run_physical(physical, parallel=parallel)
+            except DeviceFaultError as exc:
+                if (
+                    not exc.quarantined
+                    or exc.device is None
+                    or replans >= len(self.devices)
+                ):
+                    raise
+                replans += 1
+                previous = physical
+                metrics.inc("faults.replans")
 
     def run_physical(
         self,
@@ -307,3 +362,15 @@ class SystolicDatabaseMachine:
         return (
             f"SystolicDatabaseMachine({len(self.memories)} memories; {kinds})"
         )
+
+
+class _HealthyView:
+    """The machine surface the planner sees after a quarantine: the
+    same disk, memories, and residents, minus the dead devices."""
+
+    def __init__(self, machine: SystolicDatabaseMachine, devices) -> None:
+        self.disk = machine.disk
+        self.element_bits = machine.element_bits
+        self.devices = devices
+        self.memories = machine.memories
+        self._resident = machine._resident

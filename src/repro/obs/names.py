@@ -12,9 +12,11 @@ its kind and a one-line meaning.  The table is a *contract*:
   updating the docs (or vice versa) fails CI.
 
 Naming convention: ``layer.subject.event`` with layers ``lang``,
-``machine``, ``device``, ``engine``, ``service``, ``shard`` (lowest to
-highest frequency; ``service`` is the multi-tenant engine-pool/serving
-layer, ``shard`` the cross-machine partitioned-execution layer).
+``machine``, ``device``, ``engine``, ``service``, ``shard``, and
+``faults`` (lowest to highest frequency; ``service`` is the
+multi-tenant engine-pool/serving layer, ``shard`` the cross-machine
+partitioned-execution layer, ``faults`` the fault-injection/recovery
+layer that cuts across all of them).
 """
 
 from __future__ import annotations
@@ -39,6 +41,23 @@ METRICS: dict[str, tuple[str, str]] = {
         HISTOGRAM, "pulses per engine run (every engine alike)"),
     "engine.runs": (
         COUNTER, "array plans executed by any engine"),
+    "faults.backoff_seconds": (
+        HISTOGRAM, "host seconds slept backing off before each retry"),
+    "faults.deadline_cancels": (
+        COUNTER, "queries cancelled at their deadline by the engine pool"),
+    "faults.exchange_resends": (
+        COUNTER, "dropped interconnect exchanges re-sent by the shard layer"),
+    "faults.injected": (
+        COUNTER, "faults injected by the active FaultPlan (all kinds)"),
+    "faults.quarantines": (
+        COUNTER, "devices quarantined after exhausting their retry budget"),
+    "faults.redispatches": (
+        COUNTER, "ops whose device assignment changed in a recovery replan"),
+    "faults.replans": (
+        COUNTER, "queries re-planned against a reduced healthy roster"),
+    "faults.retries": (
+        COUNTER, "recovery retries across device, disk, shard, and service "
+                 "layers"),
     "lang.optimize.calls": (
         COUNTER, "logical-plan optimizer invocations"),
     "lang.parse.calls": (

@@ -15,6 +15,7 @@ query     ``expr`` (algebra text), optional ``pipeline``, ``priority``,
           ``timeout`` — compile and run through the pool
 stats     — pool snapshot (tenants, per-tenant counts, cache, gate)
 ping      — liveness probe
+health    — heartbeat: gate occupancy, deadline, fault-plan ledger
 bye       — close the connection after acknowledging
 ========  =============================================================
 
@@ -40,11 +41,15 @@ from repro.relational.relation import Relation
 from repro.relational.schema import Column, Schema
 
 __all__ = [
+    "MAX_LINE_BYTES",
     "decode_line",
     "encode_line",
     "relation_from_wire",
     "relation_to_wire",
 ]
+
+#: Longest accepted protocol line (a stored relation rides in one line).
+MAX_LINE_BYTES = 32 * 1024 * 1024
 
 
 def encode_line(payload: dict[str, Any]) -> bytes:
@@ -53,9 +58,24 @@ def encode_line(payload: dict[str, Any]) -> bytes:
 
 
 def decode_line(line: bytes | str) -> dict[str, Any]:
-    """Parse one protocol line; raises :class:`ReproError` when malformed."""
+    """Parse one protocol line; raises :class:`ReproError` when malformed.
+
+    Oversized lines (> :data:`MAX_LINE_BYTES`) are refused before any
+    JSON parsing — the same bound the server's stream reader enforces,
+    so a hostile or corrupted peer cannot buffer unbounded input.
+    """
     if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ReproError(
+                f"protocol line of {len(line)} bytes exceeds the "
+                f"{MAX_LINE_BYTES}-byte limit"
+            )
         line = line.decode("utf-8", errors="replace")
+    elif len(line) > MAX_LINE_BYTES:
+        raise ReproError(
+            f"protocol line of {len(line)} characters exceeds the "
+            f"{MAX_LINE_BYTES}-byte limit"
+        )
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:

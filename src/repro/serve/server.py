@@ -19,16 +19,14 @@ from repro.lang import optimize, parse
 from repro.machine.pool import EnginePool
 from repro.relational.csv_io import DomainRegistry
 from repro.serve.protocol import (
+    MAX_LINE_BYTES,
     decode_line,
     encode_line,
     relation_from_wire,
     relation_to_wire,
 )
 
-__all__ = ["ReproServer"]
-
-#: Longest accepted request line (a stored relation rides in one line).
-MAX_LINE_BYTES = 32 * 1024 * 1024
+__all__ = ["ReproServer", "MAX_LINE_BYTES"]
 
 
 class ReproServer:
@@ -159,6 +157,25 @@ class ReproServer:
             return {"ok": True, "bye": True}, tenant, True
         if op == "stats":
             return {"ok": True, "stats": self.pool.stats()}, tenant, False
+        if op == "health":
+            # The heartbeat: cheap enough to probe every few seconds —
+            # gate occupancy, the per-query deadline, and the fault
+            # plan's injection/retry ledger when chaos is active.
+            pool = self.pool
+            return (
+                {
+                    "ok": True,
+                    "status": "ok",
+                    "admission": pool.gate.stats(),
+                    "query_deadline": pool.query_deadline,
+                    "shards": self.shards,
+                    "faults": (
+                        pool.faults.snapshot()
+                        if pool.faults is not None else None
+                    ),
+                },
+                tenant, False,
+            )
         if op == "store" or op == "preload":
             name = request.get("name")
             if not isinstance(name, str) or not name:

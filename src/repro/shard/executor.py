@@ -31,6 +31,14 @@ from itertools import chain
 from typing import Optional, Sequence
 
 from repro import obs
+from repro.errors import DeviceFaultError, ShardFaultError
+from repro.faults.recovery import (
+    DEFAULT_RETRY_POLICY,
+    CancelToken,
+    cancellable_sleep,
+    retry_call,
+    run_with_deadline,
+)
 from repro.machine.catalog import Catalog
 from repro.machine.execution import PlanExecutor
 from repro.machine.inference import infer_schema
@@ -186,53 +194,75 @@ class ShardedExecutor:
         pool = self.pool
         pool.gate.acquire(priority=priority, timeout=timeout)
         started = time.perf_counter()
+        cancel = CancelToken() if pool.query_deadline is not None else None
         try:
-            with obs.span(
-                "service.query", tenant=self.catalog.tenant,
-                plans=len(plans), priority=priority, shards=self.shards,
-            ) as sp:
-                sharded = self.plan(plans)
-                lanes = self._lanes()
-                report = ShardedExecutionReport(
-                    shards=self.shards, exchanges=list(sharded.exchanges),
-                )
-                offset = 0.0
-                for index, step in enumerate(sharded.exchanges):
-                    with obs.span(
-                        "shard.stage", stage=index, kind=step.kind,
-                        relation=step.name,
-                    ):
-                        outcomes = self._run_stage(
-                            lanes, [step.plan], None, pipeline, parallel
-                        )
-                        pieces = self._redistribute(
-                            step, [res[0] for res, _ in outcomes]
-                        )
-                        for lane, piece in zip(lanes, pieces):
-                            lane.preload(step.name, piece)
-                    offset = self._fold_stage(
-                        report, outcomes, offset, step
-                    )
-                with obs.span("shard.stage", stage="final"):
-                    outcomes = self._run_stage(
-                        lanes, sharded.roots, arrivals, pipeline, parallel
-                    )
-                self._fold_stage(report, outcomes, offset, None)
-                report.shard_reports = [rep for _, rep in outcomes]
-                results = self._merge(
-                    sharded.roots, [res for res, _ in outcomes]
-                )
-                if sharded.local_joins:
-                    metrics.inc("shard.local_joins", sharded.local_joins)
-                sp.set(
-                    makespan_ms=report.makespan * 1e3,
-                    exchanges=len(sharded.exchanges),
-                )
+            results, report = run_with_deadline(
+                lambda: self._run_admitted(
+                    plans, arrivals, pipeline, parallel, priority, cancel
+                ),
+                pool.query_deadline,
+                cancel=cancel,
+                label=f"query[{self.catalog.tenant}]",
+            )
         finally:
             pool.gate.release()
         pool.record_query(
             self.catalog.tenant, time.perf_counter() - started
         )
+        return results, report
+
+    def _run_admitted(
+        self,
+        plans: Sequence[PlanNode],
+        arrivals: Optional[Sequence[float]],
+        pipeline: bool,
+        parallel: bool,
+        priority: int,
+        cancel: Optional[CancelToken],
+    ) -> tuple[list[Relation], ShardedExecutionReport]:
+        with obs.span(
+            "service.query", tenant=self.catalog.tenant,
+            plans=len(plans), priority=priority, shards=self.shards,
+        ) as sp:
+            sharded = self.plan(plans)
+            lanes = self._lanes()
+            report = ShardedExecutionReport(
+                shards=self.shards, exchanges=list(sharded.exchanges),
+            )
+            offset = 0.0
+            for index, step in enumerate(sharded.exchanges):
+                with obs.span(
+                    "shard.stage", stage=index, kind=step.kind,
+                    relation=step.name,
+                ):
+                    outcomes = self._run_stage(
+                        lanes, [step.plan], None, pipeline, parallel,
+                        stage_key=f"stage{index}", cancel=cancel,
+                    )
+                    pieces = self._exchange(
+                        step, [res[0] for res, _ in outcomes], cancel
+                    )
+                    for lane, piece in zip(lanes, pieces):
+                        lane.preload(step.name, piece)
+                offset = self._fold_stage(
+                    report, outcomes, offset, step
+                )
+            with obs.span("shard.stage", stage="final"):
+                outcomes = self._run_stage(
+                    lanes, sharded.roots, arrivals, pipeline, parallel,
+                    stage_key="final", cancel=cancel,
+                )
+            self._fold_stage(report, outcomes, offset, None)
+            report.shard_reports = [rep for _, rep in outcomes]
+            results = self._merge(
+                sharded.roots, [res for res, _ in outcomes]
+            )
+            if sharded.local_joins:
+                metrics.inc("shard.local_joins", sharded.local_joins)
+            sp.set(
+                makespan_ms=report.makespan * 1e3,
+                exchanges=len(sharded.exchanges),
+            )
         return results, report
 
     # -- stages ------------------------------------------------------------
@@ -258,6 +288,8 @@ class ShardedExecutor:
         arrivals: Optional[Sequence[float]],
         pipeline: bool,
         parallel: bool,
+        stage_key: str = "final",
+        cancel: Optional[CancelToken] = None,
     ) -> list[tuple[list[Relation], ExecutionReport]]:
         """Run one stage's plans on every shard; returns shard-ordered
         ``(results, report)`` pairs.
@@ -266,28 +298,87 @@ class ShardedExecutor:
         the machine uses for its thunks; each shard's subtree is a
         detached ``shard.run`` span adopted back in shard order, so the
         trace (like the results) is independent of thread timing.
+
+        A shard machine that crashes (an injected
+        :class:`ShardFaultError`) is re-run with bounded backoff; the
+        crash is injected *before* its ``shard.run`` span opens and a
+        crashed attempt's span is never adopted, so a recovered run's
+        trace — like its results and timeline, which re-execute the
+        identical pure stage — is bit-identical to a fault-free run.
+        A shard that quarantines a device replans against the pool's
+        surviving roster, same as an unsharded query.
         """
         pool = self.pool
+        faults = pool.faults
         spans: dict[int, object] = {}
+        compiled: dict[int, object] = {}
 
         def shard_thunk(index: int):
             lane = lanes[index]
 
-            def run(_resolved) -> tuple[list[Relation], ExecutionReport]:
+            def run_once() -> tuple[list[Relation], ExecutionReport]:
+                devices = pool.healthy_devices()
                 with obs.detached("shard.run", shard=index) as sp:
                     physical = pool.compile(
-                        lane, plans, arrivals, pipeline=pipeline
+                        lane, plans, arrivals, pipeline=pipeline,
+                        devices=devices,
                     )
+                    previous = compiled.get(index)
+                    if previous is not None and previous is not physical:
+                        # A degraded recompile: count the ops a replan
+                        # moved onto surviving devices.
+                        moved = sum(
+                            1 for old, new in zip(previous.ops, physical.ops)
+                            if old.device != new.device
+                        )
+                        if moved:
+                            metrics.inc("faults.redispatches", moved)
+                    compiled[index] = physical
                     executor = PlanExecutor(
-                        pool.fresh_state(lane),
+                        pool.fresh_state(lane, devices=devices),
                         host_workers=pool.host_workers,
                         roster_fairness=pool.roster_fairness,
+                        faults=faults,
+                        cancel=cancel,
+                        fault_scope=f"{self.catalog.tenant}/shard{index}",
                     )
                     outcome = executor.run_physical(
                         physical, parallel=parallel
                     )
                 spans[index] = sp
                 return outcome
+
+            def attempt() -> tuple[list[Relation], ExecutionReport]:
+                if faults is not None:
+                    fault = faults.shard_fault(index, stage_key)
+                    if fault is not None:
+                        raise fault
+                return run_once()
+
+            def run(_resolved) -> tuple[list[Relation], ExecutionReport]:
+                if faults is None and cancel is None:
+                    return run_once()
+                replans = 0
+                while True:
+                    try:
+                        return retry_call(
+                            attempt,
+                            policy=DEFAULT_RETRY_POLICY,
+                            site=f"shard:{index}:{stage_key}",
+                            plan=faults,
+                            cancel=cancel,
+                            retryable=(ShardFaultError,),
+                        )
+                    except DeviceFaultError as exc:
+                        if (
+                            faults is None
+                            or not exc.quarantined
+                            or exc.device is None
+                            or replans >= len(pool.devices)
+                        ):
+                            raise
+                        replans += 1
+                        metrics.inc("faults.replans")
 
             return run
 
@@ -301,6 +392,42 @@ class ShardedExecutor:
             if span is not None:
                 obs.adopt(span)
         return [resolved[i] for i in range(len(lanes))]
+
+    def _exchange(
+        self,
+        step: ExchangeStep,
+        pieces: list[Relation],
+        cancel: Optional[CancelToken],
+    ) -> list[Relation]:
+        """Redistribute, re-sending exchanges the fault plan drops.
+
+        A dropped exchange loses its payload in flight; the source
+        shards still hold their stage results, so the re-send replays
+        :meth:`_redistribute` over the identical pieces — same buckets,
+        same broadcast, bit-identical downstream state.  Re-sends are
+        counted in ``faults.exchange_resends``; the composed timeline
+        charges the exchange once (the *recovered* transfer), exactly
+        as a fault-free run would.
+        """
+        faults = self.pool.faults
+        if faults is None:
+            return self._redistribute(step, pieces)
+        policy = DEFAULT_RETRY_POLICY
+        for attempt in range(1, policy.attempts + 1):
+            if cancel is not None:
+                cancel.check()
+            fault = faults.exchange_fault(step.name)
+            if fault is None:
+                if attempt > 1:
+                    metrics.inc("faults.exchange_resends", attempt - 1)
+                return self._redistribute(step, pieces)
+            if attempt == policy.attempts:
+                raise fault
+            faults.note_retry()
+            delay = policy.delay(attempt, f"exchange:{step.name}")
+            metrics.observe("faults.backoff_seconds", delay)
+            cancellable_sleep(delay, cancel)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _redistribute(
         self, step: ExchangeStep, pieces: list[Relation]

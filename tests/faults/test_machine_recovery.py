@@ -1,0 +1,162 @@
+"""Recovery through the machine and pool: bit-identity, quarantine,
+graceful degradation, and deadlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import DeadlineError, DeviceFaultError
+from repro.faults import parse_faults
+from repro.machine import Base, EnginePool, Join, SystolicDatabaseMachine
+from repro.machine.plan import (
+    DEVICE_COMPARISON,
+    DEVICE_DIVISION,
+    DEVICE_JOIN,
+)
+from repro.workloads import join_pair
+
+#: A roster with a spare join array — quarantine can degrade onto it.
+REDUNDANT = (
+    (DEVICE_COMPARISON, 1), (DEVICE_JOIN, 2), (DEVICE_DIVISION, 1),
+)
+
+
+def _machine(faults=None, devices=None):
+    kwargs = {"faults": faults}
+    if devices is not None:
+        kwargs["devices"] = devices
+    machine = SystolicDatabaseMachine(**kwargs)
+    a, b = join_pair(30, 24, 8, seed=13)
+    machine.store("A", a)
+    machine.store("B", b)
+    return machine
+
+
+def _plans():
+    return [Join(Base("A"), Base("B"), on=((0, 0),))]
+
+
+def _traced_run(machine):
+    tracer = obs.start(obs.Tracer())
+    try:
+        results, report = machine.run_many(_plans())
+    finally:
+        obs.stop()
+    steps = [
+        (s.label, s.device, s.start, s.end) for s in report.steps
+    ]
+    return results, steps, [root.structure() for root in tracer.roots]
+
+
+class TestTransientRecovery:
+    def test_device_and_disk_faults_recover_bit_identically(self):
+        clean = _traced_run(_machine())
+        faults = parse_faults("device:join0:2,disk:A:1", seed=5)
+        faulted = _traced_run(_machine(faults=faults))
+        assert faulted[0] == clean[0]       # results
+        assert faulted[1] == clean[1]       # timeline steps
+        assert faulted[2] == clean[2]       # span structures
+        assert faults.injected == 3
+        assert faults.retries == 3
+        assert faults.quarantined() == []
+
+    def test_block_fault_recovers(self):
+        clean = _traced_run(_machine())
+        faults = parse_faults("block:join0:0:1", seed=5)
+        faulted = _traced_run(_machine(faults=faults))
+        assert faulted == clean
+        assert faults.injected == 1
+
+
+class TestQuarantineAndReplan:
+    def test_killed_device_degrades_onto_the_spare(self):
+        clean_results, _, _ = _traced_run(_machine(devices=REDUNDANT))
+        faults = parse_faults("device:join0:kill", seed=5)
+        results, _, _ = _traced_run(
+            _machine(faults=faults, devices=REDUNDANT)
+        )
+        assert results == clean_results
+        assert faults.quarantined() == ["join0"]
+        assert faults.injected > 0
+
+    def test_killing_the_only_capable_device_fails_permanently(self):
+        # The CPU only runs selections: with a single join array dead,
+        # no healthy roster can compile the plan (docs/ROBUSTNESS.md).
+        faults = parse_faults("device:join0:kill", seed=5)
+        machine = _machine(faults=faults)
+        with pytest.raises(DeviceFaultError) as caught:
+            machine.run_many(_plans())
+        assert caught.value.quarantined
+        assert faults.quarantined() == ["join0"]
+
+
+class TestPoolRecovery:
+    def _pool(self, faults=None, **kwargs):
+        pool = EnginePool(faults=faults, **kwargs)
+        catalog = pool.catalog("acme")
+        a, b = join_pair(30, 24, 8, seed=13)
+        catalog.store("A", a)
+        catalog.store("B", b)
+        return pool, catalog
+
+    def test_pool_recovers_transient_faults(self):
+        pool, catalog = self._pool()
+        (expected,), _ = pool.execute(catalog, _plans()[0])
+        faults = parse_faults("device:join0:1,disk:B:1", seed=2)
+        chaos_pool, chaos_catalog = self._pool(faults=faults)
+        (result,), _ = chaos_pool.execute(chaos_catalog, _plans()[0])
+        assert result == expected
+        assert faults.injected == 2
+        assert chaos_pool.stats()["faults"]["retries"] == 2
+
+    def test_pool_replans_around_a_killed_device(self):
+        pool, catalog = self._pool(devices=REDUNDANT)
+        (expected,), _ = pool.execute(catalog, _plans()[0])
+        faults = parse_faults("device:join0:kill", seed=2)
+        chaos_pool, chaos_catalog = self._pool(
+            faults=faults, devices=REDUNDANT
+        )
+        (result,), _ = chaos_pool.execute(chaos_catalog, _plans()[0])
+        assert result == expected
+        assert faults.quarantined() == ["join0"]
+        # The degraded pool keeps serving: a second query replans
+        # straight onto the healthy roster.
+        (again,), _ = chaos_pool.execute(chaos_catalog, _plans()[0])
+        assert again == expected
+
+
+class TestDeadline:
+    def test_hung_query_is_cancelled_and_the_slot_freed(self):
+        faults = parse_faults("slow:join0:30", seed=0)
+        pool = EnginePool(faults=faults, query_deadline=0.3)
+        catalog = pool.catalog("acme")
+        a, b = join_pair(30, 24, 8, seed=13)
+        catalog.store("A", a)
+        catalog.store("B", b)
+        with pytest.raises(DeadlineError, match="deadline"):
+            pool.execute(catalog, _plans()[0])
+        # The admission slot came back: an immediate acquire succeeds.
+        pool.gate.acquire(timeout=0.0)
+        pool.gate.release()
+        assert pool.stats()["query_deadline"] == 0.3
+
+    def test_generous_deadline_leaves_queries_untouched(self):
+        pool = EnginePool(query_deadline=30.0)
+        catalog = pool.catalog("acme")
+        a, b = join_pair(30, 24, 8, seed=13)
+        catalog.store("A", a)
+        catalog.store("B", b)
+        (result,), _ = pool.execute(catalog, _plans()[0])
+        reference = EnginePool()
+        ref_catalog = reference.catalog("acme")
+        ref_catalog.store("A", a)
+        ref_catalog.store("B", b)
+        (expected,), _ = reference.execute(ref_catalog, _plans()[0])
+        assert result == expected
+
+    def test_deadline_env_var_configures_the_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUERY_DEADLINE", "2.5")
+        assert EnginePool().query_deadline == 2.5
+        monkeypatch.delenv("REPRO_QUERY_DEADLINE")
+        assert EnginePool().query_deadline is None

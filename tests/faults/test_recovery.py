@@ -1,0 +1,156 @@
+"""Recovery primitives: RetryPolicy, CancelToken, retry_call, deadlines."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlineError,
+    DiskFaultError,
+    FaultError,
+    ReproError,
+)
+from repro.faults import (
+    CancelToken,
+    RetryPolicy,
+    parse_faults,
+    retry_call,
+    run_with_deadline,
+)
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_seconds=0.01, cap_seconds=0.05, multiplier=2.0, jitter=0.0,
+        )
+        assert policy.delay(1) == 0.01
+        assert policy.delay(2) == 0.02
+        assert policy.delay(3) == 0.04
+        assert policy.delay(4) == 0.05   # capped
+        assert policy.delay(10) == 0.05
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_seconds=0.01, jitter=0.5)
+        first = policy.delay(1, "site-a")
+        assert policy.delay(1, "site-a") == first
+        assert 0.005 <= first <= 0.01
+        # Different sites de-synchronize.
+        assert {policy.delay(1, f"site-{i}") for i in range(8)} != {first}
+
+
+class TestRetryCall:
+    def test_recovers_after_transient_failures(self):
+        plan = parse_faults("disk:R:2")
+        calls = []
+
+        def attempt():
+            calls.append(1)
+            fault = plan.disk_fault("R")
+            if fault is not None:
+                raise fault
+            return "recovered"
+
+        policy = RetryPolicy(attempts=4, base_seconds=0.0, jitter=0.0)
+        assert retry_call(
+            attempt, policy=policy, site="disk:R", plan=plan,
+            retryable=(DiskFaultError,),
+        ) == "recovered"
+        assert len(calls) == 3
+        assert plan.retries == 2
+
+    def test_exhaustion_reraises_the_last_failure(self):
+        failures = [DiskFaultError(f"attempt {i}") for i in range(3)]
+        pending = iter(failures)
+
+        def attempt():
+            raise next(pending)
+
+        policy = RetryPolicy(attempts=3, base_seconds=0.0, jitter=0.0)
+        with pytest.raises(DiskFaultError) as caught:
+            retry_call(attempt, policy=policy, retryable=(DiskFaultError,))
+        assert caught.value is failures[2]
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def attempt():
+            calls.append(1)
+            raise ReproError("not a fault")
+
+        with pytest.raises(ReproError, match="not a fault"):
+            retry_call(attempt, retryable=(FaultError,))
+        assert len(calls) == 1
+
+    def test_cancelled_token_stops_the_loop(self):
+        cancel = CancelToken()
+        cancel.cancel("deadline hit")
+        with pytest.raises(DeadlineError, match="deadline hit"):
+            retry_call(lambda: "never", cancel=cancel)
+
+
+class TestCancelToken:
+    def test_check_raises_after_cancel(self):
+        token = CancelToken()
+        token.check()                      # not cancelled: no-op
+        assert not token.cancelled()
+        token.cancel("budget lapsed")
+        assert token.cancelled()
+        with pytest.raises(DeadlineError, match="budget lapsed"):
+            token.check()
+
+    def test_sleep_wakes_on_cancel(self):
+        token = CancelToken()
+        timer = threading.Timer(0.05, token.cancel)
+        timer.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(DeadlineError):
+                token.sleep(10.0)
+        finally:
+            timer.cancel()
+        assert time.monotonic() - started < 2.0
+
+
+class TestRunWithDeadline:
+    def test_none_deadline_runs_inline(self):
+        caller = threading.get_ident()
+        seen = {}
+
+        def fn():
+            seen["thread"] = threading.get_ident()
+            return 42
+
+        assert run_with_deadline(fn, None) == 42
+        assert seen["thread"] == caller
+
+    def test_result_and_errors_pass_through_the_worker(self):
+        assert run_with_deadline(lambda: "value", 5.0) == "value"
+
+        def boom():
+            raise ReproError("worker failed")
+
+        with pytest.raises(ReproError, match="worker failed"):
+            run_with_deadline(boom, 5.0)
+
+    def test_timeout_cancels_and_raises_deadline_error(self):
+        token = CancelToken()
+        stopped = threading.Event()
+
+        def hung():
+            try:
+                token.sleep(30.0)
+            except DeadlineError:
+                stopped.set()
+                raise
+
+        started = time.monotonic()
+        with pytest.raises(DeadlineError, match="deadline"):
+            run_with_deadline(hung, 0.1, cancel=token, label="test")
+        assert time.monotonic() - started < 5.0
+        assert token.cancelled()
+        # The cooperative worker notices the cancel and winds down.
+        assert stopped.wait(2.0)

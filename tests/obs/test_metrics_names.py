@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import AdmissionError, ReproError
+from repro.errors import AdmissionError, DeadlineError, ReproError
+from repro.faults import parse_faults
 from repro.lang import optimize, parse
 from repro.machine import Base, EnginePool, Join
+from repro.machine.plan import (
+    DEVICE_COMPARISON,
+    DEVICE_DIVISION,
+    DEVICE_JOIN,
+)
 from repro.obs import COUNTER, GAUGE, HISTOGRAM, METRICS, MetricsRegistry, metrics
 from repro.workloads import join_pair
 
@@ -76,6 +82,7 @@ class TestDeclaredNames:
     def test_names_are_layer_prefixed(self):
         prefixes = (
             "machine.", "device.", "engine.", "lang.", "service.", "shard.",
+            "faults.",
         )
         for name in METRICS:
             assert name.startswith(prefixes), name
@@ -127,6 +134,42 @@ class TestDeclaredNames:
             Join(Base("R"), Base("S"), on=((1, 1),)),
             Join(Base("R"), Base("S"), on=((1, 1),), ops=("<=",)),
         ])
+
+        # The fault/recovery layer: a transient device fault retried
+        # in place plus a dropped exchange re-sent (injected, retries,
+        # backoff_seconds, exchange_resends), a killed device
+        # quarantined and replanned around (quarantines, replans,
+        # redispatches), and a hung query cancelled at its deadline
+        # (deadline_cancels) — the eight faults.* metrics.
+        chaos = parse_faults("device:join0:1,exchange:*:1", seed=1)
+        chaos_pool = EnginePool(faults=chaos)
+        chaos_session = chaos_pool.session("acme", shards=2)
+        chaos_session.store("R", a)
+        chaos_session.store("S", b)
+        chaos_session.run_many([Join(Base("R"), Base("S"), on=((1, 1),))])
+
+        kill = parse_faults("device:join0:kill", seed=1)
+        kill_pool = EnginePool(
+            devices=(
+                (DEVICE_COMPARISON, 1), (DEVICE_JOIN, 2),
+                (DEVICE_DIVISION, 1),
+            ),
+            faults=kill,
+        )
+        kill_catalog = kill_pool.catalog("acme")
+        kill_catalog.store("R", a)
+        kill_catalog.store("S", b)
+        kill_pool.execute(kill_catalog, join_project_plan())
+
+        hung = EnginePool(
+            faults=parse_faults("slow:join0:5", seed=1),
+            query_deadline=0.2,
+        )
+        hung_catalog = hung.catalog("acme")
+        hung_catalog.store("R", a)
+        hung_catalog.store("S", b)
+        with pytest.raises(DeadlineError):
+            hung.execute(hung_catalog, join_project_plan())
 
         collected = metrics.collected_names()
         missing = set(METRICS) - collected

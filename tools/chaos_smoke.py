@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI chaos gate: a fixed-seed fault plan over a sharded, multi-tenant
+run must recover **bit-identically** — results, timeline steps, and
+span structures equal to the fault-free run — with a nonzero fault
+ledger (docs/ROBUSTNESS.md).
+
+Run:  PYTHONPATH=src python tools/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs
+from repro.faults import parse_faults
+from repro.machine import Base, EnginePool, Join
+from repro.obs import metrics
+from repro.workloads import join_pair
+
+TENANTS = ("acme", "blue")
+SHARDS = 3
+#: Every transient fault kind, fixed seed: device faults, a disk-read
+#: error, shard crashes, and dropped interconnect exchanges.
+SPEC = "device:join0:1,device:comparison0:1,disk:R:1,shard:1:2,exchange:*:2"
+SEED = 42
+
+
+def run_cluster(faults=None):
+    """All tenants' (results, steps, span structures), one pool."""
+    pool = EnginePool(faults=faults)
+    observed = {}
+    for tenant in TENANTS:
+        session = pool.session(tenant, shards=SHARDS)
+        a, b = join_pair(48, 36, 12, seed=7)
+        session.store("R", a, key="key")
+        session.store("S", b, key="key")
+        plans = [
+            Join(Base("R"), Base("S"), on=(("key", "key"),)),  # local
+            Join(Base("R"), Base("S"), on=((1, 1),)),          # re-partition
+        ]
+        tracer = obs.start(obs.Tracer())
+        try:
+            results, report = session.run_many(plans)
+        finally:
+            obs.stop()
+        observed[tenant] = (
+            results,
+            [(s.label, s.device, s.start, s.end) for s in report.steps],
+            [root.structure() for root in tracer.roots],
+        )
+    return observed
+
+
+def main() -> int:
+    clean = run_cluster()
+
+    metrics.reset()
+    metrics.enable()
+    try:
+        faults = parse_faults(SPEC, seed=SEED)
+        chaos = run_cluster(faults=faults)
+        injected = metrics.counter("faults.injected")
+        retries = metrics.counter("faults.retries")
+    finally:
+        metrics.disable()
+
+    failures = []
+    for tenant in TENANTS:
+        labels = ("results", "timeline steps", "span structures")
+        for label, got, want in zip(labels, chaos[tenant], clean[tenant]):
+            if got != want:
+                failures.append(
+                    f"tenant {tenant!r}: {label} diverged under faults"
+                )
+    if injected == 0:
+        failures.append(f"fault plan {SPEC!r} injected nothing")
+    if retries == 0:
+        failures.append("recovery never retried — faults were not exercised")
+    if faults.quarantined():
+        failures.append(
+            f"transient-only plan quarantined {faults.quarantined()}"
+        )
+
+    print(
+        f"chaos smoke: {len(TENANTS)} tenants x {SHARDS} shards, "
+        f"spec {SPEC!r} seed {SEED}"
+    )
+    print(f"  {faults.summary()}")
+    print(f"  metrics: faults.injected={injected} faults.retries={retries}")
+    if failures:
+        for failure in failures:
+            print(f"  FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "  recovered bit-identically: results, timelines, and span "
+        "structures all match the fault-free run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
