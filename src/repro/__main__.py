@@ -128,6 +128,15 @@ class _Observation:
         print(f"  {'total':<{width}}  {total * 1e3:>9.3f} ms")
 
 
+def _store_dir(args: argparse.Namespace) -> str | None:
+    """``--store-dir``, defaulting to $REPRO_STORE_DIR when set."""
+    import os
+
+    from repro.store import STORE_DIR_ENV
+
+    return getattr(args, "store_dir", None) or os.environ.get(STORE_DIR_ENV)
+
+
 def _fault_plan(args: argparse.Namespace):
     """The ``--faults`` plan, or None when chaos is off."""
     spec = getattr(args, "faults", None)
@@ -165,9 +174,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         args.machine
         or getattr(args, "shards", 1) > 1
         or getattr(args, "faults", None)
+        or getattr(args, "store_dir", None)
     ):
-        # sharding and fault injection are properties of the simulated
-        # machine cluster, so --shards/--faults imply the machine path
+        # sharding, fault injection, and persistent storage are
+        # properties of the simulated machine, so --shards/--faults/
+        # --store-dir imply the machine path
         return _run_on_machine(args)
     with _Observation(args) as observed:
         with observed.stage("load"):
@@ -206,6 +217,11 @@ def _run_on_machine(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 faults=faults,
             )
+            store_dir = _store_dir(args)
+            if store_dir:
+                from repro.store import RelationStore
+
+                machine.attach_store(RelationStore(store_dir))
             for name, relation in catalog.items():
                 machine.store(name, relation)
         with observed.stage("parse"):
@@ -252,6 +268,10 @@ def _run_sharded(args: argparse.Namespace) -> int:
 
     if getattr(args, "logic_per_track", False):
         print("--logic-per-track is a single-disk feature; it cannot be "
+              "combined with --shards")
+        return 2
+    if getattr(args, "store_dir", None):
+        print("--store-dir is a single-machine feature; it cannot be "
               "combined with --shards")
         return 2
     faults = _fault_plan(args)
@@ -350,6 +370,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server = ReproServer(
             pool, host=args.host, port=args.port,
             shards=args.shards, shard_strategy=args.shard_strategy,
+            store_dir=_store_dir(args),
         )
         host, port = await server.start()
         print(f"serving on {host}:{port}", flush=True)
@@ -462,6 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "(probability rules; default 0)",
         )
 
+    def store_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store-dir", metavar="DIR", default=None,
+            help="attach a persistent columnar relation store rooted at "
+                 "DIR (docs/STORAGE.md): stored relations are queryable "
+                 "by name, selections prune chunks through the grid "
+                 "index during the disk read (default: $REPRO_STORE_DIR)",
+        )
+
     def obs_options(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--trace", metavar="FILE",
@@ -493,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     backend_option(query)
     shard_options(query)
     fault_options(query)
+    store_option(query)
     query.set_defaults(handler=_cmd_query)
 
     machine = sub.add_parser(
@@ -514,6 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
     backend_option(machine)
     shard_options(machine)
     fault_options(machine)
+    store_option(machine)
     machine.set_defaults(handler=_cmd_machine)
 
     selftest = sub.add_parser(
@@ -572,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     backend_option(serve)
     shard_options(serve)
     fault_options(serve)
+    store_option(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     trace = sub.add_parser(

@@ -57,6 +57,16 @@ class ConfigError(ReproError):
     """A configuration value (environment variable, knob) is malformed."""
 
 
+class StoreError(ReproError):
+    """The persistent relation store hit bad data or a bad request.
+
+    Raised for malformed relation names, values outside the store's
+    64-bit on-disk element width, non-serialisable domains, and corrupt
+    or missing manifests.  Timing-model misuse stays :class:`PlanError`;
+    this branch is about the bytes on the host filesystem.
+    """
+
+
 class AdmissionError(ReproError):
     """The engine pool refused a query under backpressure.
 

@@ -24,11 +24,14 @@ entries even though they never share data.
 from __future__ import annotations
 
 import threading
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import PlanError
 from repro.machine.disk import MachineDisk
 from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.store import RelationStore
 
 __all__ = ["Catalog"]
 
@@ -74,6 +77,31 @@ class Catalog:
             self._preloaded[name] = relation
             self._version += 1
 
+    def attach_store(self, store: "RelationStore") -> None:
+        """Back the tenant's disk with a persistent relation store."""
+        with self._lock:
+            self.disk.attach_store(store)
+            self._version += 1
+
+    def persist(self, name: str, relation: Relation, **write_kwargs) -> None:
+        """Write a relation through to the attached persistent store.
+
+        Unlike :meth:`store` the tuples land on the host filesystem —
+        the relation survives process restarts and is read back chunk
+        by chunk (with index pruning) at query time.  ``write_kwargs``
+        pass through to :meth:`repro.store.RelationStore.write`
+        (``chunk_rows``, ``index_columns``).
+        """
+        with self._lock:
+            store = self.disk.backing_store
+            if store is None:
+                raise PlanError(
+                    f"catalog {self.tenant!r} has no persistent store "
+                    f"attached; call attach_store first"
+                )
+            store.write(name, relation, **write_kwargs)
+            self._version += 1
+
     # -- inspection --------------------------------------------------------
 
     @property
@@ -116,24 +144,29 @@ class Catalog:
 
         Covers the disk's timing model and on-track-logic flag plus,
         per relation: name, placement (disk vs memory-resident),
-        cardinality, and schema (column and domain names).  Two
-        catalogs with equal fingerprints compile any logical plan to
-        the same physical plan, which is what lets the pool's plan
+        cardinality, and schema (column and domain names).  When a
+        persistent store is attached, its per-relation manifest digests
+        ride along, so rewriting stored bytes (new data, chunking, or
+        index) invalidates cached plans even at unchanged cardinality.
+        Two catalogs with equal fingerprints compile any logical plan
+        to the same physical plan, which is what lets the pool's plan
         cache be shared *across* tenants.
         """
 
-        def schema_of(relation: Relation) -> tuple:
-            schema = relation.schema
+        def schema_key(schema) -> tuple:
             return tuple(
                 (name, domain.name)
                 for name, domain in zip(schema.names, schema.domains)
             )
 
+        def schema_of(relation: Relation) -> tuple:
+            return schema_key(relation.schema)
+
         with self._lock:
             stored = tuple(
-                (name, "disk", len(rel), schema_of(rel))
+                (name, "disk", rows, schema_key(schema))
                 for name in sorted(self.disk.names())
-                for rel in (self.disk.relation(name),)
+                for rows, _, schema in (self.disk.profile(name),)
             )
             resident = tuple(
                 (name, "memory", len(rel), schema_of(rel))
@@ -144,6 +177,7 @@ class Catalog:
                 self.disk.logic_per_track,
                 stored,
                 resident,
+                self.disk.store_fingerprint(),
             )
 
     def __repr__(self) -> str:

@@ -6,18 +6,30 @@ reads at rotation rate).  "Disks with 'logic-per-track' capabilities
 queries never have to be processed outside the disks" — with
 ``logic_per_track=True``, a selection predicate is applied *during* the
 read at no extra cost and only matching tuples leave the disk.
+
+A :class:`~repro.store.RelationStore` may be attached to back the disk
+with real out-of-core storage: store-resident relations are read chunk
+by chunk, and a selection prunes chunks through the store's grid index
+before any byte moves — the read is billed only for the surviving
+chunks' tuples under this disk's timing model.  A store-backed
+selection behaves like logic-per-track (the predicate rides the read)
+regardless of the ``logic_per_track`` flag, because the store applies
+it while scanning anyway.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import PlanError
 from repro.obs import metrics
 from repro.perf.disk import DiskModel, PAPER_DISK
 from repro.relational.algebra import COMPARISON_OPS
 from repro.relational.relation import Relation
-from repro.relational.schema import ColumnRef
+from repro.relational.schema import ColumnRef, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.store import RelationStore, StoredRelation
 
 __all__ = ["MachineDisk"]
 
@@ -35,33 +47,88 @@ class MachineDisk:
         self.logic_per_track = logic_per_track
         self.element_bits = element_bits
         self._catalog: dict[str, Relation] = {}
+        self._store: Optional["RelationStore"] = None
 
     # -- catalog --------------------------------------------------------------
 
     def store(self, name: str, relation: Relation) -> None:
-        """Write (or overwrite) a base relation."""
+        """Write (or overwrite) a base relation (in-memory population)."""
         if not name:
             raise PlanError("a stored relation requires a name")
         self._catalog[name] = relation
 
+    def attach_store(self, store: "RelationStore") -> None:
+        """Back this disk with a persistent columnar relation store.
+
+        Store-resident relations become queryable by name; an in-memory
+        :meth:`store` under the same name shadows the persistent copy.
+        """
+        self._store = store
+
+    @property
+    def backing_store(self) -> Optional["RelationStore"]:
+        """The attached :class:`~repro.store.RelationStore`, if any."""
+        return self._store
+
     def names(self) -> list[str]:
-        """Names of stored relations."""
-        return sorted(self._catalog)
+        """Names of stored relations (in-memory and store-backed)."""
+        known = set(self._catalog)
+        if self._store is not None:
+            known.update(self._store.names())
+        return sorted(known)
 
     def holds(self, name: str) -> bool:
         """Whether a base relation exists."""
-        return name in self._catalog
+        return name in self._catalog or (
+            self._store is not None and self._store.holds(name)
+        )
+
+    def store_backed(self, name: str) -> bool:
+        """Whether reads of ``name`` stream from the persistent store."""
+        return (
+            name not in self._catalog
+            and self._store is not None
+            and self._store.holds(name)
+        )
+
+    def stored_handle(self, name: str) -> "StoredRelation":
+        """The store's read handle for a store-backed relation."""
+        if not self.store_backed(name):
+            raise PlanError(
+                f"relation {name!r} is not store-backed on this disk"
+            )
+        return self._store.open(name)
+
+    def profile(self, name: str) -> tuple[int, int, Schema]:
+        """(cardinality, arity, schema) without materialising tuples.
+
+        The physical planner and the catalog fingerprint size base
+        relations through this, so a million-tuple store-backed
+        relation never has to be decoded just to be *costed*.
+        """
+        if name in self._catalog:
+            relation = self._catalog[name]
+            return len(relation), relation.arity, relation.schema
+        if self.store_backed(name):
+            handle = self._store.open(name)
+            return handle.rows, handle.arity, handle.schema
+        raise PlanError(
+            f"no base relation named {name!r}; have {self.names()}"
+        )
 
     def relation(self, name: str) -> Relation:
         """The stored relation itself, without modelling a timed read.
 
         The physical planner uses this to learn exact base sizes and
         schemas while costing a plan; :meth:`read` remains the only way
-        data *moves* off the disk.
+        data *moves* off the disk.  For store-backed relations this
+        materialises every chunk — prefer :meth:`profile` for sizing.
         """
         try:
             return self._catalog[name]
         except KeyError:
+            if self.store_backed(name):
+                return self._store.open(name).read().relation
             raise PlanError(
                 f"no base relation named {name!r}; have {self.names()}"
             ) from None
@@ -71,6 +138,20 @@ class MachineDisk:
         if len(relation) == 0:
             return 0
         return len(relation) * relation.arity * ((self.element_bits + 7) // 8)
+
+    def _tuple_bytes(self, rows: int, arity: int) -> int:
+        return rows * arity * ((self.element_bits + 7) // 8)
+
+    def store_fingerprint(self) -> tuple:
+        """(name, manifest digest) pairs of the attached store.
+
+        Folded into :meth:`Catalog.content_fingerprint`: rewriting a
+        stored relation changes its manifest digest, so plans compiled
+        against the old chunking/index/data stop matching the cache.
+        """
+        if self._store is None:
+            return ()
+        return self._store.fingerprint()
 
     # -- reading ---------------------------------------------------------------
 
@@ -82,11 +163,20 @@ class MachineDisk:
         """Stream a base relation off the disk; returns (relation, seconds).
 
         The read time covers the *full* stored relation (every tuple
-        passes under the head).  With logic-per-track, ``selection`` —
-        a ``(column, op, value)`` predicate — filters tuples on the
-        fly; without it, requesting a selection here is an error (route
-        it to the CPU instead).
+        passes under the head) — unless the relation is store-backed,
+        in which case a selection prunes chunks via the grid index and
+        only the surviving chunks' tuples are billed.  With
+        logic-per-track, ``selection`` — a ``(column, op, value)``
+        predicate — filters tuples on the fly; without either, a
+        selection here is an error (route it to the CPU instead).
         """
+        if self.store_backed(name):
+            scan = self._store.open(name).read(selection)
+            metrics.inc("machine.disk.reads")
+            seconds = self.model.read_seconds(
+                self._tuple_bytes(scan.rows_scanned, scan.relation.arity)
+            )
+            return scan.relation, seconds
         try:
             relation = self._catalog[name]
         except KeyError:
@@ -100,7 +190,8 @@ class MachineDisk:
         if not self.logic_per_track:
             raise PlanError(
                 "selection during read requires a logic-per-track disk "
-                "(§9, ref [8]); this disk has none"
+                "(§9, ref [8]) or a store-backed relation; this disk has "
+                "neither"
             )
         column, op, value = selection
         compare = COMPARISON_OPS.get(op)
@@ -115,4 +206,8 @@ class MachineDisk:
 
     def __repr__(self) -> str:
         track = "logic-per-track, " if self.logic_per_track else ""
-        return f"MachineDisk({track}{len(self._catalog)} relations)"
+        backed = (
+            f" + store({len(self._store.names())})"
+            if self._store is not None else ""
+        )
+        return f"MachineDisk({track}{len(self._catalog)} relations{backed})"

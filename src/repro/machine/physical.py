@@ -48,6 +48,7 @@ from repro.machine.plan import (
 )
 from repro.perf.cost import (
     OpCost,
+    ScanCost,
     bit_comparison_cost,
     comparison_cost,
     division_cost,
@@ -235,6 +236,9 @@ class PhysicalOp:
     selection: Optional[tuple] = None
     fused_select: Optional[PlanNode] = None
     base_name: Optional[str] = None
+    #: store-backed loads only: the §8 chunk pruning the grid index
+    #: predicted for this read (explain's ``chunks k/N pruned``).
+    scan: Optional[ScanCost] = None
     est_start: float = 0.0
     est_end: float = 0.0
 
@@ -425,31 +429,53 @@ class PhysicalPlanner:
         return count
 
     def _fused_selects(self, order, parent_count):
-        """§9/[8]: single-parent Select-over-Base rides the disk read."""
+        """§9/[8]: single-parent Select-over-Base rides the disk read.
+
+        Fusable on a logic-per-track disk (the predicate evaluates
+        on-track) and on store-backed relations (the store applies the
+        predicate while scanning the chunks its grid index could not
+        prune — the selection never leaves the storage layer).
+        """
+        disk = self.machine.disk
+        store_backed = getattr(disk, "store_backed", None)
         fused: dict[int, Select] = {}
-        if self.machine.disk.logic_per_track:
-            for node in order:
-                if (
-                    isinstance(node, Select)
-                    and isinstance(node.child, Base)
-                    and parent_count.get(id(node.child), 0) == 1
-                ):
-                    fused[id(node.child)] = node
+        for node in order:
+            if not (
+                isinstance(node, Select)
+                and isinstance(node.child, Base)
+                and parent_count.get(id(node.child), 0) == 1
+            ):
+                continue
+            if disk.logic_per_track or (
+                store_backed is not None and store_backed(node.child.name)
+            ):
+                fused[id(node.child)] = node
         return fused
 
     # -- catalog estimates -----------------------------------------------------
 
     def _base_catalog(self):
-        """name → (schema, cardinality) for every reachable base relation."""
+        """name → (schema, cardinality) for every reachable base relation.
+
+        Sizes come from :meth:`MachineDisk.profile`, which answers from
+        the store manifest for store-backed relations — costing a plan
+        never materialises out-of-core tuples.
+        """
         schemas, cards = {}, {}
         for name, (_, relation, _, _) in self.machine._resident.items():
             schemas[name] = relation.schema
             cards[name] = len(relation)
-        for name in self.machine.disk.names():
+        disk = self.machine.disk
+        profile = getattr(disk, "profile", None)
+        for name in disk.names():
             if name not in schemas:
-                relation = self.machine.disk.relation(name)
-                schemas[name] = relation.schema
-                cards[name] = len(relation)
+                if profile is not None:
+                    rows, _, schema = profile(name)
+                else:
+                    relation = disk.relation(name)
+                    rows, schema = len(relation), relation.schema
+                schemas[name] = schema
+                cards[name] = rows
         return schemas, cards
 
     # -- device assignment -------------------------------------------------------
@@ -498,26 +524,59 @@ class PhysicalPlanner:
                 if select is None and node.name in loaded_bases:
                     op_of_node[id(node)] = loaded_bases[node.name]
                     continue
-                stored = machine.disk.relation(node.name)
-                read_seconds = machine.disk.model.read_seconds(
-                    machine.disk.relation_bytes(stored)
+                base_rows, base_arity, _ = (
+                    machine.disk.profile(node.name)
+                    if hasattr(machine.disk, "profile")
+                    else (
+                        len(machine.disk.relation(node.name)),
+                        machine.disk.relation(node.name).arity,
+                        None,
+                    )
                 )
+                disk_elem = (machine.disk.element_bits + 7) // 8
                 if select is not None:
-                    rows = estimate_rows(select, {node.name: len(stored)})
+                    rows = estimate_rows(select, {node.name: base_rows})
                     label = f"load {select.describe()}"
                     selection = (select.column, select.op, select.value)
                 else:
-                    rows = len(stored)
+                    rows = base_rows
                     label = f"load {node.name}"
                     selection = None
+                scan = None
+                if getattr(machine.disk, "store_backed", None) and (
+                    machine.disk.store_backed(node.name)
+                ):
+                    handle = machine.disk.stored_handle(node.name)
+                    if selection is not None:
+                        chunk_ids = handle.select_chunks(*selection)
+                    else:
+                        chunk_ids = list(range(handle.n_chunks))
+                    rows_scanned = sum(
+                        handle.chunks[i].rows for i in chunk_ids
+                    )
+                    scan = ScanCost(
+                        chunks_total=handle.n_chunks,
+                        chunks_read=len(chunk_ids),
+                        rows_scanned=rows_scanned,
+                        nbytes=rows_scanned * base_arity * disk_elem,
+                    )
+                    read_seconds = machine.disk.model.read_seconds(scan.nbytes)
+                    label += (
+                        f" [chunks {scan.chunks_read}/{scan.chunks_total}, "
+                        f"{scan.chunks_pruned} pruned]"
+                    )
+                else:
+                    read_seconds = machine.disk.model.read_seconds(
+                        base_rows * base_arity * disk_elem
+                    )
                 op = add(PhysicalOp(
                     op_id=op_id, node=node, kind=OP_LOAD, device="disk",
                     inputs=(), release=release[id(node)], label=label,
                     est_rows_out=rows,
-                    est_bytes_out=est_bytes(rows, stored.arity),
+                    est_bytes_out=est_bytes(rows, base_arity),
                     est_seconds=read_seconds,
                     selection=selection, fused_select=select,
-                    base_name=node.name,
+                    base_name=node.name, scan=scan,
                 ))
                 if select is not None:
                     op_of_node[id(select)] = op.op_id

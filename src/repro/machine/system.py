@@ -170,6 +170,18 @@ class SystolicDatabaseMachine:
         self.disk.store(name, relation)
         self._catalog_version += 1
 
+    def attach_store(self, store) -> None:
+        """Back the machine's disk with a persistent relation store.
+
+        Every relation held by the :class:`~repro.store.RelationStore`
+        becomes queryable by name; selections over them prune chunks
+        through the store's grid index during the disk read.  Bumps the
+        catalog version so previously cached plans recompile against
+        the store-backed sizes.
+        """
+        self.disk.attach_store(store)
+        self._catalog_version += 1
+
     def preload(self, name: str, relation: Relation) -> None:
         """Place a relation directly in a memory module, ready at time 0.
 

@@ -12,11 +12,12 @@ its kind and a one-line meaning.  The table is a *contract*:
   updating the docs (or vice versa) fails CI.
 
 Naming convention: ``layer.subject.event`` with layers ``lang``,
-``machine``, ``device``, ``engine``, ``service``, ``shard``, and
-``faults`` (lowest to highest frequency; ``service`` is the
-multi-tenant engine-pool/serving layer, ``shard`` the cross-machine
-partitioned-execution layer, ``faults`` the fault-injection/recovery
-layer that cuts across all of them).
+``machine``, ``device``, ``engine``, ``service``, ``shard``,
+``store``, and ``faults`` (lowest to highest frequency; ``service`` is
+the multi-tenant engine-pool/serving layer, ``shard`` the
+cross-machine partitioned-execution layer, ``store`` the out-of-core
+columnar relation store, ``faults`` the fault-injection/recovery layer
+that cuts across all of them).
 """
 
 from __future__ import annotations
@@ -103,6 +104,14 @@ METRICS: dict[str, tuple[str, str]] = {
                    "the final relation"),
     "shard.repartition_tuples": (
         COUNTER, "tuples that changed shard during re-partition exchanges"),
+    "store.bytes_read": (
+        COUNTER, "host bytes read off columnar chunk files"),
+    "store.chunks_pruned": (
+        COUNTER, "chunks skipped by the grid index / zone maps on a read"),
+    "store.chunks_read": (
+        COUNTER, "columnar chunks actually scanned by store reads"),
+    "store.index_probes": (
+        COUNTER, "grid-directory probes answering selection predicates"),
 }
 
 __all__ = ["COUNTER", "GAUGE", "HISTOGRAM", "METRICS"]

@@ -34,6 +34,7 @@ from repro.systolic.engine.schedule import (
 __all__ = [
     "OpCost",
     "ExchangeCost",
+    "ScanCost",
     "SHARD_LINK_BYTES_PER_SECOND",
     "block_spans",
     "comparison_cost",
@@ -254,6 +255,37 @@ class ExchangeCost:
 
 
 _NO_EXCHANGE = ExchangeCost(tuples=0, nbytes=0, seconds=0.0)
+
+
+@dataclass(frozen=True)
+class ScanCost:
+    """Predicted cost of one store-backed base-relation scan.
+
+    The storage-layer analogue of :class:`OpCost`: ``chunks_total`` is
+    the relation's §8 block count on the persistent store,
+    ``chunks_read`` how many survive index/zone-map pruning for the
+    scan's predicate, ``rows_scanned``/``nbytes`` the tuples and bytes
+    those surviving chunks stream under the machine's disk model.  The
+    physical planner attaches one to each pruned load op so
+    ``explain()`` can show ``chunks k/N pruned`` next to the predicted
+    read time.
+    """
+
+    chunks_total: int
+    chunks_read: int
+    rows_scanned: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.chunks_read <= self.chunks_total):
+            raise ReproError(f"inconsistent scan chunk counts: {self}")
+        if self.rows_scanned < 0 or self.nbytes < 0:
+            raise ReproError(f"scan cost must be non-negative: {self}")
+
+    @property
+    def chunks_pruned(self) -> int:
+        """Chunks the grid index / zone maps skipped entirely."""
+        return self.chunks_total - self.chunks_read
 
 
 def _element_bytes(element_bits: int) -> int:

@@ -139,17 +139,24 @@ class ServiceClient:
         relation: Relation,
         key: Optional[str] = None,
         replicate: bool = False,
+        persist: bool = False,
     ) -> dict[str, Any]:
         """Put a base relation on this tenant's disk(s).
 
         ``key`` and ``replicate`` direct placement when the server runs
         sharded (``repro serve --shards N``); an unsharded server
-        ignores them.
+        ignores them.  ``persist=True`` writes the relation through to
+        the server's columnar store (``repro serve --store-dir DIR``),
+        so it survives server restarts and is chunk-pruned at query
+        time; a server without a persistence root refuses it.
         """
-        return self._request(self._placed({
+        payload = self._placed({
             "op": "store", "name": name,
             "relation": relation_to_wire(relation),
-        }, key, replicate))
+        }, key, replicate)
+        if persist:
+            payload["persist"] = True
+        return self._request(payload)
 
     def preload(
         self,

@@ -12,12 +12,15 @@ from __future__ import annotations
 
 import asyncio
 import functools
-from typing import Any, Optional
+import re
+from pathlib import Path
+from typing import Any, Optional, Union
 
 from repro.errors import ReproError
 from repro.lang import optimize, parse
 from repro.machine.pool import EnginePool
 from repro.relational.csv_io import DomainRegistry
+from repro.store import RelationStore
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     decode_line,
@@ -27,6 +30,9 @@ from repro.serve.protocol import (
 )
 
 __all__ = ["ReproServer", "MAX_LINE_BYTES"]
+
+#: Tenants of a persistent server become directory names.
+_TENANT_DIR_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]*$")
 
 
 class ReproServer:
@@ -45,6 +51,7 @@ class ReproServer:
         port: int = 0,
         shards: int = 1,
         shard_strategy: str = "hash",
+        store_dir: Union[str, Path, None] = None,
         **pool_kwargs: Any,
     ) -> None:
         self.pool = pool if pool is not None else EnginePool(**pool_kwargs)
@@ -55,6 +62,11 @@ class ReproServer:
         #: honours the optional ``key``/``replicate`` request fields.
         self.shards = shards
         self.shard_strategy = shard_strategy
+        #: persistence root: each tenant gets ``store_dir/<tenant>`` as
+        #: a :class:`~repro.store.RelationStore` attached to its
+        #: catalog, and ``store`` requests may set ``persist: true`` —
+        #: persisted relations survive server restarts.
+        self.store_dir = Path(store_dir) if store_dir is not None else None
         self._sessions: dict[str, Any] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set[asyncio.Task] = set()
@@ -149,7 +161,7 @@ class ReproServer:
         op = request.get("op")
         if op == "hello":
             tenant = str(request.get("tenant", "default"))
-            self.pool.catalog(tenant)  # materialize eagerly
+            self._catalog(tenant)  # materialize eagerly
             return {"ok": True, "tenant": tenant}, tenant, False
         if op == "ping":
             return {"ok": True, "pong": True}, tenant, False
@@ -183,6 +195,19 @@ class ReproServer:
             relation = relation_from_wire(
                 request.get("relation"), self._registry(tenant)
             )
+            persist = bool(request.get("persist", False))
+            if persist and op != "store":
+                raise ReproError("persist applies to 'store', not 'preload'")
+            if persist and self.shards > 1:
+                raise ReproError(
+                    "persist is not supported on a sharded server "
+                    "(relations are partitioned across shard machines)"
+                )
+            if persist and self.store_dir is None:
+                raise ReproError(
+                    "this server has no persistence root; start it with "
+                    "store_dir= (CLI: repro serve --store-dir DIR)"
+                )
             if self.shards > 1:
                 session = self._session(tenant)
                 placement = {
@@ -194,13 +219,16 @@ class ReproServer:
                 else:
                     session.preload(name, relation, **placement)
             else:
-                catalog = self.pool.catalog(tenant)
-                if op == "store":
+                catalog = self._catalog(tenant)
+                if persist:
+                    catalog.persist(name, relation)
+                elif op == "store":
                     catalog.store(name, relation)
                 else:
                     catalog.preload(name, relation)
             return (
-                {"ok": True, "name": name, "rows": len(relation)},
+                {"ok": True, "name": name, "rows": len(relation),
+                 "persisted": persist},
                 tenant, False,
             )
         if op == "query":
@@ -220,7 +248,7 @@ class ReproServer:
             else:
                 call = functools.partial(
                     self.pool.execute,
-                    self.pool.catalog(tenant),
+                    self._catalog(tenant),
                     plan,
                     pipeline=bool(request.get("pipeline", True)),
                     priority=int(request.get("priority", 0)),
@@ -241,6 +269,27 @@ class ReproServer:
 
     def _registry(self, tenant: str) -> DomainRegistry:
         return self._registries.setdefault(tenant, {})
+
+    def _catalog(self, tenant: str):
+        """The tenant's catalog, store-attached when persistence is on.
+
+        Attaching is idempotent and happens on first touch, so a
+        freshly restarted server sees every relation a previous process
+        persisted under ``store_dir/<tenant>`` without any replay.
+        """
+        catalog = self.pool.catalog(tenant)
+        if (
+            self.store_dir is not None
+            and catalog.disk.backing_store is None
+        ):
+            if not _TENANT_DIR_RE.match(tenant):
+                raise ReproError(
+                    f"tenant {tenant!r} is not filesystem-safe; a "
+                    f"persistent server needs tenants matching "
+                    f"{_TENANT_DIR_RE.pattern}"
+                )
+            catalog.attach_store(RelationStore(self.store_dir / tenant))
+        return catalog
 
     def _session(self, tenant: str):
         """The tenant's sharded session (server-lifetime, lazily made)."""

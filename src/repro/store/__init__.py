@@ -1,0 +1,38 @@
+"""Out-of-core columnar relation storage with grid-file indexing.
+
+``repro.store`` is the persistence layer under the Fig 9-1 machine's
+disk: relations live on the host filesystem as chunked column-major
+binary files plus a JSON manifest, and a grid-file directory
+(:class:`~repro.store.grid.GridIndex`) lets equality/range selections
+resolve to a chunk subset before a single byte is read — §8's block
+decomposition applied to storage, with pruning happening *ahead* of the
+arrays.  :class:`~repro.machine.disk.MachineDisk` attaches a
+:class:`RelationStore` to make stored relations queryable; the physical
+planner costs pruned reads and ``explain()`` shows the pruning.
+
+See ``docs/STORAGE.md`` for the on-disk layout and a worked
+grid-directory example.
+"""
+
+from repro.store.columnar import (
+    DEFAULT_CHUNK_ROWS,
+    MANIFEST_VERSION,
+    STORE_DIR_ENV,
+    RelationStore,
+    StoredRelation,
+    StoreScan,
+)
+from repro.store.grid import GridIndex, build_scales, cell_coords, cluster_order
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "MANIFEST_VERSION",
+    "STORE_DIR_ENV",
+    "RelationStore",
+    "StoredRelation",
+    "StoreScan",
+    "GridIndex",
+    "build_scales",
+    "cell_coords",
+    "cluster_order",
+]

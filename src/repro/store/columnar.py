@@ -1,0 +1,569 @@
+"""The persistent columnar relation store (out-of-core §8 blocks).
+
+The paper's machine assumes base relations arrive from mass storage in
+blocks; everywhere else in this repo the disk is a pure *timing* model
+over in-memory relations.  This module stores relations for real:
+
+* one directory per relation holding ``chunk-NNNNN.bin`` files —
+  column-major little-endian int64, ``chunk_rows`` tuples per chunk
+  (the §8 block unit) — plus a ``manifest.json`` describing schema,
+  chunk row counts, per-chunk per-column min/max **zone maps**, and an
+  optional :class:`~repro.store.grid.GridIndex`;
+* reads are chunk-at-a-time through ``numpy.memmap``, so a selection
+  touches only the chunks its predicate can match — the surviving
+  chunks are filtered host-side, the machine never sees pruned bytes;
+* a relation's **digest** is the SHA-256 of its manifest bytes, the
+  unit the plan cache's content fingerprint folds in: rewriting a
+  relation (new chunking, new index, new data) changes the digest and
+  invalidates exactly the plans compiled against the old bytes.
+
+Durability is manifest-last: chunks and manifest are written into a
+temporary sibling directory and atomically renamed over the old one, so
+a relation is visible iff its manifest parses — a torn write leaves the
+previous version (or nothing) in place, never a half relation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigError, StoreError
+from repro.obs import metrics
+from repro.relational.algebra import COMPARISON_OPS
+from repro.relational.domain import Domain, IntegerDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnRef, Schema
+from repro.store.grid import (
+    GridIndex,
+    build_scales,
+    cell_coords,
+    cluster_order,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "STORE_DIR_ENV",
+    "MANIFEST_VERSION",
+    "RelationStore",
+    "StoredRelation",
+    "StoreScan",
+]
+
+#: Tuples per chunk file — the store's §8 block unit.
+DEFAULT_CHUNK_ROWS = 65536
+
+#: Environment variable naming the default store root.
+STORE_DIR_ENV = "REPRO_STORE_DIR"
+
+MANIFEST_VERSION = 1
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]*$")
+
+_ELEMENT_DTYPE = np.dtype("<i8")
+_ELEMENT_BYTES = _ELEMENT_DTYPE.itemsize
+
+#: JSON-safe domain value types; anything else fails loudly on write
+#: instead of coming back subtly different after a JSON round trip.
+_JSON_VALUE_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_name(name: str) -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise StoreError(
+            f"invalid relation name {name!r}: need a filesystem-safe "
+            f"identifier matching {_NAME_RE.pattern}"
+        )
+    return name
+
+
+# -- schema (de)serialisation ----------------------------------------------
+
+
+def _domain_to_json(domain: Domain) -> dict:
+    if isinstance(domain, IntegerDomain):
+        return {"kind": "integer", "name": domain.name}
+    values = list(domain)
+    for value in values:
+        if isinstance(value, bool) or not isinstance(
+            value, _JSON_VALUE_TYPES
+        ):
+            raise StoreError(
+                f"domain {domain.name!r} holds {value!r} "
+                f"({type(value).__name__}), which does not survive a JSON "
+                f"round trip; store only str/int/float/None dictionary values"
+            )
+    return {
+        "kind": "dictionary",
+        "name": domain.name,
+        "values": values,
+        "frozen": domain.frozen,
+    }
+
+
+def _schema_to_json(schema: Schema) -> list[dict]:
+    return [
+        {"name": column.name, "domain": _domain_to_json(column.domain)}
+        for column in schema
+    ]
+
+
+def _schema_from_json(data: list[dict]) -> Schema:
+    domains: dict[str, Domain] = {}
+
+    def domain_of(spec: dict) -> Domain:
+        name = spec["name"]
+        if name in domains:
+            return domains[name]
+        if spec["kind"] == "integer":
+            domain: Domain = IntegerDomain(name)
+        elif spec["kind"] == "dictionary":
+            domain = Domain(name, spec["values"], frozen=spec["frozen"])
+        else:
+            raise StoreError(f"unknown domain kind {spec['kind']!r}")
+        domains[name] = domain
+        return domain
+
+    try:
+        return Schema.of(
+            *((col["name"], domain_of(col["domain"])) for col in data)
+        )
+    except (KeyError, TypeError) as exc:
+        raise StoreError(f"malformed schema in manifest: {exc}") from exc
+
+
+# -- scan results ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreScan:
+    """What one :meth:`StoredRelation.read` touched and produced.
+
+    ``relation`` holds the (predicate-filtered) tuples; the counters
+    describe the scan itself — ``rows_scanned`` and ``nbytes`` cover the
+    chunks *read*, so a pruned scan bills only the surviving blocks.
+    """
+
+    relation: Relation
+    chunks_total: int
+    chunks_read: int
+    rows_scanned: int
+    nbytes: int
+
+    @property
+    def chunks_pruned(self) -> int:
+        return self.chunks_total - self.chunks_read
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    file: str
+    rows: int
+    #: per-column (min, max) zone map.
+    stats: tuple[tuple[int, int], ...]
+
+
+class StoredRelation:
+    """A read handle over one on-disk relation (manifest + chunks)."""
+
+    def __init__(self, path: Path, manifest: dict, digest: str) -> None:
+        self.path = path
+        self.name = manifest["name"]
+        self.digest = digest
+        self.rows = int(manifest["rows"])
+        self.chunk_rows = int(manifest["chunk_rows"])
+        self.schema = _schema_from_json(manifest["schema"])
+        self.arity = len(self.schema)
+        self.chunks = tuple(
+            _Chunk(
+                file=spec["file"],
+                rows=int(spec["rows"]),
+                stats=tuple(
+                    (int(lo), int(hi)) for lo, hi in spec["stats"]
+                ),
+            )
+            for spec in manifest["chunks"]
+        )
+        index = manifest.get("index")
+        self.index: Optional[GridIndex] = (
+            GridIndex.from_json(index) if index is not None else None
+        )
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    def chunk_bytes(self, chunk_id: int) -> int:
+        return self.chunks[chunk_id].rows * self.arity * _ELEMENT_BYTES
+
+    # -- raw column access --------------------------------------------------
+
+    def chunk_column(self, chunk_id: int, position: int) -> np.ndarray:
+        """One column of one chunk as a read-only memory map."""
+        chunk = self.chunks[chunk_id]
+        if not 0 <= position < self.arity:
+            raise StoreError(
+                f"column {position} out of range for arity {self.arity}"
+            )
+        return np.memmap(
+            self.path / chunk.file,
+            dtype=_ELEMENT_DTYPE,
+            mode="r",
+            offset=position * chunk.rows * _ELEMENT_BYTES,
+            shape=(chunk.rows,),
+        )
+
+    def _chunk_array(self, chunk_id: int) -> np.ndarray:
+        """One chunk as an (rows, arity) int64 array."""
+        chunk = self.chunks[chunk_id]
+        raw = np.fromfile(self.path / chunk.file, dtype=_ELEMENT_DTYPE)
+        expected = chunk.rows * self.arity
+        if raw.size != expected:
+            raise StoreError(
+                f"chunk {chunk.file} of {self.name!r} holds {raw.size} "
+                f"elements, manifest says {expected}"
+            )
+        return raw.reshape(self.arity, chunk.rows).T
+
+    # -- pruning ------------------------------------------------------------
+
+    def select_chunks(
+        self, column: ColumnRef, op: str, value: int
+    ) -> list[int]:
+        """Chunk ids that can contain rows matching the predicate.
+
+        Grid-directory probe first (when the column is indexed and the
+        operator is prunable), then per-chunk zone maps — always a
+        superset of the true answer; :meth:`read` re-applies the exact
+        predicate on the survivors.
+        """
+        if op not in COMPARISON_OPS:
+            raise StoreError(f"unknown comparison operator {op!r}")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise StoreError(
+                f"selection values are encoded integers, got {value!r}"
+            )
+        position = self.schema.resolve(column)
+        metrics.inc("store.index_probes")
+        if self.index is not None:
+            candidates = self.index.candidate_chunks(position, op, value)
+        else:
+            candidates = None
+        survivors = []
+        for chunk_id, chunk in enumerate(self.chunks):
+            if candidates is not None and chunk_id not in candidates:
+                continue
+            lo, hi = chunk.stats[position]
+            if _zone_admits(op, value, lo, hi):
+                survivors.append(chunk_id)
+        return survivors
+
+    # -- reading ------------------------------------------------------------
+
+    def read(
+        self,
+        selection: Optional[tuple[ColumnRef, str, int]] = None,
+    ) -> StoreScan:
+        """Scan the relation, pruning chunks when ``selection`` allows.
+
+        Returns a :class:`StoreScan` whose relation holds the matching
+        tuples (all tuples when ``selection`` is ``None``); only the
+        chunks actually read are counted and billed.
+        """
+        if selection is None:
+            chunk_ids = list(range(self.n_chunks))
+            position = None
+        else:
+            column, op, value = selection
+            chunk_ids = self.select_chunks(column, op, value)
+            position = self.schema.resolve(column)
+        rows_scanned = 0
+        nbytes = 0
+        parts: list[np.ndarray] = []
+        for chunk_id in chunk_ids:
+            block = self._chunk_array(chunk_id)
+            rows_scanned += len(block)
+            nbytes += self.chunk_bytes(chunk_id)
+            if position is not None:
+                ufunc = getattr(np, _NUMPY_OPS[op])
+                block = block[ufunc(block[:, position], value)]
+            parts.append(block)
+        metrics.inc("store.chunks_read", len(chunk_ids))
+        metrics.inc("store.chunks_pruned", self.n_chunks - len(chunk_ids))
+        metrics.inc("store.bytes_read", nbytes)
+        if parts:
+            combined = np.concatenate(parts)
+            tuples = map(tuple, combined.tolist())
+        else:
+            tuples = iter(())
+        return StoreScan(
+            relation=Relation(self.schema, tuples),
+            chunks_total=self.n_chunks,
+            chunks_read=len(chunk_ids),
+            rows_scanned=rows_scanned,
+            nbytes=nbytes,
+        )
+
+    def __repr__(self) -> str:
+        indexed = (
+            f", grid on {list(self.index.columns)}" if self.index else ""
+        )
+        return (
+            f"StoredRelation({self.name!r}, {self.rows} rows, "
+            f"{self.n_chunks} chunks{indexed})"
+        )
+
+
+_NUMPY_OPS = {
+    "==": "equal",
+    "!=": "not_equal",
+    "<": "less",
+    "<=": "less_equal",
+    ">": "greater",
+    ">=": "greater_equal",
+}
+
+
+def _zone_admits(op: str, value: int, lo: int, hi: int) -> bool:
+    if op == "==":
+        return lo <= value <= hi
+    if op == "!=":
+        return not (lo == hi == value)
+    if op == "<":
+        return lo < value
+    if op == "<=":
+        return lo <= value
+    if op == ">":
+        return hi > value
+    return hi >= value  # ">="
+
+
+class RelationStore:
+    """A directory of persistent relations, one subdirectory each."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = os.environ.get(STORE_DIR_ENV)
+        if not root:
+            raise ConfigError(
+                f"RelationStore needs a root directory: pass one or set "
+                f"{STORE_DIR_ENV}"
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: name -> (manifest mtime_ns, handle); reopened when the
+        #: manifest changes underneath us.
+        self._handles: dict[str, tuple[int, StoredRelation]] = {}
+
+    # -- catalogue ----------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Relations with a parseable manifest, sorted."""
+        found = []
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir() and (entry / "manifest.json").is_file():
+                found.append(entry.name)
+        return found
+
+    def holds(self, name: str) -> bool:
+        return (self.root / name / "manifest.json").is_file() if (
+            isinstance(name, str) and _NAME_RE.match(name)
+        ) else False
+
+    def drop(self, name: str) -> None:
+        """Remove a relation (idempotent)."""
+        _check_name(name)
+        self._handles.pop(name, None)
+        target = self.root / name
+        if target.exists():
+            shutil.rmtree(target)
+
+    def fingerprint(self) -> tuple[tuple[str, str], ...]:
+        """(name, manifest digest) per relation — the plan-cache input."""
+        return tuple(
+            (name, self.open(name).digest) for name in self.names()
+        )
+
+    # -- opening ------------------------------------------------------------
+
+    def open(self, name: str) -> StoredRelation:
+        _check_name(name)
+        manifest_path = self.root / name / "manifest.json"
+        try:
+            mtime = manifest_path.stat().st_mtime_ns
+        except OSError:
+            raise StoreError(
+                f"no stored relation named {name!r}; have {self.names()}"
+            ) from None
+        cached = self._handles.get(name)
+        if cached is not None and cached[0] == mtime:
+            return cached[1]
+        raw = manifest_path.read_bytes()
+        try:
+            manifest = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt manifest for {name!r}: {exc}"
+            ) from exc
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise StoreError(
+                f"manifest for {name!r} has version "
+                f"{manifest.get('version')!r}, this library reads "
+                f"{MANIFEST_VERSION}"
+            )
+        handle = StoredRelation(
+            self.root / name,
+            manifest,
+            hashlib.sha256(raw).hexdigest(),
+        )
+        self._handles[name] = (mtime, handle)
+        return handle
+
+    # -- writing ------------------------------------------------------------
+
+    def write(
+        self,
+        name: str,
+        relation: Relation,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        index_columns: Optional[Sequence[ColumnRef]] = None,
+    ) -> StoredRelation:
+        """Persist a relation, replacing any previous version."""
+        array = _to_array(relation)
+        return self._write_rows(
+            name, array, relation.schema, chunk_rows, index_columns
+        )
+
+    def write_array(
+        self,
+        name: str,
+        rows: np.ndarray,
+        schema: Schema,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        index_columns: Optional[Sequence[ColumnRef]] = None,
+    ) -> StoredRelation:
+        """Persist an already-encoded ``(n, arity)`` integer array.
+
+        The bulk-load path: generators can hand the store millions of
+        rows without building a :class:`Relation` first.  Rows must be
+        distinct under the relation's set semantics — the store trusts
+        the caller here and the machine's engines deduplicate anyway.
+        """
+        array = np.asarray(rows)
+        if array.ndim != 2 or array.shape[1] != len(schema):
+            raise StoreError(
+                f"write_array needs an (n, {len(schema)}) array, got shape "
+                f"{array.shape}"
+            )
+        try:
+            array = array.astype(np.int64, casting="safe", copy=False)
+        except TypeError as exc:
+            raise StoreError(
+                f"stored elements must fit int64: {exc}"
+            ) from exc
+        return self._write_rows(name, array, schema, chunk_rows,
+                                index_columns)
+
+    def _write_rows(
+        self,
+        name: str,
+        array: np.ndarray,
+        schema: Schema,
+        chunk_rows: int,
+        index_columns: Optional[Sequence[ColumnRef]],
+    ) -> StoredRelation:
+        _check_name(name)
+        if chunk_rows < 1:
+            raise StoreError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        n = len(array)
+        n_chunks = -(-n // chunk_rows) if n else 0
+
+        if index_columns is None:
+            positions = list(range(min(2, len(schema))))
+        else:
+            positions = schema.resolve_many(index_columns)
+
+        index: Optional[GridIndex] = None
+        if positions and n:
+            cells_per_axis = _cells_per_axis(n_chunks, len(positions))
+            scales = [
+                build_scales(array[:, p], cells_per_axis) for p in positions
+            ]
+            coords = cell_coords([array[:, p] for p in positions], scales)
+            order = cluster_order(coords)
+            array = array[order]
+            coords = coords[order]
+            chunk_of_row = np.arange(n) // chunk_rows
+            index = GridIndex.build(positions, coords, scales, chunk_of_row)
+
+        staging = self.root / f".tmp-{name}-{os.getpid()}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            chunks = []
+            for chunk_id in range(n_chunks):
+                block = array[chunk_id * chunk_rows:(chunk_id + 1) * chunk_rows]
+                file = f"chunk-{chunk_id:05d}.bin"
+                block.T.astype(_ELEMENT_DTYPE).tofile(staging / file)
+                chunks.append({
+                    "file": file,
+                    "rows": len(block),
+                    "stats": [
+                        [int(block[:, c].min()), int(block[:, c].max())]
+                        for c in range(len(schema))
+                    ],
+                })
+            manifest = {
+                "version": MANIFEST_VERSION,
+                "name": name,
+                "rows": n,
+                "arity": len(schema),
+                "chunk_rows": chunk_rows,
+                "schema": _schema_to_json(schema),
+                "chunks": chunks,
+                "index": index.to_json() if index is not None else None,
+            }
+            (staging / "manifest.json").write_text(
+                json.dumps(manifest, indent=1, sort_keys=True) + "\n"
+            )
+            final = self.root / name
+            if final.exists():
+                shutil.rmtree(final)
+            os.replace(staging, final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._handles.pop(name, None)
+        return self.open(name)
+
+    def __repr__(self) -> str:
+        return f"RelationStore({str(self.root)!r}, {len(self.names())} relations)"
+
+
+def _cells_per_axis(n_chunks: int, ndims: int) -> int:
+    """Grid resolution: ≈4 cells per chunk, split evenly over the axes."""
+    if n_chunks <= 1:
+        return 1
+    target = 4 * n_chunks
+    per_axis = max(1, round(target ** (1.0 / ndims)))
+    return per_axis
+
+
+def _to_array(relation: Relation) -> np.ndarray:
+    if len(relation) == 0:
+        return np.empty((0, relation.arity), dtype=np.int64)
+    try:
+        return np.array(relation.tuples, dtype=np.int64)
+    except OverflowError as exc:
+        raise StoreError(
+            f"stored elements must fit a signed 64-bit integer: {exc}"
+        ) from exc

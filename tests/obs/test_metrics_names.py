@@ -82,12 +82,12 @@ class TestDeclaredNames:
     def test_names_are_layer_prefixed(self):
         prefixes = (
             "machine.", "device.", "engine.", "lang.", "service.", "shard.",
-            "faults.",
+            "store.", "faults.",
         )
         for name in METRICS:
             assert name.startswith(prefixes), name
 
-    def test_workload_touches_every_declared_name(self):
+    def test_workload_touches_every_declared_name(self, tmp_path):
         """The name table is *exact*: one representative workload
         records every declared metric, and (by the registry's
         undeclared-name check) nothing else.  Renaming or adding a
@@ -170,6 +170,23 @@ class TestDeclaredNames:
         hung_catalog.store("S", b)
         with pytest.raises(DeadlineError):
             hung.execute(hung_catalog, join_project_plan())
+
+        # The storage layer: a pruned read over a persisted relation
+        # records the four store.* counters (probe, chunks read/pruned,
+        # bytes) — col 0 runs 0..39 so an equality probe on a Morton-
+        # clustered 8-row chunking must skip chunks.
+        from repro.relational.domain import IntegerDomain
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Schema
+        from repro.store import RelationStore
+
+        dom = IntegerDomain("int")
+        schema = Schema.of(("k", dom), ("v", dom))
+        stored = Relation(schema, [(i, i * 3 % 7) for i in range(40)])
+        store = RelationStore(tmp_path / "relations")
+        store.write("K", stored, chunk_rows=8)
+        scan = store.open("K").read(("k", "==", 11))
+        assert scan.chunks_pruned > 0
 
         collected = metrics.collected_names()
         missing = set(METRICS) - collected

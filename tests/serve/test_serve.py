@@ -176,3 +176,66 @@ class TestServer:
                     db.query("this is not algebra")
                 # The connection survives both errors.
                 assert db.ping()
+
+
+class TestPersistence:
+    """``--store-dir``: persisted relations survive a server restart."""
+
+    def test_persisted_relations_survive_restart(self, tmp_path):
+        a, b = overlapping_pair(10, 8, 5, arity=2, seed=9)
+        expected = sorted(algebra.intersection(a, b).decoded())
+        root = tmp_path / "srv"
+
+        with _ServerHarness(store_dir=root) as harness:
+            host, port = harness.address
+            with ServiceClient(host, port, tenant="acme") as db:
+                reply = db.store("A", a, persist=True)
+                assert reply["persisted"]
+                db.store("B", b, persist=True)
+
+        # A brand-new server process (fresh pool, same store_dir):
+        # nothing survives but the columnar files on disk.
+        with _ServerHarness(store_dir=root) as harness:
+            host, port = harness.address
+            with ServiceClient(host, port, tenant="acme") as db:
+                reply = db.query("intersect(A, B)")
+                got = sorted(tuple(r) for r in reply["relation"]["rows"])
+                assert got == expected
+        assert (root / "acme" / "A" / "manifest.json").is_file()
+
+    def test_tenants_get_separate_store_directories(self, tmp_path):
+        a, b = overlapping_pair(8, 6, 4, arity=2, seed=7)
+        with _ServerHarness(store_dir=tmp_path / "srv") as harness:
+            host, port = harness.address
+            with ServiceClient(host, port, tenant="one") as db:
+                db.store("A", a, persist=True)
+            with ServiceClient(host, port, tenant="two") as db:
+                db.store("A", b, persist=True)
+        assert (tmp_path / "srv" / "one" / "A").is_dir()
+        assert (tmp_path / "srv" / "two" / "A").is_dir()
+
+    def test_persist_without_store_dir_is_refused(self):
+        a, _ = overlapping_pair(6, 4, 3, arity=2, seed=3)
+        with _ServerHarness() as harness:
+            host, port = harness.address
+            with ServiceClient(host, port) as db:
+                with pytest.raises(ReproError, match="persistence root"):
+                    db.store("A", a, persist=True)
+                # Plain (memory-only) stores still work.
+                assert db.store("A", a)["ok"]
+
+    def test_persist_on_sharded_server_is_refused(self):
+        a, _ = overlapping_pair(6, 4, 3, arity=2, seed=3)
+        with _ServerHarness(shards=2) as harness:
+            host, port = harness.address
+            with ServiceClient(host, port) as db:
+                with pytest.raises(ReproError, match="sharded"):
+                    db.store("A", a, persist=True)
+
+    def test_unsafe_tenant_name_is_refused_when_persistent(self, tmp_path):
+        with _ServerHarness(store_dir=tmp_path / "srv") as harness:
+            host, port = harness.address
+            client = ServiceClient(host, port, retries=0)
+            with pytest.raises(ReproError, match="filesystem-safe"):
+                with client as db:
+                    db.hello("../escape")

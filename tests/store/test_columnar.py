@@ -1,0 +1,292 @@
+"""The persistent columnar store: round trips, pruning, durability."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, StoreError
+from repro.obs import metrics
+from repro.relational.domain import Domain, IntegerDomain
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.store import (
+    DEFAULT_CHUNK_ROWS,
+    GridIndex,
+    RelationStore,
+    build_scales,
+    cluster_order,
+)
+
+_INT = IntegerDomain("int")
+
+SMALL = settings(max_examples=30, deadline=None)
+
+#: Full signed-64-bit range, with the extremes always reachable.
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+extreme_rows = st.lists(
+    st.tuples(
+        st.one_of(int64s, st.sampled_from([-(2**63), 2**63 - 1, 0])),
+        int64s,
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _schema(arity: int) -> Schema:
+    return Schema.of(*((f"c{i}", _INT) for i in range(arity)))
+
+
+class TestRoundTrip:
+    @SMALL
+    @given(rows=extreme_rows, chunk_rows=st.integers(1, 7))
+    def test_write_reopen_read_is_bit_identical(
+        self, tmp_path_factory, rows, chunk_rows
+    ):
+        root = tmp_path_factory.mktemp("store")
+        relation = Relation(_schema(2), rows)
+        store = RelationStore(root)
+        store.write("R", relation, chunk_rows=chunk_rows)
+        # A *fresh* store object: nothing survives but the files.
+        back = RelationStore(root).open("R").read().relation
+        assert back == relation
+        assert sorted(back.tuples) == sorted(relation.tuples)
+
+    def test_empty_relation_round_trips(self, tmp_path):
+        relation = Relation(_schema(3), ())
+        store = RelationStore(tmp_path)
+        handle = store.write("empty", relation)
+        assert handle.rows == 0
+        assert handle.n_chunks == 0
+        scan = store.open("empty").read()
+        assert scan.relation == relation
+        assert scan.chunks_read == scan.chunks_total == 0
+
+    def test_signed_extremes_survive(self, tmp_path):
+        rows = [(-(2**63), 2**63 - 1), (0, -1)]
+        store = RelationStore(tmp_path)
+        store.write("edge", Relation(_schema(2), rows), chunk_rows=1)
+        back = store.open("edge").read().relation
+        assert sorted(back.tuples) == sorted(rows)
+
+    def test_dictionary_domains_round_trip(self, tmp_path):
+        city = Domain("city", ["basel", "pisa", "kyoto"], frozen=True)
+        schema = Schema.of(("name", city), ("rank", _INT))
+        relation = Relation.from_values(
+            schema, [("pisa", 2), ("kyoto", 1)]
+        )
+        store = RelationStore(tmp_path)
+        store.write("T", relation)
+        back = RelationStore(tmp_path).open("T")
+        assert sorted(back.read().relation.decoded()) == sorted(
+            relation.decoded()
+        )
+        assert [d.name for d in back.schema.domains] == ["city", "int"]
+        assert back.schema.column("name").domain.frozen
+
+    def test_shared_domains_stay_shared_after_reload(self, tmp_path):
+        shared = Domain("shared", ["x", "y"])
+        schema = Schema.of(("a", shared), ("b", shared))
+        store = RelationStore(tmp_path)
+        store.write("S", Relation.from_values(schema, [("x", "y")]))
+        back = RelationStore(tmp_path).open("S").schema
+        assert back.column("a").domain is back.column("b").domain
+
+
+class TestValidation:
+    def test_out_of_range_element_raises(self, tmp_path):
+        relation = Relation(_schema(1), [(2**63,)])
+        with pytest.raises(StoreError, match="64-bit"):
+            RelationStore(tmp_path).write("big", relation)
+
+    def test_bad_names_raise(self, tmp_path):
+        store = RelationStore(tmp_path)
+        relation = Relation(_schema(1), [(1,)])
+        for name in ("", "../up", "a/b", ".hidden"):
+            with pytest.raises(StoreError, match="name"):
+                store.write(name, relation)
+
+    def test_non_json_domain_value_raises(self, tmp_path):
+        weird = Domain("weird", [("tu", "ple")])
+        schema = Schema.of(("w", weird))
+        with pytest.raises(StoreError, match="JSON"):
+            RelationStore(tmp_path).write(
+                "W", Relation.from_values(schema, [(("tu", "ple"),)])
+            )
+
+    def test_missing_relation_raises(self, tmp_path):
+        with pytest.raises(StoreError, match="no stored relation"):
+            RelationStore(tmp_path).open("ghost")
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        store = RelationStore(tmp_path)
+        store.write("R", Relation(_schema(1), [(1,)]))
+        (tmp_path / "R" / "manifest.json").write_text("{not json")
+        with pytest.raises(StoreError, match="corrupt"):
+            RelationStore(tmp_path).open("R")
+
+    def test_store_needs_a_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        with pytest.raises(ConfigError, match="REPRO_STORE_DIR"):
+            RelationStore()
+
+    def test_env_var_names_the_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-root"))
+        store = RelationStore()
+        store.write("R", Relation(_schema(1), [(7,)]))
+        assert (tmp_path / "env-root" / "R" / "manifest.json").is_file()
+
+
+class TestCatalogue:
+    def test_names_holds_drop(self, tmp_path):
+        store = RelationStore(tmp_path)
+        r = Relation(_schema(1), [(1,)])
+        store.write("B", r)
+        store.write("A", r)
+        assert store.names() == ["A", "B"]
+        assert store.holds("A") and not store.holds("Z")
+        store.drop("A")
+        assert store.names() == ["B"]
+        store.drop("A")  # idempotent
+
+    def test_fingerprint_tracks_rewrites(self, tmp_path):
+        store = RelationStore(tmp_path)
+        store.write("R", Relation(_schema(1), [(1,)]))
+        before = store.fingerprint()
+        store.write("R", Relation(_schema(1), [(2,)]))
+        after = store.fingerprint()
+        assert before != after
+        assert [name for name, _ in after] == ["R"]
+        # Same bytes again -> same digest (manifests are deterministic).
+        store.write("R", Relation(_schema(1), [(2,)]))
+        assert store.fingerprint() == after
+
+    def test_default_chunk_rows_is_the_documented_knob(self):
+        assert DEFAULT_CHUNK_ROWS == 65536
+
+
+def _brute(rows: np.ndarray, position: int, op: str, value: int):
+    import operator
+
+    ops = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+           "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+    return sorted(
+        tuple(row) for row in rows.tolist() if ops[op](row[position], value)
+    )
+
+
+class TestPruning:
+    def _stored(self, tmp_path, n=4096, chunk_rows=256):
+        rng = np.random.default_rng(11)
+        rows = np.stack(
+            [
+                rng.integers(0, 64, n),
+                rng.integers(0, 128, n),
+                np.arange(n),
+            ],
+            axis=1,
+        )
+        store = RelationStore(tmp_path)
+        store.write_array(
+            "SP", rows, _schema(3), chunk_rows=chunk_rows,
+            index_columns=("c0", "c1"),
+        )
+        return store, rows
+
+    def test_selective_equality_reads_fewer_chunks(self, tmp_path):
+        store, rows = self._stored(tmp_path)
+        metrics.enable()
+        try:
+            scan = store.open("SP").read(("c0", "==", 17))
+            assert scan.chunks_read < scan.chunks_total
+            assert scan.chunks_pruned > 0
+            assert metrics.counter("store.chunks_pruned") > 0
+            assert metrics.counter("store.index_probes") == 1
+            assert metrics.counter("store.bytes_read") == scan.nbytes
+            assert sorted(scan.relation.tuples) == _brute(rows, 0, "==", 17)
+        finally:
+            metrics.disable()
+            metrics.reset()
+
+    def test_both_grid_axes_prune(self, tmp_path):
+        """Morton clustering means the *second* indexed column prunes
+        too, not just the primary sort key."""
+        store, rows = self._stored(tmp_path)
+        scan = store.open("SP").read(("c1", "<", 16))
+        assert scan.chunks_read < scan.chunks_total
+        assert sorted(scan.relation.tuples) == _brute(rows, 1, "<", 16)
+
+    def test_zone_maps_answer_unindexed_columns(self, tmp_path):
+        store, rows = self._stored(tmp_path)
+        handle = store.open("SP")
+        # c2 is not grid-indexed; an impossible predicate still prunes
+        # every chunk via the per-chunk min/max stats.
+        scan = handle.read(("c2", ">", int(rows[:, 2].max())))
+        assert scan.chunks_read == 0
+        assert len(scan.relation) == 0
+
+    @SMALL
+    @given(
+        op=st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        column=st.integers(0, 2),
+        value=st.integers(-4, 132),
+    )
+    def test_pruned_scan_equals_full_scan(
+        self, tmp_path_factory, op, column, value
+    ):
+        """The pruning contract: chunk skipping never changes results."""
+        root = tmp_path_factory.mktemp("prune")
+        store, rows = self._stored(root, n=1024, chunk_rows=128)
+        handle = store.open("SP")
+        scan = handle.read((column, op, value))
+        assert sorted(scan.relation.tuples) == _brute(rows, column, op, value)
+
+    def test_unknown_operator_raises(self, tmp_path):
+        store, _ = self._stored(tmp_path, n=64, chunk_rows=32)
+        with pytest.raises(StoreError, match="operator"):
+            store.open("SP").read(("c0", "~=", 3))
+
+
+class TestGridIndex:
+    def test_scales_are_balanced_quantiles(self):
+        values = np.arange(1000)
+        scales = build_scales(values, 4)
+        assert len(scales) == 3
+        assert scales == tuple(sorted(scales))
+
+    def test_single_cell_axis_has_no_scales(self):
+        assert build_scales(np.arange(10), 1) == ()
+
+    def test_cluster_order_is_a_permutation(self):
+        coords = np.array([[1, 0], [0, 1], [3, 3], [0, 0]])
+        order = cluster_order(coords)
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_json_round_trip(self):
+        index = GridIndex(
+            columns=(0, 1),
+            scales=((10, 20), (5,)),
+            directory={(0, 0): (0,), (1, 1): (0, 1)},
+        )
+        back = GridIndex.from_json(
+            json.loads(json.dumps(index.to_json()))
+        )
+        assert back.columns == index.columns
+        assert back.scales == index.scales
+        assert back.directory == index.directory
+
+    def test_candidate_chunks_is_a_superset(self):
+        index = GridIndex(
+            columns=(0,),
+            scales=((10,),),
+            directory={(0,): (0,), (1,): (1, 2)},
+        )
+        assert index.candidate_chunks(0, "==", 5) == frozenset({0})
+        assert index.candidate_chunks(0, ">", 10) == frozenset({1, 2})
+        assert index.candidate_chunks(0, "<=", 10) == frozenset({0, 1, 2})
+        assert index.candidate_chunks(0, "!=", 5) is None  # no pruning
+        assert index.candidate_chunks(1, "==", 5) is None  # unindexed

@@ -17,6 +17,16 @@ Two checks, both run in CI next to the bench gate::
    External links (``http(s)://``, ``mailto:``) and pure anchors are
    ignored.
 
+3. **Package inventory.**  Every ``src/repro/*`` package must have a
+   ``repro.<name>`` row in ARCHITECTURE.md's package inventory — a new
+   subsystem that never makes it into the map fails here.
+
+4. **CLI flags.**  Every ``--flag`` mentioned in backticks anywhere in
+   the markdown must be defined by this repository's entry points
+   (``repro.__main__``, ``benchmarks/*.py``, ``tools/*.py``) or sit on
+   the short external-tool allowlist — documentation of a renamed or
+   removed flag fails here.
+
 Exits non-zero with one line per problem.
 """
 
@@ -33,10 +43,19 @@ from repro.obs.names import METRICS  # noqa: E402
 
 OBSERVABILITY = ROOT / "docs" / "OBSERVABILITY.md"
 
+ARCHITECTURE = ROOT / "docs" / "ARCHITECTURE.md"
+
 #: A metric row: | `name` | kind | meaning |
 _METRIC_ROW = re.compile(r"^\|\s*`([a-z_.]+)`\s*\|\s*(\w+)\s*\|")
 #: Inline markdown links: [text](target).  Images share the syntax.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: A long option mentioned in docs prose: `--flag` (possibly `--flag VAL`).
+_DOC_FLAG = re.compile(r"`(--[a-z0-9][a-z0-9-]*)")
+#: A long option defined in an argparse entry point: "--flag".
+_CODE_FLAG = re.compile(r'"(--[a-z0-9][a-z0-9-]*)"')
+
+#: Flags of tools we document but do not own (pytest, pytest-benchmark).
+_EXTERNAL_FLAGS = {"--lf", "--ff", "--benchmark-only", "--benchmark-disable"}
 
 
 def documented_metrics(text: str) -> dict[str, str]:
@@ -97,8 +116,57 @@ def check_links() -> list[str]:
     return problems
 
 
+def repro_packages() -> list[str]:
+    """Top-level ``repro.*`` packages under ``src/``, sorted."""
+    return sorted(
+        entry.name
+        for entry in (ROOT / "src" / "repro").iterdir()
+        if entry.is_dir() and (entry / "__init__.py").exists()
+    )
+
+
+def check_package_inventory() -> list[str]:
+    if not ARCHITECTURE.exists():
+        return [f"{ARCHITECTURE.relative_to(ROOT)} is missing"]
+    text = ARCHITECTURE.read_text()
+    where = ARCHITECTURE.relative_to(ROOT)
+    return [
+        f"{where}: package 'repro.{name}' (src/repro/{name}/) has no "
+        f"row in the package inventory"
+        for name in repro_packages()
+        if f"`repro.{name}`" not in text
+    ]
+
+
+def defined_flags() -> set[str]:
+    """Long options defined by this repo's argparse entry points."""
+    sources = [ROOT / "src" / "repro" / "__main__.py"]
+    sources += sorted((ROOT / "benchmarks").glob("*.py"))
+    sources += sorted((ROOT / "tools").glob("*.py"))
+    flags: set[str] = set()
+    for source in sources:
+        flags.update(_CODE_FLAG.findall(source.read_text()))
+    return flags
+
+
+def check_cli_flags() -> list[str]:
+    defined = defined_flags() | _EXTERNAL_FLAGS
+    problems: list[str] = []
+    for path in markdown_files():
+        for flag in _DOC_FLAG.findall(path.read_text()):
+            if flag not in defined:
+                problems.append(
+                    f"{path.relative_to(ROOT)}: documents flag {flag!r}, "
+                    f"which no entry point defines"
+                )
+    return problems
+
+
 def main() -> int:
-    problems = check_metric_table() + check_links()
+    problems = (
+        check_metric_table() + check_links()
+        + check_package_inventory() + check_cli_flags()
+    )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:
@@ -107,7 +175,9 @@ def main() -> int:
     files = len(markdown_files())
     print(
         f"check_docs: metric table in sync ({len(METRICS)} names), "
-        f"links resolve across {files} markdown files"
+        f"links resolve across {files} markdown files, "
+        f"{len(repro_packages())} packages in the inventory, "
+        f"documented CLI flags all defined"
     )
     return 0
 
